@@ -1,0 +1,66 @@
+"""Exp C1 (supplement) — the encryption library's cost table.
+
+Section 2.2 offers "several methods of encryption ... with tradeoffs
+between speed and security", and the appendix's whole NFS argument rests
+on how expensive "full-blown encryptions (done in software)" are.  This
+bench is that cost table for our software DES: the per-operation prices
+every other number in EXPERIMENTS.md is built from.
+"""
+
+from repro.crypto import (
+    DesKey,
+    KeyGenerator,
+    cbc_mac,
+    quad_cksum,
+    seal,
+    string_to_key,
+    unseal,
+)
+
+GEN = KeyGenerator(seed=b"crypto-bench")
+KEY = GEN.session_key()
+BLOCK = bytes(8)
+KILOBYTE = bytes(1024)
+
+
+def test_bench_des_block(benchmark):
+    """One DES block encryption — the atom of every cost below."""
+    benchmark(lambda: KEY.encrypt_block(BLOCK))
+
+
+def test_bench_seal_small(benchmark):
+    """Sealing a ticket-sized (~100 B) message."""
+    data = bytes(100)
+    benchmark(lambda: seal(KEY, data))
+
+
+def test_bench_unseal_small(benchmark):
+    blob = seal(KEY, bytes(100))
+    benchmark(lambda: unseal(KEY, blob))
+
+
+def test_bench_seal_kilobyte(benchmark):
+    """A KB under PCBC — the private-message / kprop price per KB."""
+    benchmark(lambda: seal(KEY, KILOBYTE))
+
+
+def test_bench_string_to_key(benchmark):
+    """Password-to-key derivation (once per login)."""
+    benchmark(lambda: string_to_key("correct horse battery staple"))
+
+
+def test_bench_cbc_mac_kilobyte(benchmark):
+    """The kprop checksum per KB of database dump."""
+    benchmark(lambda: cbc_mac(KEY, KILOBYTE))
+
+
+def test_bench_quad_cksum_kilobyte(benchmark):
+    """The safe-message checksum per KB — the paper's cheap option."""
+    result = benchmark(lambda: quad_cksum(KILOBYTE, KEY.key_bytes))
+    assert isinstance(result, int)
+
+
+def test_bench_session_key_generation(benchmark):
+    """One session key from the DRBG (per KDC exchange)."""
+    gen = KeyGenerator(seed=b"kdc")
+    benchmark(gen.session_key)

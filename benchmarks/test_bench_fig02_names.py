@@ -1,0 +1,30 @@
+"""Exp F2 — Figure 2: Kerberos names.
+
+Regenerates the figure: the four example names must parse into their
+components and round-trip; the benchmark times the parser on the
+figure's own corpus (naming is on every request's hot path).
+"""
+
+from repro.principal import Principal
+
+FIGURE_2 = [
+    ("bcn", ("bcn", "", "")),
+    ("treese.root", ("treese", "root", "")),
+    ("jis@LCS.MIT.EDU", ("jis", "", "LCS.MIT.EDU")),
+    ("rlogin.priam@ATHENA.MIT.EDU", ("rlogin", "priam", "ATHENA.MIT.EDU")),
+]
+
+
+def test_bench_fig2_name_parsing(benchmark):
+    def parse_figure_corpus():
+        return [Principal.parse(text) for text, _ in FIGURE_2]
+
+    parsed = benchmark(parse_figure_corpus)
+
+    # The figure's rows, regenerated and checked.
+    print("\nFigure 2 — Kerberos Names")
+    for principal, (text, parts) in zip(parsed, FIGURE_2):
+        print(f"  {text:<32} -> name={principal.name!r} "
+              f"instance={principal.instance!r} realm={principal.realm!r}")
+        assert (principal.name, principal.instance, principal.realm) == parts
+        assert str(principal) == text  # round-trips exactly

@@ -1,0 +1,77 @@
+"""Exp F6 — Figure 6: requesting a service (the AP exchange).
+
+Times the end-server's krb_rd_req validation — the per-connection cost
+every Kerberized service pays — and regenerates the figure's checks:
+replay rejected, skew window honored, address mismatch rejected.
+"""
+
+import pytest
+
+from repro.core import (
+    ErrorCode,
+    KerberosError,
+    ReplayCache,
+    krb_mk_req,
+    krb_rd_req,
+)
+from repro.core.replay import CLOCK_SKEW
+
+from benchmarks.bench_util import (
+    logged_in_workstation,
+    rlogin_principal,
+    small_realm,
+)
+
+
+def test_bench_fig6_rd_req(benchmark):
+    realm = small_realm()
+    service = rlogin_principal()
+    key = realm.service_key(service)
+    ws = logged_in_workstation(realm)
+    cred = ws.client.get_credential(service)
+    now = realm.net.clock.now()
+
+    counter = iter(range(10**9))
+
+    def serve_one_request():
+        # Fresh authenticator each time (as a real client would build).
+        request = krb_mk_req(
+            ticket_blob=cred.ticket,
+            session_key=cred.session_key,
+            client=ws.client.principal,
+            client_address=ws.host.address,
+            now=now + next(counter) * 1e-6,
+        )
+        return krb_rd_req(request, service, key, ws.host.address, now)
+
+    context = benchmark(serve_one_request)
+    assert context.client.name == "jis"
+
+    print("\nFigure 6 — server-side checks:")
+    cache = ReplayCache()
+    request, _, sent = ws.client.mk_req(service)
+    krb_rd_req(request, service, key, ws.host.address, now, cache)
+    with pytest.raises(KerberosError) as err:
+        krb_rd_req(request, service, key, ws.host.address, now, cache)
+    assert err.value.code == ErrorCode.RD_AP_REPEAT
+    print("  exact replay:            RD_AP_REPEAT")
+
+    stale = krb_mk_req(cred.ticket, cred.session_key, ws.client.principal,
+                       ws.host.address, now=now)
+    with pytest.raises(KerberosError) as err:
+        krb_rd_req(stale, service, key, ws.host.address, now + CLOCK_SKEW + 1)
+    assert err.value.code == ErrorCode.RD_AP_TIME
+    print(f"  authenticator older than {CLOCK_SKEW:.0f}s: RD_AP_TIME")
+
+    ok = krb_mk_req(cred.ticket, cred.session_key, ws.client.principal,
+                    ws.host.address, now=now + 1)
+    krb_rd_req(ok, service, key, ws.host.address, now + CLOCK_SKEW - 1)
+    print("  within the skew window:  accepted")
+
+    thief = realm.net.add_host("thief")
+    moved = krb_mk_req(cred.ticket, cred.session_key, ws.client.principal,
+                       thief.address, now=now + 2)
+    with pytest.raises(KerberosError) as err:
+        krb_rd_req(moved, service, key, thief.address, now + 2)
+    assert err.value.code == ErrorCode.RD_AP_BADD
+    print("  request from wrong host: RD_AP_BADD")

@@ -1,0 +1,81 @@
+"""Exp S9 (supplement) — could one KDC really carry all of Athena?
+
+Section 9 reports a single master (plus slaves) serving 5,000 users on
+650 workstations as the *sole* authentication mechanism.  This bench
+answers the implied capacity question with measured numbers: time the
+KDC's actual per-request service cost (this implementation's software
+DES), model the deployment's busiest hour, and compute utilization.
+
+Shape to hold: even on interpreted-Python DES, a single KDC sits far
+below saturation at Athena's scale — consistent with the paper running
+the realm on one VAX-class master.
+"""
+
+import time
+
+from benchmarks.bench_util import (
+    logged_in_workstation,
+    rlogin_principal,
+    small_realm,
+)
+
+# The busiest plausible hour at 1988 Athena: every workstation turns
+# over once (650 logins) and each session touches services generously.
+LOGINS_PER_HOUR = 650
+TGS_PER_SESSION = 10
+HOUR = 3600.0
+
+
+def measure_service_time(n: int, fn) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - t0) / n
+
+
+def test_bench_kdc_capacity(benchmark):
+    realm = small_realm(seed=b"capacity")
+    ws = logged_in_workstation(realm)
+    service = rlogin_principal()
+
+    def as_exchange():
+        ws.client.kdestroy()
+        ws.client.kinit("jis", "jis-pw")
+
+    def tgs_exchange():
+        ws.client.cache._creds.pop(str(service), None)
+        ws.client.get_credential(service)
+
+    # Warm up, then measure each exchange's full client+KDC cost; the
+    # KDC's share is bounded above by the whole round trip.
+    as_exchange()
+    tgs_exchange()
+    as_time = measure_service_time(50, as_exchange)
+    tgs_time = measure_service_time(50, tgs_exchange)
+
+    benchmark.pedantic(as_exchange, rounds=10, iterations=1)
+
+    offered_per_hour = (
+        LOGINS_PER_HOUR * as_time
+        + LOGINS_PER_HOUR * TGS_PER_SESSION * tgs_time
+    )
+    utilization = offered_per_hour / HOUR
+
+    print("\nSection 9 capacity check (measured on this implementation):")
+    print(f"  AS exchange  : {as_time * 1e3:6.2f} ms")
+    print(f"  TGS exchange : {tgs_time * 1e3:6.2f} ms")
+    print(f"  busiest hour : {LOGINS_PER_HOUR} logins + "
+          f"{LOGINS_PER_HOUR * TGS_PER_SESSION} TGS requests")
+    print(f"  KDC busy time: {offered_per_hour:,.1f} s of {HOUR:,.0f} s "
+          f"-> utilization {100 * utilization:.2f}%")
+    headroom = 1 / utilization if utilization else float("inf")
+    print(f"  headroom     : ~{headroom:,.0f}x the offered load")
+
+    benchmark.extra_info.update(
+        as_ms=round(as_time * 1e3, 2),
+        tgs_ms=round(tgs_time * 1e3, 2),
+        utilization_pct=round(100 * utilization, 2),
+    )
+    # The paper's single-master deployment is comfortably feasible: even
+    # our pure-Python KDC stays under 10% busy in the busiest hour.
+    assert utilization < 0.10, utilization

@@ -1,0 +1,113 @@
+"""Exp L1 — Section 8's ticket-lifetime tradeoff, quantified (ablation).
+
+*"The ticket lifetime problem is a matter of choosing the proper
+tradeoff between security and convenience.  If the life of a ticket is
+long, then if a ticket and its associated session key are stolen or
+misplaced, they can be used for a longer period of time. ...  The
+problem with giving a ticket a short lifetime, however, is that when it
+expires, the user will have to obtain a new one which requires the user
+to enter the password again."*
+
+The sweep: for lifetimes from 30 minutes to 24 hours, simulate a
+12-hour working day with periodic service use and a credential theft
+mid-day.  Measured: password prompts per day (the convenience cost) and
+the stolen ticket's usable window (the security cost).  Shape: the two
+move in opposite directions — the paper's tradeoff.
+"""
+
+from repro.core import KerberosError, krb_rd_req
+from repro.threat import steal_credentials, use_stolen_credential
+
+from benchmarks.bench_util import rlogin_principal, small_realm
+
+DAY = 12 * 3600.0
+USE_INTERVAL = 15 * 60.0      # the user touches a service every 15 min
+THEFT_TIME = 2 * 3600.0       # credentials stolen 2 h into the day
+LIFETIMES = [0.5, 1, 2, 4, 8, 24]  # hours
+
+
+def simulate_day(lifetime_hours: float):
+    """Returns (password_prompts, stolen_window_seconds)."""
+    from repro.netsim import Network
+    from repro.realm import Realm
+
+    life = lifetime_hours * 3600.0
+    # Policy caps lifted to 30 h so the sweep variable is the *requested*
+    # lifetime, not the realm's default 8 h policy.
+    net = Network()
+    realm = Realm(net, "ATHENA.MIT.EDU", seed=b"l1-%d" % int(lifetime_hours * 60))
+    realm.add_user("jis", "jis-pw", max_life=30 * 3600.0)
+    service, key = realm.add_service("rlogin", "priam", max_life=30 * 3600.0)
+    # The TGT itself is capped by the TGS principal's max_life; lift it so
+    # the sweep variable is the requested lifetime alone.
+    from repro.principal import tgs_principal
+
+    realm.db.set_max_life(tgs_principal(realm.name), 30 * 3600.0)
+    ws = realm.workstation()
+
+    prompts = 0
+    stolen = None
+    stolen_at = None
+    stolen_window = 0.0
+
+    t = 0.0
+    while t <= DAY:
+        # The user needs the service now; kinit again if the TGT is gone.
+        if ws.client.cache.tgt(realm.name, now=ws.host.clock.now()) is None:
+            ws.client.kinit("jis", "jis-pw", life=life)
+            prompts += 1
+        # The service ticket is requested with the same lifetime policy.
+        ws.client.get_credential(service, life=life)
+        ws.client.mk_req(service, checksum=0)
+
+        # Mid-day theft: the attacker copies the ticket file once.
+        if stolen is None and net.clock.now() >= THEFT_TIME:
+            loot = [s for s in steal_credentials(ws.client)
+                    if "rlogin" in str(s.credential.service)]
+            if loot:
+                stolen = loot[0]
+                stolen_at = net.clock.now()
+
+        net.clock.advance(USE_INTERVAL)
+        t = net.clock.now()
+
+    # How long does the stolen credential keep working (from the victim's
+    # own workstation, the Section 8 scenario)?
+    if stolen is not None:
+        probe = stolen_at
+        while probe < stolen_at + 30 * 3600.0:
+            try:
+                krb_rd_req(
+                    use_stolen_credential(stolen, ws.host, now=probe),
+                    service, key, ws.host.address, probe,
+                )
+                stolen_window = probe - stolen_at + USE_INTERVAL
+            except KerberosError:
+                break
+            probe += USE_INTERVAL
+    return prompts, stolen_window
+
+
+def test_bench_lifetime_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [(h, *simulate_day(h)) for h in LIFETIMES], rounds=1
+    )
+
+    print("\nSection 8 — ticket lifetime tradeoff over a 12 h day "
+          "(theft at t+2h):")
+    print(f"  {'lifetime':>9}  {'password prompts':>17}  "
+          f"{'stolen-ticket window':>21}")
+    for hours, prompts, window in rows:
+        print(f"  {hours:>7.1f} h  {prompts:>17d}  "
+              f"{window / 3600.0:>19.2f} h")
+
+    prompts = [p for _, p, _ in rows]
+    windows = [w for _, _, w in rows]
+    # The tradeoff's shape: convenience improves (fewer prompts) and
+    # security worsens (longer exposure) monotonically with lifetime.
+    assert all(a >= b for a, b in zip(prompts, prompts[1:]))
+    assert all(a <= b for a, b in zip(windows, windows[1:]))
+    # Extremes: a 30-min ticket means many prompts but tiny exposure;
+    # a 24-h ticket means one prompt but day-long exposure.
+    assert prompts[0] >= 10 and windows[0] <= 3600.0
+    assert prompts[-1] == 1 and windows[-1] >= 8 * 3600.0

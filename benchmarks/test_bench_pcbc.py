@@ -1,0 +1,94 @@
+"""Exp C1 — Section 2.2: CBC vs PCBC error propagation (ablation).
+
+*"In CBC, an error is propagated only through the current block of the
+cipher, whereas in PCBC, the error is propagated throughout the
+message."*
+
+Measures both the semantic difference (blocks damaged per single-bit
+ciphertext error, swept across error positions) and the cost difference
+(PCBC's extra chaining work per block), plus the consequence for sealed
+messages: PCBC detects every mid-message tamper; CBC misses them.
+"""
+
+from repro.crypto import (
+    DesKey,
+    IntegrityError,
+    Mode,
+    cbc_decrypt,
+    cbc_encrypt,
+    pcbc_decrypt,
+    pcbc_encrypt,
+    seal,
+    unseal,
+)
+
+KEY = DesKey(bytes.fromhex("133457799BBCDFF1"))
+IV = bytes.fromhex("FEDCBA9876543210")
+N_BLOCKS = 16
+DATA = bytes(range(256))[: N_BLOCKS * 8] * 1
+
+
+def damaged_blocks(mode_encrypt, mode_decrypt, error_block: int) -> int:
+    cipher = bytearray(mode_encrypt(KEY, DATA, IV))
+    cipher[error_block * 8] ^= 0x01
+    plain = mode_decrypt(KEY, bytes(cipher), IV)
+    return sum(
+        1
+        for i in range(N_BLOCKS)
+        if plain[i * 8 : (i + 1) * 8] != DATA[i * 8 : (i + 1) * 8]
+    )
+
+
+def test_bench_pcbc_encrypt_cost(benchmark):
+    """PCBC's throughput (its cost side of the tradeoff)."""
+    benchmark(lambda: pcbc_encrypt(KEY, DATA, IV))
+
+
+def test_bench_cbc_encrypt_cost(benchmark):
+    """CBC baseline throughput."""
+    benchmark(lambda: cbc_encrypt(KEY, DATA, IV))
+
+
+def test_bench_pcbc_error_propagation(benchmark):
+    """The Section 2.2 claim, swept across every error position."""
+
+    def sweep():
+        return [
+            (
+                damaged_blocks(cbc_encrypt, cbc_decrypt, i),
+                damaged_blocks(pcbc_encrypt, pcbc_decrypt, i),
+            )
+            for i in range(N_BLOCKS)
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1)
+
+    print(f"\nSection 2.2 — blocks damaged by a 1-bit error "
+          f"({N_BLOCKS}-block message):")
+    print("  error at block:   " + " ".join(f"{i:>2}" for i in range(N_BLOCKS)))
+    print("  CBC damaged:      " + " ".join(f"{c:>2}" for c, _ in results))
+    print("  PCBC damaged:     " + " ".join(f"{p:>2}" for _, p in results))
+    for i, (cbc_dmg, pcbc_dmg) in enumerate(results):
+        assert cbc_dmg <= 2                       # CBC: current + next block
+        assert pcbc_dmg == N_BLOCKS - i           # PCBC: everything after
+
+    # The consequence for sealed messages: tamper anywhere, PCBC notices;
+    # CBC misses mid-message damage.
+    pcbc_caught = cbc_caught = 0
+    for mode, counter in ((Mode.PCBC, "pcbc"), (Mode.CBC, "cbc")):
+        blob = bytearray(seal(KEY, DATA, mode=mode))
+        for i in range(1, len(blob) // 8 - 1):    # skip header/trailer blocks
+            tampered = bytearray(blob)
+            tampered[i * 8] ^= 0x01
+            try:
+                unseal(KEY, bytes(tampered), mode=mode)
+            except IntegrityError:
+                if mode == Mode.PCBC:
+                    pcbc_caught += 1
+                else:
+                    cbc_caught += 1
+    positions = len(blob) // 8 - 2
+    print(f"  sealed-message tampers caught: PCBC {pcbc_caught}/{positions}, "
+          f"CBC {cbc_caught}/{positions}")
+    assert pcbc_caught == positions
+    assert cbc_caught < positions

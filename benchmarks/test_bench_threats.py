@@ -1,0 +1,150 @@
+"""Exp T1 — the threat matrix (Sections 1, 2, 4.3, 8), measured.
+
+Runs every attacker the paper designs against and prints the verdict
+table; the benchmark times the server's rejection path (attacks must be
+cheap to refuse — a server drowning in crypto while rejecting forgeries
+would be a denial-of-service vector).
+"""
+
+import pytest
+
+from repro.core import (
+    ErrorCode,
+    KerberosError,
+    ReplayCache,
+    krb_rd_req,
+)
+from repro.crypto import KeyGenerator, string_to_key
+from repro.threat import (
+    Eavesdropper,
+    MasqueradingServer,
+    steal_credentials,
+    use_stolen_credential,
+)
+
+from benchmarks.bench_util import (
+    logged_in_workstation,
+    rlogin_principal,
+    small_realm,
+)
+
+
+def test_bench_threat_rejection_cost(benchmark):
+    """Time the server rejecting a stolen-ticket request (the hot attack
+    path)."""
+    realm = small_realm(seed=b"t1-cost")
+    service = rlogin_principal()
+    key = realm.service_key(service)
+    victim = logged_in_workstation(realm)
+    victim.client.get_credential(service)
+    thief_host = realm.net.add_host("thief")
+    loot = [s for s in steal_credentials(victim.client)
+            if "rlogin" in str(s.credential.service)][0]
+    request = use_stolen_credential(loot, thief_host)
+
+    def reject():
+        try:
+            krb_rd_req(request, service, key, thief_host.address,
+                       realm.net.clock.now())
+            return False
+        except KerberosError:
+            return True
+
+    assert benchmark(reject)
+
+
+def test_bench_threat_matrix(benchmark):
+    """The verdict table for every attacker."""
+    realm = small_realm(seed=b"t1-matrix")
+    realm.add_user("weakuser", "password")
+    net = realm.net
+    service = rlogin_principal()
+    key = realm.service_key(service)
+    verdicts = []
+
+    def run_matrix():
+        verdicts.clear()
+
+        # 1. Eavesdropper harvesting key material.
+        eve = Eavesdropper(net)
+        ws = realm.workstation(hostname=f"wsm{len(net.hosts())}")
+        ws.client.kinit("jis", "jis-pw")
+        cred = ws.client.get_credential(service)
+        leaked = (
+            eve.saw_bytes(b"jis-pw")
+            or eve.saw_bytes(string_to_key("jis-pw").key_bytes)
+            or eve.saw_bytes(cred.session_key.key_bytes)
+        )
+        verdicts.append(("eavesdrop for keys", "DEFEATED" if not leaked else "BROKEN"))
+
+        # 2. Replay of a captured request.
+        cache = ReplayCache()
+        request, _, _ = ws.client.mk_req(service)
+        krb_rd_req(request, service, key, ws.host.address, net.clock.now(), cache)
+        try:
+            krb_rd_req(request, service, key, ws.host.address,
+                       net.clock.now(), cache)
+            verdicts.append(("replay (cached)", "BROKEN"))
+        except KerberosError:
+            verdicts.append(("replay (cached)", "DEFEATED"))
+
+        # 3. Masquerading server vs mutual auth.
+        from repro.apps.kerberized import KerberizedChannel
+
+        fake_host = net.add_host(f"fake{len(net.hosts())}")
+        MasqueradingServer(fake_host, 544)
+        try:
+            KerberizedChannel(ws.client, service, fake_host.address, 544,
+                              mutual=True)
+            verdicts.append(("masquerading server", "BROKEN"))
+        except KerberosError:
+            verdicts.append(("masquerading server", "DEFEATED"))
+
+        # 4. Stolen ticket from another machine.
+        thief = net.add_host(f"thief{len(net.hosts())}")
+        loot = [s for s in steal_credentials(ws.client)
+                if "rlogin" in str(s.credential.service)][0]
+        try:
+            krb_rd_req(use_stolen_credential(loot, thief), service, key,
+                       thief.address, net.clock.now())
+            verdicts.append(("stolen ticket, other host", "BROKEN"))
+        except KerberosError:
+            verdicts.append(("stolen ticket, other host", "DEFEATED"))
+
+        # 5. Stolen ticket at the victim's machine (Section 8's limit).
+        try:
+            krb_rd_req(use_stolen_credential(loot, ws.host), service, key,
+                       ws.host.address, net.clock.now())
+            verdicts.append(("stolen ticket, victim host", "SUCCEEDS until expiry"))
+        except KerberosError:
+            verdicts.append(("stolen ticket, victim host", "rejected"))
+
+        # 6. Offline dictionary attack on a weak password.
+        eve2 = Eavesdropper(net)
+        ws2 = realm.workstation(hostname=f"wsw{len(net.hosts())}")
+        ws2.client.kinit("weakuser", "password")
+        guessed = eve2.offline_password_guess(
+            eve2.harvest_kdc_replies()[0], ["123456", "password"]
+        )
+        verdicts.append((
+            "offline dictionary (weak pw)",
+            "SUCCEEDS (design edge)" if guessed else "resisted",
+        ))
+        eve.detach()
+        eve2.detach()
+        return verdicts
+
+    benchmark.pedantic(run_matrix, rounds=1)
+
+    print("\nThreat matrix (T1):")
+    for attack, verdict in verdicts:
+        print(f"  {attack:<30} {verdict}")
+    expected = {
+        "eavesdrop for keys": "DEFEATED",
+        "replay (cached)": "DEFEATED",
+        "masquerading server": "DEFEATED",
+        "stolen ticket, other host": "DEFEATED",
+        "stolen ticket, victim host": "SUCCEEDS until expiry",
+        "offline dictionary (weak pw)": "SUCCEEDS (design edge)",
+    }
+    assert dict(verdicts) == expected

@@ -1,0 +1,95 @@
+"""The full Athena public-workstation experience (paper appendix).
+
+A user walks up to a public workstation and logs in.  Behind the
+scenes: Kerberos verifies the password (Figure 5), Hesiod locates the
+home directory, the modified NFS mount daemon installs a kernel
+credential mapping after a Kerberos handshake, and the home directory
+appears.  At logout everything is torn down — and the next user (or an
+address forger) can see none of it.
+
+Run:  python examples/athena_workstation.py
+"""
+
+from repro.apps.hesiod import HesiodServer
+from repro.apps.nfs import AuthMode, MountDaemon, NfsServer
+from repro.apps.nfs.client import NfsClient, NfsClientError
+from repro.apps.workstation import AthenaWorkstation
+from repro.netsim import Network
+from repro.realm import Realm
+from repro.user.login import LoginError
+
+
+def build_athena():
+    net = Network()
+    realm = Realm(net, "ATHENA.MIT.EDU")
+    realm.add_user("jis", "jis-password")
+    realm.add_user("bcn", "bcn-password")
+
+    hesiod_host = net.add_host("hesiod")
+    hesiod = HesiodServer(hesiod_host)
+    hesiod.add_user("jis", 1001, [100], "helios", "/u/jis", "Jeff Schiller")
+    hesiod.add_user("bcn", 1002, [100], "helios", "/u/bcn", "Cliff Neuman")
+
+    fs_host = net.add_host("helios")   # a VAX 11/750 fileserver
+    nfs_service, _ = realm.add_service("nfs", "helios")
+    mount_service, _ = realm.add_service("mountd", "helios")
+    srvtab = realm.srvtab_for(nfs_service, mount_service)
+    nfs = NfsServer(fs_host, mode=AuthMode.MAPPED, service=nfs_service, srvtab=srvtab)
+    nfs.passwd.add("jis", 1001, [100])
+    nfs.passwd.add("bcn", 1002, [100])
+    MountDaemon(nfs, mount_service, srvtab, fs_host)
+    nfs.fs.install_home("jis", 1001, 100)
+    nfs.fs.install_home("bcn", 1002, 100)
+    return net, realm, hesiod_host, fs_host, nfs, mount_service
+
+
+def main() -> None:
+    net, realm, hesiod_host, fs_host, nfs, mount_service = build_athena()
+
+    ws = realm.workstation("e40-pc-1")
+    athena = AthenaWorkstation(
+        ws.host, ws.client, hesiod_host.address,
+        {"helios": fs_host.address}, {"helios": mount_service},
+    )
+
+    print("=== jis sits down at public workstation e40-pc-1 ===")
+    try:
+        athena.login("jis", "wrong-guess")
+    except LoginError as exc:
+        print(f"First attempt: {exc}")
+
+    home = athena.login("jis", "jis-password")
+    print(f"Logged in; home {home.home_path} mounted from helios.")
+    print(f"passwd entry: {athena.passwd_file['jis']}")
+
+    home.nfs.create(f"{home.home_path}/diary")
+    home.nfs.write(f"{home.home_path}/diary", b"private thoughts of jis")
+    print(f"Wrote {home.home_path}/diary "
+          f"({len(home.nfs.read(home.home_path + '/diary'))} bytes back).")
+    print(f"Kernel credential mappings on helios: {len(nfs.credmap)}")
+
+    print("\n=== jis logs out ===")
+    athena.logout()
+    print(f"Mappings after logout: {len(nfs.credmap)}; "
+          f"tickets left: {len(ws.client.klist())}")
+
+    print("\n=== bcn uses the same workstation ===")
+    home2 = athena.login("bcn", "bcn-password")
+    try:
+        home2.nfs.read("/u/jis/diary")
+    except NfsClientError as exc:
+        print(f"bcn reading jis's diary: DENIED ({exc})")
+    athena.logout()
+
+    print("\n=== An attacker forges jis's address while jis is logged out ===")
+    forger = NfsClient(ws.host, fs_host.address, uid_on_client=1001)
+    try:
+        forger.read("/u/jis/diary")
+    except NfsClientError as exc:
+        print(f"Forged read: DENIED ({exc})")
+    print('\n"When a user is not logged in, no amount of IP address '
+          'forgery will permit unauthorized access to her/his files."')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""The open-network threat model, attack by attack (paper Sections 1-2, 8).
+
+Arms each attacker the paper designs against — eavesdropper, replayer,
+masquerading server, ticket thief — and shows what happens.  Includes
+the two residual risks the 1988 design accepts, because a reproduction
+should show the edges too.
+
+Run:  python examples/attacks_defeated.py
+"""
+
+from repro.core import ErrorCode, KerberosError, ReplayCache, krb_rd_req
+from repro.crypto import string_to_key
+from repro.netsim import Network
+from repro.realm import Realm
+from repro.threat import (
+    Eavesdropper,
+    MasqueradingServer,
+    steal_credentials,
+    use_stolen_credential,
+)
+
+
+def main() -> None:
+    net = Network()
+    realm = Realm(net, "ATHENA.MIT.EDU")
+    realm.add_user("jis", "Xq7#mottled-predicate")
+    service, service_key = realm.add_service("rlogin", "priam")
+
+    print("=== 1. The eavesdropper ===")
+    eve = Eavesdropper(net)
+    ws = realm.workstation()
+    ws.client.kinit("jis", "Xq7#mottled-predicate")
+    cred = ws.client.get_credential(service)
+    print(f"Eve captured {len(eve.captured)} datagrams "
+          f"({eve.total_bytes()} bytes).")
+    print(f"  password on the wire?        "
+          f"{eve.saw_bytes(b'Xq7#mottled-predicate')}")
+    print(f"  password-derived key?        "
+          f"{eve.saw_bytes(string_to_key('Xq7#mottled-predicate').key_bytes)}")
+    print(f"  any session key?             "
+          f"{eve.saw_bytes(cred.session_key.key_bytes)}")
+    guessed = eve.offline_password_guess(
+        eve.harvest_kdc_replies()[0],
+        ["password", "athena", "123456", "kerberos"],
+    )
+    print(f"  dictionary attack on AS rep: recovered {guessed!r}")
+
+    print("\n=== 2. The replayer ===")
+    cache = ReplayCache()
+    request, _, _ = ws.client.mk_req(service)
+    krb_rd_req(request, service, service_key, ws.host.address,
+               net.clock.now(), cache)
+    print("Genuine request accepted.")
+    try:
+        krb_rd_req(request, service, service_key, ws.host.address,
+                   net.clock.now(), cache)
+    except KerberosError as exc:
+        print(f"Byte-identical replay: {exc.code.name}")
+    net.clock.advance(600)
+    try:
+        krb_rd_req(request, service, service_key, ws.host.address,
+                   net.clock.now())
+    except KerberosError as exc:
+        print(f"Replay 10 minutes later (no cache even): {exc.code.name}")
+
+    print("\n=== 3. The masquerading server ===")
+    from repro.apps.kerberized import KerberizedChannel
+
+    fake_host = net.add_host("fake-priam")
+    MasqueradingServer(fake_host, 544)
+    try:
+        KerberizedChannel(ws.client, service, fake_host.address, 544,
+                          mutual=True)
+    except KerberosError as exc:
+        print(f"Client demanded mutual auth: {exc.code.name} — impostor caught.")
+
+    print("\n=== 4. The ticket thief ===")
+    loot = steal_credentials(ws.client)
+    print(f"Thief copied {len(loot)} credentials from the ticket file.")
+    stolen = [s for s in loot if "rlogin" in str(s.credential.service)][0]
+    thief_host = net.add_host("thief-machine")
+    try:
+        krb_rd_req(
+            use_stolen_credential(stolen, thief_host),
+            service, service_key, thief_host.address, net.clock.now(),
+        )
+    except KerberosError as exc:
+        print(f"Used from the thief's machine: {exc.code.name}")
+
+    print("\n=== 5. The residual risk the paper accepts (Section 8) ===")
+    context = krb_rd_req(
+        use_stolen_credential(stolen, ws.host),
+        service, service_key, ws.host.address, net.clock.now(),
+    )
+    print(f"Used AT the victim's workstation: ACCEPTED as {context.client}")
+    net.clock.advance(9 * 3600)
+    try:
+        krb_rd_req(
+            use_stolen_credential(stolen, ws.host),
+            service, service_key, ws.host.address, net.clock.now(),
+        )
+    except KerberosError as exc:
+        print(f"Same attack after ticket expiry: {exc.code.name}")
+    print('"no information exists that will allow someone else to '
+          'impersonate the user beyond the life of the ticket."')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Reproduction of *Kerberos: An Authentication Service for Open Network
+Systems* (Steiner, Neuman, Schiller; USENIX Winter 1988).
+
+The public API in one import::
+
+    from repro import (
+        Network, Realm,                 # a simulated campus + a realm on it
+        KerberosClient, KerberosServer, # the protocol's two ends
+        Principal,                      # name.instance@realm
+        krb_mk_req, krb_rd_req,         # the application library
+        KerberosError,
+    )
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record; each subpackage's docstring cites the
+paper sections it implements.
+"""
+
+from repro.core import (
+    CredentialCache,
+    ErrorCode,
+    KerberosClient,
+    KerberosError,
+    KerberosServer,
+    Principal,
+    ReplayCache,
+    SrvTab,
+    Ticket,
+    kdbm_principal,
+    krb_mk_priv,
+    krb_mk_rep,
+    krb_mk_req,
+    krb_mk_safe,
+    krb_rd_priv,
+    krb_rd_rep,
+    krb_rd_req,
+    krb_rd_safe,
+    tgs_principal,
+)
+from repro.netsim import IPAddress, Network, SimClock
+from repro.realm import Realm, link
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CredentialCache",
+    "ErrorCode",
+    "IPAddress",
+    "KerberosClient",
+    "KerberosError",
+    "KerberosServer",
+    "Network",
+    "Principal",
+    "Realm",
+    "ReplayCache",
+    "SimClock",
+    "SrvTab",
+    "Ticket",
+    "kdbm_principal",
+    "krb_mk_priv",
+    "krb_mk_rep",
+    "krb_mk_req",
+    "krb_mk_safe",
+    "krb_rd_priv",
+    "krb_rd_rep",
+    "krb_rd_req",
+    "krb_rd_safe",
+    "link",
+    "tgs_principal",
+    "__version__",
+]

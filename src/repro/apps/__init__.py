@@ -1,0 +1,57 @@
+"""Kerberized applications and Athena substrate services (paper Section 7
+and the appendix).
+
+*"Several network applications have been modified to use Kerberos"* —
+this package contains them, plus the non-Kerberos directory services the
+paper mentions:
+
+* :mod:`repro.apps.kerberized` — the common framework for "Kerberizing"
+  a client/server application (Section 6.2), offering the three
+  protection levels of Section 2.1;
+* :mod:`repro.apps.hesiod` — the Hesiod nameserver (non-sensitive user
+  information, "sent unencrypted over the network", Section 2.2);
+* :mod:`repro.apps.sms` — the Service Management System used by the
+  sign-up program;
+* :mod:`repro.apps.rlogin` — Kerberized rlogin/rsh with ``.rhosts``
+  fallback (Section 7.1);
+* :mod:`repro.apps.pop` — the Kerberized Post Office Protocol;
+* :mod:`repro.apps.zephyr` — the Zephyr notification service;
+* :mod:`repro.apps.register` — the sign-up program combining SMS and
+  Kerberos;
+* :mod:`repro.apps.nfs` — the appendix's modified Sun NFS with
+  mount-time Kerberos authentication and kernel credential mapping;
+* :mod:`repro.apps.workstation` — the full Athena public-workstation
+  login tying Kerberos, Hesiod, and NFS together.
+"""
+
+from repro.apps.kerberized import (
+    KerberizedChannel,
+    KerberizedServer,
+    Protection,
+)
+from repro.apps.hesiod import HesiodEntry, HesiodServer, hesiod_lookup
+from repro.apps.sms import SmsServer, sms_validate
+from repro.apps.rlogin import RloginServer, rlogin, rsh
+from repro.apps.pop import PopClient, PopServer
+from repro.apps.zephyr import ZephyrClient, ZephyrServer
+from repro.apps.register import RegisterServer, register_user
+
+__all__ = [
+    "HesiodEntry",
+    "HesiodServer",
+    "KerberizedChannel",
+    "KerberizedServer",
+    "PopClient",
+    "PopServer",
+    "Protection",
+    "RegisterServer",
+    "RloginServer",
+    "SmsServer",
+    "ZephyrClient",
+    "ZephyrServer",
+    "hesiod_lookup",
+    "register_user",
+    "rlogin",
+    "rsh",
+    "sms_validate",
+]

@@ -1,0 +1,113 @@
+"""The Hesiod nameserver (paper Section 2.2 and the appendix).
+
+*"Other user information, such as real name, phone number, and so
+forth, is kept by another server, the Hesiod nameserver.  This way,
+sensitive information, namely passwords, can be handled by Kerberos ...
+while the non-sensitive information kept by Hesiod is dealt with
+differently; it can, for example, be sent unencrypted over the
+network."*
+
+And from the appendix: *"the user's home directory is located by
+consulting the Hesiod naming service"* and *"The Hesiod service is also
+used to construct an entry in the local password file."*
+
+Deliberately unauthenticated and unencrypted — that is the design point
+the paper is making about separating sensitive from non-sensitive data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.encode import WireStruct, field
+from repro.netsim import Host, IPAddress
+from repro.netsim.ports import HESIOD_PORT
+
+
+class HesiodEntry(WireStruct):
+    """The passwd-style record Hesiod serves for a user."""
+
+    FIELDS = (
+        field("username", "string"),
+        field("uid", "u32"),
+        field("gids", "list:u32"),
+        field("fullname", "string"),
+        field("home_server", "string"),   # fileserver hostname
+        field("home_path", "string"),     # path on that server
+        field("shell", "string"),
+    )
+
+    def passwd_line(self) -> str:
+        """The /etc/passwd line the login program constructs."""
+        gid = self.gids[0] if self.gids else 0
+        return (
+            f"{self.username}:*:{self.uid}:{gid}:{self.fullname}:"
+            f"{self.home_path}:{self.shell}"
+        )
+
+
+class HesiodQuery(WireStruct):
+    FIELDS = (field("username", "string"),)
+
+
+class HesiodReply(WireStruct):
+    FIELDS = (field("found", "bool"), field("entry_bytes", "bytes"))
+
+
+class HesiodServer:
+    """Serves user directory entries, in the clear."""
+
+    def __init__(self, host: Host, port: int = HESIOD_PORT) -> None:
+        self.host = host
+        self.port = port
+        self._entries: Dict[str, HesiodEntry] = {}
+        self.queries = 0
+        host.bind(port, self._handle)
+
+    def add_user(
+        self,
+        username: str,
+        uid: int,
+        gids: List[int],
+        home_server: str,
+        home_path: str,
+        fullname: str = "",
+        shell: str = "/bin/sh",
+    ) -> HesiodEntry:
+        entry = HesiodEntry(
+            username=username,
+            uid=uid,
+            gids=list(gids),
+            fullname=fullname or username,
+            home_server=home_server,
+            home_path=home_path,
+            shell=shell,
+        )
+        self._entries[username] = entry
+        return entry
+
+    def local_lookup(self, username: str) -> Optional[HesiodEntry]:
+        return self._entries.get(username)
+
+    def _handle(self, datagram) -> bytes:
+        self.queries += 1
+        query = HesiodQuery.from_bytes(datagram.payload)
+        entry = self._entries.get(query.username)
+        if entry is None:
+            return HesiodReply(found=False, entry_bytes=b"").to_bytes()
+        return HesiodReply(found=True, entry_bytes=entry.to_bytes()).to_bytes()
+
+
+def hesiod_lookup(
+    host: Host, hesiod_address, username: str, port: int = HESIOD_PORT
+) -> Optional[HesiodEntry]:
+    """Client-side query (what the login program runs)."""
+    raw = host.rpc(
+        IPAddress(hesiod_address),
+        port,
+        HesiodQuery(username=username).to_bytes(),
+    )
+    reply = HesiodReply.from_bytes(raw)
+    if not reply.found:
+        return None
+    return HesiodEntry.from_bytes(reply.entry_bytes)

@@ -1,0 +1,40 @@
+"""Kerberized Sun NFS — the paper's appendix case study.
+
+The appendix describes three worlds, all buildable here:
+
+1. **Unmodified NFS** — a credential (UID + GIDs) rides in every
+   request and the server either trusts the workstation completely or
+   not at all; a "trusted" workstation can masquerade as any user;
+2. **Full per-RPC Kerberos** — the design the authors *rejected*:
+   "Including a Kerberos authentication on each disk transaction would
+   add a fair number of full-blown encryptions (done in software) per
+   transaction and ... would have delivered unacceptable performance";
+3. **The hybrid they shipped** — Kerberos authentication *once, at
+   mount time*, establishing a kernel-resident mapping from
+   ⟨CLIENT-IP-ADDRESS, UID-ON-CLIENT⟩ to a server credential, consulted
+   on every transaction at hash-lookup cost.
+
+Modules: :mod:`fs` (the filesystem substrate),
+:mod:`credmap` (the kernel mapping table and its "new system call"),
+:mod:`server` (the NFS server under each policy),
+:mod:`mountd` (the modified mount daemon),
+:mod:`client` (the workstation side).
+"""
+
+from repro.apps.nfs.credmap import CredentialMap, UnmappedPolicy
+from repro.apps.nfs.fs import FileSystem, FsError, NfsCredential
+from repro.apps.nfs.mountd import MountDaemon
+from repro.apps.nfs.client import NfsClient
+from repro.apps.nfs.server import AuthMode, NfsServer
+
+__all__ = [
+    "AuthMode",
+    "CredentialMap",
+    "FileSystem",
+    "FsError",
+    "MountDaemon",
+    "NfsClient",
+    "NfsCredential",
+    "NfsServer",
+    "UnmappedPolicy",
+]

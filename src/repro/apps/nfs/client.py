@@ -1,0 +1,164 @@
+"""The workstation side of NFS (the appendix).
+
+Covers both the mount-time Kerberos handshake (the shipped design) and
+a per-RPC-Kerberos mode for reproducing the performance comparison that
+justified rejecting it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.apps.nfs.protocol import (
+    MountOp,
+    MountReply,
+    MountRequest,
+    NfsOp,
+    NfsReply,
+    NfsRequest,
+)
+from repro.core.client import KerberosClient
+from repro.netsim import Host, IPAddress
+from repro.netsim.ports import MOUNTD_PORT, NFS_PORT
+from repro.principal import Principal
+
+
+class NfsClientError(Exception):
+    """An NFS or mountd request failed."""
+
+
+class NfsClient:
+    """One workstation's connection to one fileserver."""
+
+    def __init__(
+        self,
+        host: Host,
+        server_address,
+        uid_on_client: int,
+        gids: Optional[List[int]] = None,
+        nfs_port: int = NFS_PORT,
+        mountd_port: int = MOUNTD_PORT,
+    ) -> None:
+        self.host = host
+        self.server_address = IPAddress(server_address)
+        self.uid_on_client = int(uid_on_client)
+        self.gids = list(gids) if gids else []
+        self.nfs_port = nfs_port
+        self.mountd_port = mountd_port
+        # Per-RPC Kerberos mode state (the rejected design).
+        self._per_rpc_krb: Optional[KerberosClient] = None
+        self._per_rpc_service: Optional[Principal] = None
+
+    # -- mount-time Kerberos (the shipped hybrid) --------------------------
+
+    def kerberos_mount(
+        self, krb: KerberosClient, mount_service: Principal
+    ) -> str:
+        """Send the Kerberos authentication mapping request: an
+        authenticator with our UID-ON-CLIENT sealed inside it."""
+        ap_request, _, _ = krb.mk_req(
+            mount_service, checksum=self.uid_on_client
+        )
+        request = MountRequest(
+            op=int(MountOp.MAP),
+            ap_request=ap_request.to_bytes(),
+            uid_on_client=0,
+        )
+        reply = self._mountd(request)
+        if not reply.ok:
+            raise NfsClientError(f"mount failed: {reply.text}")
+        return reply.text
+
+    def unmount(self) -> bool:
+        reply = self._mountd(
+            MountRequest(
+                op=int(MountOp.UNMAP),
+                ap_request=b"",
+                uid_on_client=self.uid_on_client,
+            )
+        )
+        return reply.ok
+
+    def logout(self) -> str:
+        """Invalidate every mapping for this user on the server."""
+        reply = self._mountd(
+            MountRequest(
+                op=int(MountOp.LOGOUT),
+                ap_request=b"",
+                uid_on_client=self.uid_on_client,
+            )
+        )
+        return reply.text
+
+    def _mountd(self, request: MountRequest) -> MountReply:
+        raw = self.host.rpc(
+            self.server_address, self.mountd_port, request.to_bytes()
+        )
+        return MountReply.from_bytes(raw)
+
+    # -- per-RPC Kerberos (the rejected design, for exp NFS) ------------------
+
+    def enable_per_rpc_kerberos(
+        self, krb: KerberosClient, nfs_service: Principal
+    ) -> None:
+        """Attach full Kerberos authentication to every transaction."""
+        self._per_rpc_krb = krb
+        self._per_rpc_service = nfs_service
+
+    # -- file operations ----------------------------------------------------------
+
+    def _call(
+        self,
+        op: NfsOp,
+        path: str,
+        data: bytes = b"",
+        mode: int = 0,
+    ) -> NfsReply:
+        ap_bytes = b""
+        if self._per_rpc_krb is not None:
+            # The cost the authors balked at: fresh authenticator per op,
+            # full ticket + authenticator decryption on the server.
+            ap_request, _, _ = self._per_rpc_krb.mk_req(self._per_rpc_service)
+            ap_bytes = ap_request.to_bytes()
+        request = NfsRequest(
+            op=int(op),
+            path=path,
+            data=data,
+            mode=mode,
+            claimed_uid=self.uid_on_client,
+            claimed_gids=self.gids,
+            ap_request=ap_bytes,
+        )
+        raw = self.host.rpc(self.server_address, self.nfs_port, request.to_bytes())
+        reply = NfsReply.from_bytes(raw)
+        if not reply.ok:
+            raise NfsClientError(reply.text)
+        return reply
+
+    def getattr(self, path: str) -> Tuple[int, int, int, int]:
+        parts = self._call(NfsOp.GETATTR, path).text.split(":")
+        return (int(parts[0]), int(parts[1]), int(parts[2], 8), int(parts[3]))
+
+    def read(self, path: str) -> bytes:
+        return self._call(NfsOp.READ, path).data
+
+    def write(self, path: str, data: bytes) -> int:
+        return int(self._call(NfsOp.WRITE, path, data=data).text)
+
+    def create(self, path: str, mode: int = 0o644) -> None:
+        self._call(NfsOp.CREATE, path, mode=mode)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._call(NfsOp.MKDIR, path, mode=mode)
+
+    def remove(self, path: str) -> None:
+        self._call(NfsOp.REMOVE, path)
+
+    def readdir(self, path: str) -> List[str]:
+        return self._call(NfsOp.READDIR, path).names
+
+    def chmod(self, path: str, mode: int) -> None:
+        self._call(NfsOp.CHMOD, path, mode=mode)
+
+    def rename(self, old: str, new: str) -> None:
+        self._call(NfsOp.RENAME, old, data=new.encode("utf-8"))

@@ -1,0 +1,87 @@
+"""The kernel-resident credential mapping (the appendix's core design).
+
+*"The basic idea is to have the NFS server map credentials received from
+client workstations, to a valid (and possibly different) credential on
+the server system.  This mapping is performed in the server's kernel on
+each NFS transaction and is setup at 'mount' time ...
+
+The basic mapping function maps the tuple
+⟨CLIENT-IP-ADDRESS, UID-ON-CLIENT⟩ to a valid NFS credential on the
+server system. ... Our new system call is used to add and delete entries
+from the kernel resident map.  It also provides the ability to flush all
+entries that map to a specific UID on the server system, or flush all
+entries from a given CLIENT-IP-ADDRESS."*
+
+:class:`CredentialMap` is that kernel table, and its methods are that
+system call.  The two configurations for unmapped requests are modelled
+by :class:`UnmappedPolicy`:
+
+*"In our friendly configuration we default the unmappable requests into
+the credentials for the user 'nobody' ...  Unfriendly servers return an
+NFS access error when no valid mapping can be found."*
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.apps.nfs.fs import NfsCredential
+from repro.netsim import IPAddress
+
+
+class UnmappedPolicy(enum.Enum):
+    FRIENDLY = "friendly"       # unmapped -> nobody
+    UNFRIENDLY = "unfriendly"   # unmapped -> access error
+
+
+class CredentialMap:
+    """⟨CLIENT-IP-ADDRESS, UID-ON-CLIENT⟩ → server credential."""
+
+    def __init__(self) -> None:
+        self._map: Dict[Tuple[IPAddress, int], NfsCredential] = {}
+        self.lookups = 0
+
+    # -- the new system call's operations -------------------------------------
+
+    def add(
+        self, client_addr, uid_on_client: int, server_cred: NfsCredential
+    ) -> None:
+        """Install a mapping (done by mountd after Kerberos succeeds)."""
+        self._map[(IPAddress(client_addr), int(uid_on_client))] = server_cred
+
+    def delete(self, client_addr, uid_on_client: int) -> bool:
+        """Remove one mapping (unmount time)."""
+        return self._map.pop((IPAddress(client_addr), int(uid_on_client)), None) is not None
+
+    def flush_uid(self, server_uid: int) -> int:
+        """Flush all entries that map *to* a given server UID (log-out
+        time cleanup); returns how many were removed."""
+        doomed = [k for k, v in self._map.items() if v.uid == server_uid]
+        for key in doomed:
+            del self._map[key]
+        return len(doomed)
+
+    def flush_address(self, client_addr) -> int:
+        """Flush all entries from a given CLIENT-IP-ADDRESS (e.g. when a
+        workstation is re-purposed); returns how many were removed."""
+        addr = IPAddress(client_addr)
+        doomed = [k for k in self._map if k[0] == addr]
+        for key in doomed:
+            del self._map[key]
+        return len(doomed)
+
+    # -- the per-transaction lookup ----------------------------------------------
+
+    def lookup(
+        self, client_addr, uid_on_client: int
+    ) -> Optional[NfsCredential]:
+        """The hot path, run "in the server's kernel on each NFS
+        transaction".  Note: per the appendix, "all information in the
+        client-generated credential except the UID-ON-CLIENT is
+        discarded" — the GIDs the client claims are never consulted."""
+        self.lookups += 1
+        return self._map.get((IPAddress(client_addr), int(uid_on_client)))
+
+    def __len__(self) -> int:
+        return len(self._map)

@@ -1,0 +1,233 @@
+"""A Unix-flavoured filesystem substrate for the NFS appendix.
+
+The paper's fileservers are "a set of computers (currently VAX 11/750s)
+... dedicated to this purpose" holding every user's home directory.
+This module is that storage: a tree of nodes with owner/group/mode
+permission bits, checked against an :class:`NfsCredential` — the
+"credential" in NFS terminology, "information about the unique user
+identifier (UID) of the requester and a list of the group identifiers
+(GIDs) of the requester's membership".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+#: The appendix's anonymous user: "we default the unmappable requests
+#: into the credentials for the user 'nobody' who has no privileged
+#: access and has a unique UID."
+NOBODY_UID = 65534
+ROOT_UID = 0
+
+# Permission bit masks (classic Unix rwxrwxrwx).
+R, W, X = 4, 2, 1
+
+
+class FsError(Exception):
+    """Filesystem failure: missing path, permission denied, bad op."""
+
+
+@dataclass(frozen=True)
+class NfsCredential:
+    """An NFS credential: UID plus group list."""
+
+    uid: int
+    gids: Tuple[int, ...] = ()
+
+    @classmethod
+    def nobody(cls) -> "NfsCredential":
+        return cls(uid=NOBODY_UID, gids=())
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == ROOT_UID
+
+
+@dataclass
+class Node:
+    """One file or directory."""
+
+    name: str
+    is_dir: bool
+    owner_uid: int
+    group_gid: int
+    mode: int                      # 0oXYZ: owner/group/other rwx
+    data: bytes = b""
+    children: Dict[str, "Node"] = dc_field(default_factory=dict)
+
+    def permits(self, cred: NfsCredential, want: int) -> bool:
+        """Classic Unix check.  Only files owned by root are exempt from
+        root's reach in the appendix's threat discussion; here root on
+        the *server* is all-powerful, as on a real fileserver."""
+        if cred.is_root:
+            return True
+        if cred.uid == self.owner_uid:
+            bits = (self.mode >> 6) & 7
+        elif self.group_gid in cred.gids:
+            bits = (self.mode >> 3) & 7
+        else:
+            bits = self.mode & 7
+        return (bits & want) == want
+
+
+class FileSystem:
+    """The exported tree."""
+
+    def __init__(self) -> None:
+        self.root = Node(
+            name="/", is_dir=True, owner_uid=ROOT_UID, group_gid=0, mode=0o755
+        )
+
+    # -- path plumbing -----------------------------------------------------
+
+    @staticmethod
+    def _parts(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise FsError(f"path must be absolute: {path!r}")
+        return [p for p in path.split("/") if p]
+
+    def _resolve(self, path: str, cred: Optional[NfsCredential] = None) -> Node:
+        """Walk the path; with a credential, enforce search (execute)
+        permission on every directory traversed, as Unix does — this is
+        what makes a 0700 home directory actually private."""
+        node = self.root
+        for part in self._parts(path):
+            if not node.is_dir:
+                raise FsError(f"{part!r} reached through a non-directory")
+            if cred is not None and not node.permits(cred, X):
+                raise FsError(f"permission denied traversing to {path}")
+            child = node.children.get(part)
+            if child is None:
+                raise FsError(f"no such file or directory: {path}")
+            node = child
+        return node
+
+    def _resolve_parent(
+        self, path: str, cred: Optional[NfsCredential] = None
+    ) -> Tuple[Node, str]:
+        parts = self._parts(path)
+        if not parts:
+            raise FsError("cannot operate on the root this way")
+        parent = self.root
+        for part in parts[:-1]:
+            if cred is not None and not parent.permits(cred, X):
+                raise FsError(f"permission denied traversing to {path}")
+            child = parent.children.get(part)
+            if child is None or not child.is_dir:
+                raise FsError(f"no such directory on the way to {path}")
+            parent = child
+        if cred is not None and not parent.permits(cred, X):
+            raise FsError(f"permission denied traversing to {path}")
+        return parent, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(path)
+            return True
+        except FsError:
+            return False
+
+    # -- operations (each checked against a credential) -----------------------
+
+    def mkdir(
+        self, path: str, cred: NfsCredential, mode: int = 0o755
+    ) -> None:
+        parent, name = self._resolve_parent(path, cred)
+        if name in parent.children:
+            raise FsError(f"{path} already exists")
+        if not parent.permits(cred, W):
+            raise FsError(f"permission denied creating {path}")
+        gid = cred.gids[0] if cred.gids else 0
+        parent.children[name] = Node(
+            name=name, is_dir=True, owner_uid=cred.uid, group_gid=gid, mode=mode
+        )
+
+    def create(
+        self, path: str, cred: NfsCredential, mode: int = 0o644
+    ) -> None:
+        parent, name = self._resolve_parent(path, cred)
+        if name in parent.children:
+            raise FsError(f"{path} already exists")
+        if not parent.permits(cred, W):
+            raise FsError(f"permission denied creating {path}")
+        gid = cred.gids[0] if cred.gids else 0
+        parent.children[name] = Node(
+            name=name, is_dir=False, owner_uid=cred.uid, group_gid=gid, mode=mode
+        )
+
+    def read(self, path: str, cred: NfsCredential) -> bytes:
+        node = self._resolve(path, cred)
+        if node.is_dir:
+            raise FsError(f"{path} is a directory")
+        if not node.permits(cred, R):
+            raise FsError(f"permission denied reading {path}")
+        return node.data
+
+    def write(self, path: str, data: bytes, cred: NfsCredential) -> int:
+        node = self._resolve(path, cred)
+        if node.is_dir:
+            raise FsError(f"{path} is a directory")
+        if not node.permits(cred, W):
+            raise FsError(f"permission denied writing {path}")
+        node.data = bytes(data)
+        return len(node.data)
+
+    def listdir(self, path: str, cred: NfsCredential) -> List[str]:
+        node = self._resolve(path, cred)
+        if not node.is_dir:
+            raise FsError(f"{path} is not a directory")
+        if not node.permits(cred, R):
+            raise FsError(f"permission denied listing {path}")
+        return sorted(node.children)
+
+    def getattr(self, path: str, cred: NfsCredential) -> Tuple[int, int, int, int]:
+        """Return (owner_uid, group_gid, mode, size); needs no permission
+        beyond path traversal, like real NFS GETATTR."""
+        node = self._resolve(path, cred)
+        return (node.owner_uid, node.group_gid, node.mode, len(node.data))
+
+    def remove(self, path: str, cred: NfsCredential) -> None:
+        parent, name = self._resolve_parent(path, cred)
+        if name not in parent.children:
+            raise FsError(f"no such file or directory: {path}")
+        if not parent.permits(cred, W):
+            raise FsError(f"permission denied removing {path}")
+        del parent.children[name]
+
+    def rename(self, old: str, new: str, cred: NfsCredential) -> None:
+        """Move a file or directory; needs write permission on both the
+        source and destination parents (classic Unix)."""
+        src_parent, src_name = self._resolve_parent(old, cred)
+        if src_name not in src_parent.children:
+            raise FsError(f"no such file or directory: {old}")
+        dst_parent, dst_name = self._resolve_parent(new, cred)
+        if dst_name in dst_parent.children:
+            raise FsError(f"{new} already exists")
+        if not src_parent.permits(cred, W) or not dst_parent.permits(cred, W):
+            raise FsError(f"permission denied renaming {old} to {new}")
+        node = src_parent.children.pop(src_name)
+        node.name = dst_name
+        dst_parent.children[dst_name] = node
+
+    def chmod(self, path: str, mode: int, cred: NfsCredential) -> None:
+        node = self._resolve(path, cred)
+        if not cred.is_root and cred.uid != node.owner_uid:
+            raise FsError(f"only the owner may chmod {path}")
+        node.mode = mode
+
+    # -- convenience for building home directories ------------------------------
+
+    def install_home(self, username: str, uid: int, gid: int) -> str:
+        """Create /u/<username> owned by uid, mode 0700 (private storage,
+        as the appendix's home directories are)."""
+        root_cred = NfsCredential(uid=ROOT_UID)
+        if not self.exists("/u"):
+            self.mkdir("/u", root_cred)
+        home = f"/u/{username}"
+        self.mkdir(home, root_cred)
+        node = self._resolve(home)
+        node.owner_uid = uid
+        node.group_gid = gid
+        node.mode = 0o700
+        return home

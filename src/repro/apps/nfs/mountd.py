@@ -1,0 +1,112 @@
+"""The modified mount daemon (the appendix).
+
+*"We modified the mount daemon (which handles NFS mount requests on
+server systems) to accept a new transaction type, the Kerberos
+authentication mapping request.  Basically, as part of the mounting
+process, the client system provides a Kerberos authenticator along with
+an indication of her/his UID-ON-CLIENT (encrypted in the Kerberos
+authenticator) on the workstation.  The server's mount daemon converts
+the Kerberos principal name into a local username.  This username is
+then looked up in a special file to yield the user's UID and GIDs list.
+... From this information, an NFS credential is constructed and handed
+to the kernel as the valid mapping of the ⟨CLIENT-IP-ADDRESS,
+CLIENT-UID⟩ tuple for this request."*
+"""
+
+from __future__ import annotations
+
+from repro.apps.nfs.protocol import MountOp, MountReply, MountRequest
+from repro.apps.nfs.server import NfsServer
+from repro.core.applib import SrvTab, krb_rd_req
+from repro.core.errors import KerberosError
+from repro.core.messages import ApRequest
+from repro.core.replay import ReplayCache
+from repro.encode import DecodeError
+from repro.netsim import Host
+from repro.netsim.ports import MOUNTD_PORT
+from repro.principal import Principal
+
+
+class MountDaemon:
+    """mountd on a fileserver, wired to that server's kernel map."""
+
+    def __init__(
+        self,
+        nfs_server: NfsServer,
+        service: Principal,
+        srvtab: SrvTab,
+        host: Host,
+        port: int = MOUNTD_PORT,
+    ) -> None:
+        self.nfs = nfs_server
+        self.service = service
+        self.srvtab = srvtab
+        self.host = host
+        self.replay_cache = ReplayCache()
+        self.mappings_installed = 0
+        host.bind(port, self._handle)
+
+    def _handle(self, datagram) -> bytes:
+        try:
+            request = MountRequest.from_bytes(datagram.payload)
+            op = MountOp(request.op)
+        except (DecodeError, ValueError):
+            return MountReply(ok=False, text="malformed mount request").to_bytes()
+
+        if op == MountOp.MAP:
+            return self._handle_map(request, datagram)
+        if op == MountOp.UNMAP:
+            # "At unmount time a request is sent to the mount daemon to
+            # remove the previously added mapping."  Scoped to the
+            # requesting address: you can only unmap your own machine.
+            removed = self.nfs.credmap.delete(datagram.src, request.uid_on_client)
+            return MountReply(
+                ok=removed, text="unmapped" if removed else "no such mapping"
+            ).to_bytes()
+        if op == MountOp.LOGOUT:
+            # "invalidate all mapping for the current user on the server
+            # in question, thus cleaning up any remaining mappings."
+            mapped = self.nfs.credmap.lookup(datagram.src, request.uid_on_client)
+            count = 0
+            if mapped is not None:
+                count = self.nfs.credmap.flush_uid(mapped.uid)
+            return MountReply(ok=True, text=f"flushed {count} mappings").to_bytes()
+        return MountReply(ok=False, text="unknown op").to_bytes()  # pragma: no cover
+
+    def _handle_map(self, request: MountRequest, datagram) -> bytes:
+        """The Kerberos authentication mapping request."""
+        try:
+            ap_request = ApRequest.from_bytes(request.ap_request)
+            context = krb_rd_req(
+                request=ap_request,
+                service=self.service,
+                service_key_or_srvtab=self.srvtab,
+                packet_address=datagram.src,
+                now=self.host.clock.now(),
+                replay_cache=self.replay_cache,
+            )
+        except (KerberosError, DecodeError) as exc:
+            return MountReply(ok=False, text=f"authentication failed: {exc}").to_bytes()
+
+        # The UID-ON-CLIENT arrives sealed inside the authenticator (its
+        # checksum field), so it cannot be tampered with in transit.
+        uid_on_client = context.checksum
+
+        # "converts the Kerberos principal name into a local username"
+        # (the primary name) and looks it up in the passwd map.
+        server_cred = self.nfs.passwd.credential_for(context.client.name)
+        if server_cred is None:
+            return MountReply(
+                ok=False,
+                text=f"no local account for {context.client.name}",
+            ).to_bytes()
+
+        self.nfs.credmap.add(datagram.src, uid_on_client, server_cred)
+        self.mappings_installed += 1
+        return MountReply(
+            ok=True,
+            text=(
+                f"mapped <{context.address},{uid_on_client}> -> "
+                f"uid {server_cred.uid}"
+            ),
+        ).to_bytes()

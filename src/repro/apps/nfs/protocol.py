@@ -1,0 +1,71 @@
+"""NFS wire messages for the appendix reproduction.
+
+One request shape serves all server modes.  ``claimed_uid``/
+``claimed_gids`` are the unmodified-NFS credential that rides "in each
+NFS request"; ``ap_request`` is empty except in the rejected
+full-Kerberos-per-RPC design, where every transaction carries a complete
+authentication request.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.encode import WireStruct, field
+
+
+class NfsOp(enum.IntEnum):
+    GETATTR = 1
+    READ = 2
+    WRITE = 3
+    CREATE = 4
+    MKDIR = 5
+    REMOVE = 6
+    READDIR = 7
+    CHMOD = 8
+    RENAME = 9   # data field carries the destination path
+
+
+class NfsRequest(WireStruct):
+    FIELDS = (
+        field("op", "u8"),
+        field("path", "string"),
+        field("data", "bytes"),
+        field("mode", "u16"),
+        field("claimed_uid", "u32"),
+        field("claimed_gids", "list:u32"),
+        field("ap_request", "bytes"),   # per-RPC Kerberos mode only
+    )
+
+
+class NfsReply(WireStruct):
+    FIELDS = (
+        field("ok", "bool"),
+        field("data", "bytes"),
+        field("names", "list:string"),
+        field("text", "string"),
+    )
+
+
+class MountOp(enum.IntEnum):
+    MAP = 1        # the new Kerberos authentication mapping request
+    UNMAP = 2      # unmount: remove this mapping
+    LOGOUT = 3     # invalidate all mappings for this user
+
+
+class MountRequest(WireStruct):
+    """To the modified mount daemon.  For MAP, the UID-ON-CLIENT rides
+    *inside* the sealed authenticator (its checksum field), per the
+    appendix: "an indication of her/his UID-ON-CLIENT (encrypted in the
+    Kerberos authenticator)"."""
+
+    FIELDS = (
+        field("op", "u8"),
+        field("ap_request", "bytes"),   # MAP only
+        field("uid_on_client", "u32"),  # UNMAP / LOGOUT (cleartext is fine:
+                                        # removing one's own mapping only)
+    )
+
+
+class MountReply(WireStruct):
+    FIELDS = (field("ok", "bool"), field("text", "string"))

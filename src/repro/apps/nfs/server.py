@@ -1,0 +1,194 @@
+"""The NFS server under each of the appendix's three designs.
+
+:class:`AuthMode` selects the world:
+
+* ``TRUSTED`` — unmodified NFS with this workstation trusted: the
+  claimed credential is used as-is.  "It is possible from a trusted
+  workstation to masquerade as any valid user of the file service
+  system" — the threat tests demonstrate exactly that;
+* ``UNTRUSTED`` — unmodified NFS, workstation not trusted: every
+  request is refused;
+* ``MAPPED`` — the shipped hybrid: the kernel map converts
+  ⟨CLIENT-IP-ADDRESS, UID-ON-CLIENT⟩ per transaction, set up at mount
+  time by Kerberos (see :mod:`repro.apps.nfs.mountd`);
+* ``KERBEROS_RPC`` — the rejected design: a full Kerberos
+  authentication request in *every* NFS transaction ("would have
+  delivered unacceptable performance" — benchmarked in exp NFS).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+from repro.apps.nfs.credmap import CredentialMap, UnmappedPolicy
+from repro.apps.nfs.fs import FileSystem, FsError, NfsCredential
+from repro.apps.nfs.protocol import NfsOp, NfsReply, NfsRequest
+from repro.core.applib import SrvTab, krb_rd_req
+from repro.core.errors import KerberosError
+from repro.core.messages import ApRequest
+from repro.core.replay import ReplayCache
+from repro.encode import DecodeError
+from repro.netsim import Host
+from repro.netsim.ports import NFS_PORT
+from repro.principal import Principal
+
+
+class AuthMode(enum.Enum):
+    TRUSTED = "trusted"
+    UNTRUSTED = "untrusted"
+    MAPPED = "mapped"
+    KERBEROS_RPC = "kerberos-rpc"
+
+
+class PasswdMap:
+    """username → (uid, gids): the appendix's "special file ... a ndbm
+    database file with the username as the key"."""
+
+    def __init__(self) -> None:
+        self._users: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+
+    def add(self, username: str, uid: int, gids) -> None:
+        self._users[username] = (int(uid), tuple(int(g) for g in gids))
+
+    def credential_for(self, username: str) -> Optional[NfsCredential]:
+        entry = self._users.get(username)
+        if entry is None:
+            return None
+        return NfsCredential(uid=entry[0], gids=entry[1])
+
+
+class NfsServer:
+    """One fileserver, serving its tree under a chosen auth design."""
+
+    def __init__(
+        self,
+        host: Host,
+        fs: Optional[FileSystem] = None,
+        mode: AuthMode = AuthMode.MAPPED,
+        unmapped_policy: UnmappedPolicy = UnmappedPolicy.FRIENDLY,
+        service: Optional[Principal] = None,
+        srvtab: Optional[SrvTab] = None,
+        passwd: Optional[PasswdMap] = None,
+        port: int = NFS_PORT,
+    ) -> None:
+        self.host = host
+        self.fs = fs if fs is not None else FileSystem()
+        self.mode = mode
+        self.unmapped_policy = unmapped_policy
+        self.credmap = CredentialMap()
+        self.passwd = passwd if passwd is not None else PasswdMap()
+        # KERBEROS_RPC mode needs the service identity and key.
+        self.service = service
+        self.srvtab = srvtab
+        self.replay_cache = ReplayCache()
+        # Counters for the appendix benchmark.
+        self.ops = Counter()
+        self.access_errors = 0
+        self.kerberos_verifications = 0
+        host.bind(port, self._handle)
+
+    # -- credential resolution: the heart of the appendix ----------------------
+
+    def _resolve_credential(
+        self, request: NfsRequest, datagram
+    ) -> Optional[NfsCredential]:
+        """Apply the server's trust design to one request.  Returns None
+        for an access error."""
+        if self.mode == AuthMode.TRUSTED:
+            # "Trusted systems are completely trusted."
+            return NfsCredential(
+                uid=request.claimed_uid, gids=tuple(request.claimed_gids)
+            )
+
+        if self.mode == AuthMode.UNTRUSTED:
+            # "Untrusted systems cannot access any files at all."
+            return None
+
+        if self.mode == AuthMode.MAPPED:
+            # "The CLIENT-IP-ADDRESS is extracted from the NFS request
+            # packet and the UID-ON-CLIENT is extracted from the
+            # credential supplied by the client system."
+            mapped = self.credmap.lookup(datagram.src, request.claimed_uid)
+            if mapped is not None:
+                return mapped
+            if self.unmapped_policy == UnmappedPolicy.FRIENDLY:
+                return NfsCredential.nobody()
+            return None
+
+        # KERBEROS_RPC: the rejected design — full verification per op.
+        if self.service is None or self.srvtab is None:
+            return None
+        try:
+            ap_request = ApRequest.from_bytes(request.ap_request)
+            context = krb_rd_req(
+                request=ap_request,
+                service=self.service,
+                service_key_or_srvtab=self.srvtab,
+                packet_address=datagram.src,
+                now=self.host.clock.now(),
+                replay_cache=self.replay_cache,
+            )
+        except (KerberosError, DecodeError):
+            return None
+        self.kerberos_verifications += 1
+        return self.passwd.credential_for(context.client.name)
+
+    # -- request handling ------------------------------------------------------------
+
+    def _handle(self, datagram) -> bytes:
+        try:
+            request = NfsRequest.from_bytes(datagram.payload)
+            op = NfsOp(request.op)
+        except (DecodeError, ValueError):
+            return NfsReply(
+                ok=False, data=b"", names=[], text="malformed NFS request"
+            ).to_bytes()
+        self.ops[op.name] += 1
+
+        cred = self._resolve_credential(request, datagram)
+        if cred is None:
+            self.access_errors += 1
+            return NfsReply(
+                ok=False, data=b"", names=[], text="NFS access error"
+            ).to_bytes()
+
+        try:
+            return self._apply(op, request, cred).to_bytes()
+        except FsError as exc:
+            self.access_errors += 1
+            return NfsReply(ok=False, data=b"", names=[], text=str(exc)).to_bytes()
+
+    def _apply(self, op: NfsOp, request: NfsRequest, cred: NfsCredential) -> NfsReply:
+        fs = self.fs
+        if op == NfsOp.GETATTR:
+            uid, gid, mode, size = fs.getattr(request.path, cred)
+            text = f"{uid}:{gid}:{mode:o}:{size}"
+            return NfsReply(ok=True, data=b"", names=[], text=text)
+        if op == NfsOp.READ:
+            return NfsReply(
+                ok=True, data=fs.read(request.path, cred), names=[], text=""
+            )
+        if op == NfsOp.WRITE:
+            n = fs.write(request.path, request.data, cred)
+            return NfsReply(ok=True, data=b"", names=[], text=str(n))
+        if op == NfsOp.CREATE:
+            fs.create(request.path, cred, mode=request.mode or 0o644)
+            return NfsReply(ok=True, data=b"", names=[], text="created")
+        if op == NfsOp.MKDIR:
+            fs.mkdir(request.path, cred, mode=request.mode or 0o755)
+            return NfsReply(ok=True, data=b"", names=[], text="created")
+        if op == NfsOp.REMOVE:
+            fs.remove(request.path, cred)
+            return NfsReply(ok=True, data=b"", names=[], text="removed")
+        if op == NfsOp.READDIR:
+            names = fs.listdir(request.path, cred)
+            return NfsReply(ok=True, data=b"", names=names, text="")
+        if op == NfsOp.CHMOD:
+            fs.chmod(request.path, request.mode, cred)
+            return NfsReply(ok=True, data=b"", names=[], text="changed")
+        if op == NfsOp.RENAME:
+            fs.rename(request.path, request.data.decode("utf-8"), cred)
+            return NfsReply(ok=True, data=b"", names=[], text="renamed")
+        raise FsError(f"unsupported op {op}")  # pragma: no cover

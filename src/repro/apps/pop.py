@@ -1,0 +1,96 @@
+"""The Kerberized Post Office Protocol (paper Section 7.1).
+
+*"We have modified the Post Office Protocol to use Kerberos for
+authenticating users who wish to retrieve their electronic mail from the
+'post office'."*
+
+Authorization is the simplest possible scheme built "on top of the
+authentication that Kerberos provides": the authenticated principal's
+primary name selects the mailbox, and nobody reads anyone else's mail.
+Mail content is retrieved at the PRIVATE protection level — it travels
+encrypted in the session key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.kerberized import (
+    KerberizedChannel,
+    KerberizedServer,
+    Protection,
+)
+from repro.core.applib import SrvTab
+from repro.core.client import KerberosClient
+from repro.core.errors import ErrorCode, KerberosError
+from repro.netsim import Host
+from repro.netsim.ports import POP_PORT
+from repro.principal import Principal
+
+
+class PopServer(KerberizedServer):
+    """One post office holding per-user mailboxes."""
+
+    def __init__(
+        self,
+        service: Principal,
+        srvtab: SrvTab,
+        host: Host,
+        port: int = POP_PORT,
+    ) -> None:
+        super().__init__(service, srvtab, host, port)
+        self._mailboxes: Dict[str, List[bytes]] = {}
+
+    def deliver(self, username: str, message: bytes) -> None:
+        """Local delivery into a mailbox (the MTA side, out of scope)."""
+        self._mailboxes.setdefault(username, []).append(bytes(message))
+
+    def handle(self, session, data: bytes) -> bytes:
+        mailbox = self._mailboxes.setdefault(session.client.name, [])
+        parts = data.decode("utf-8").split(" ", 1)
+        command = parts[0].upper()
+        if command == "STAT":
+            total = sum(len(m) for m in mailbox)
+            return f"+OK {len(mailbox)} {total}".encode()
+        if command == "RETR":
+            index = int(parts[1])
+            if not 1 <= index <= len(mailbox):
+                raise KerberosError(ErrorCode.APP_ERROR, "no such message")
+            return b"+OK\r\n" + mailbox[index - 1]
+        if command == "DELE":
+            index = int(parts[1])
+            if not 1 <= index <= len(mailbox):
+                raise KerberosError(ErrorCode.APP_ERROR, "no such message")
+            del mailbox[index - 1]
+            return b"+OK deleted"
+        raise KerberosError(ErrorCode.APP_ERROR, f"unknown command {command}")
+
+
+class PopClient:
+    """The user agent's view of the post office."""
+
+    def __init__(
+        self,
+        krb: KerberosClient,
+        service: Principal,
+        server_address,
+        port: int = POP_PORT,
+    ) -> None:
+        # PRIVATE: mail bodies are encrypted on the wire.
+        self.channel = KerberizedChannel(
+            krb, service, server_address, port, protection=Protection.PRIVATE
+        )
+
+    def stat(self) -> int:
+        reply = self.channel.call(b"STAT").decode("utf-8")
+        return int(reply.split()[1])
+
+    def retrieve(self, index: int) -> bytes:
+        reply = self.channel.call(f"RETR {index}".encode())
+        return reply.split(b"\r\n", 1)[1]
+
+    def delete(self, index: int) -> None:
+        self.channel.call(f"DELE {index}".encode())
+
+    def quit(self) -> None:
+        self.channel.close()

@@ -1,0 +1,148 @@
+"""The sign-up program (paper Section 7.1).
+
+*"The program for signing up new users, called register, uses both the
+Service Management System (SMS) and Kerberos.  From SMS, it determines
+whether the information entered by the would-be new Athena user, such as
+name and MIT identification number, is valid.  It then checks with
+Kerberos to see if the requested username is unique.  If all goes well,
+a new entry is made to the Kerberos database, containing the username
+and password."*
+
+The server side runs on the master Kerberos machine (it writes the
+database); the new password rides to it inside a private message sealed
+in a *registration key* derived from the user's MIT id — modelling the
+real program's property that the password is not sent in the clear even
+before the user has any Kerberos key.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sms import sms_validate
+from repro.core.errors import KerberosError
+from repro.core.safe_priv import PrivMessage, krb_mk_priv, krb_rd_priv
+from repro.crypto import string_to_key
+from repro.database.db import KerberosDatabase, PrincipalExists
+from repro.encode import DecodeError, WireStruct, field
+from repro.netsim import Host, IPAddress
+from repro.principal import Principal, PrincipalError
+
+#: Port of the registration service.
+REGISTER_PORT = 261
+
+
+class RegisterBody(WireStruct):
+    FIELDS = (
+        field("username", "string"),
+        field("password", "string"),
+    )
+
+
+class RegisterRequest(WireStruct):
+    FIELDS = (
+        field("fullname", "string"),
+        field("mit_id", "string"),
+        field("private_body", "bytes"),  # RegisterBody sealed in the id-derived key
+    )
+
+
+class RegisterReply(WireStruct):
+    FIELDS = (field("ok", "bool"), field("text", "string"))
+
+
+def _registration_key(mit_id: str, fullname: str):
+    """The shared secret a brand-new user and the registrar both know."""
+    return string_to_key(mit_id, salt=fullname)
+
+
+class RegisterServer:
+    """Runs on the master machine; writes the database directly."""
+
+    def __init__(
+        self,
+        db: KerberosDatabase,
+        host: Host,
+        sms_address,
+        port: int = REGISTER_PORT,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.sms_address = IPAddress(sms_address)
+        self.port = port
+        self.registrations = 0
+        host.bind(port, self._handle)
+
+    def _handle(self, datagram) -> bytes:
+        try:
+            request = RegisterRequest.from_bytes(datagram.payload)
+        except DecodeError:
+            return RegisterReply(ok=False, text="malformed request").to_bytes()
+
+        # Step 1: SMS validity (name + MIT id).
+        if not sms_validate(
+            self.host, self.sms_address, request.fullname, request.mit_id
+        ):
+            return RegisterReply(
+                ok=False, text="SMS: not a valid MIT affiliate"
+            ).to_bytes()
+
+        # Decrypt the username/password with the id-derived key.
+        key = _registration_key(request.mit_id, request.fullname)
+        try:
+            body = RegisterBody.from_bytes(
+                krb_rd_priv(
+                    PrivMessage.from_bytes(request.private_body),
+                    key,
+                    expected_sender=datagram.src,
+                    now=self.host.clock.now(),
+                )
+            )
+        except (KerberosError, DecodeError):
+            return RegisterReply(
+                ok=False, text="could not decrypt registration"
+            ).to_bytes()
+
+        # Step 2: Kerberos username uniqueness, then the new entry.
+        try:
+            principal = Principal(body.username, "", self.db.realm)
+            self.db.add_principal(
+                principal,
+                password=body.password,
+                now=self.host.clock.now(),
+                mod_by="register",
+            )
+        except PrincipalExists:
+            return RegisterReply(
+                ok=False, text=f"username {body.username!r} is taken"
+            ).to_bytes()
+        except (PrincipalError, ValueError) as exc:
+            return RegisterReply(ok=False, text=str(exc)).to_bytes()
+
+        self.registrations += 1
+        return RegisterReply(ok=True, text=f"welcome, {body.username}").to_bytes()
+
+
+def register_user(
+    host: Host,
+    register_address,
+    fullname: str,
+    mit_id: str,
+    username: str,
+    password: str,
+    port: int = REGISTER_PORT,
+) -> str:
+    """Client side: what a new user runs at a sign-up workstation."""
+    key = _registration_key(mit_id, fullname)
+    private = krb_mk_priv(
+        RegisterBody(username=username, password=password).to_bytes(),
+        key,
+        host.address,
+        host.clock.now(),
+    )
+    request = RegisterRequest(
+        fullname=fullname, mit_id=mit_id, private_body=private.to_bytes()
+    )
+    raw = host.rpc(IPAddress(register_address), port, request.to_bytes())
+    reply = RegisterReply.from_bytes(raw)
+    if not reply.ok:
+        raise RuntimeError(f"registration failed: {reply.text}")
+    return reply.text

@@ -1,0 +1,173 @@
+"""Kerberized rlogin and rsh (paper Section 7.1).
+
+*"The rlogin and rsh commands first try to authenticate using Kerberos.
+A user with valid Kerberos tickets can rlogin to another Athena machine
+without having to set up .rhosts files.  If the Kerberos authentication
+fails, the programs fall back on their usual methods of authorization,
+in this case, the .rhosts files."*
+
+The fallback path is the *old* world the paper's Section 1 criticizes —
+"authentication is done by checking the Internet address from which a
+connection has been established" — kept for compatibility, and kept
+exploitable here so the threat tests can demonstrate exactly why
+Kerberos replaced it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.apps.kerberized import (
+    ChannelError,
+    KerberizedChannel,
+    KerberizedServer,
+    Protection,
+)
+from repro.core.applib import SrvTab
+from repro.core.client import KerberosClient
+from repro.core.errors import KerberosError
+from repro.encode import WireStruct, field
+from repro.netsim import Host, IPAddress, NetworkError
+from repro.netsim.ports import KLOGIN_PORT, KSHELL_PORT
+from repro.principal import Principal
+
+
+class RhostsRequest(WireStruct):
+    """The legacy protocol: a bare *claim* of identity, trusted (or not)
+    on the basis of the source address."""
+
+    FIELDS = (
+        field("claimed_user", "string"),
+        field("local_user", "string"),
+        field("command", "string"),
+    )
+
+
+class RhostsReply(WireStruct):
+    FIELDS = (field("ok", "bool"), field("output", "string"))
+
+#: Port for the legacy .rhosts-based fallback protocol.
+RSHD_LEGACY_PORT = 514
+
+
+class RloginServer(KerberizedServer):
+    """An rlogin/rsh daemon on one timesharing machine.
+
+    Runs the Kerberized protocol on ``port`` and the legacy ``.rhosts``
+    protocol on :data:`RSHD_LEGACY_PORT`.  ``accounts`` maps local
+    usernames to a command executor.
+    """
+
+    def __init__(
+        self,
+        service: Principal,
+        srvtab: SrvTab,
+        host: Host,
+        port: int = KSHELL_PORT,
+    ) -> None:
+        super().__init__(service, srvtab, host, port)
+        self.accounts: Dict[str, Callable[[str], str]] = {}
+        # .rhosts entries: local_user -> {(remote_user, remote_host_addr)}
+        self.rhosts: Dict[str, Set[Tuple[str, IPAddress]]] = {}
+        self.kerberos_logins = 0
+        self.rhosts_logins = 0
+        host.bind(RSHD_LEGACY_PORT, self._handle_legacy)
+
+    def add_account(
+        self, username: str, executor: Optional[Callable[[str], str]] = None
+    ) -> None:
+        if executor is None:
+            executor = lambda cmd: f"{username}@{self.host.name}$ {cmd}: ok"
+        self.accounts[username] = executor
+
+    def add_rhosts_entry(
+        self, local_user: str, remote_user: str, remote_host_addr
+    ) -> None:
+        """One line of ~local_user/.rhosts."""
+        self.rhosts.setdefault(local_user, set()).add(
+            (remote_user, IPAddress(remote_host_addr))
+        )
+
+    # -- Kerberized path ----------------------------------------------------
+
+    def handle(self, session, data: bytes) -> bytes:
+        """Command execution for the authenticated principal.  The
+        Kerberos principal's primary name is the local account."""
+        username = session.client.name
+        executor = self.accounts.get(username)
+        if executor is None:
+            raise KerberosError(
+                80, f"no account {username!r} on {self.host.name}"
+            )
+        self.kerberos_logins += 1
+        return executor(data.decode("utf-8")).encode("utf-8")
+
+    # -- legacy .rhosts path ------------------------------------------------------
+
+    def _handle_legacy(self, datagram) -> bytes:
+        request = RhostsRequest.from_bytes(datagram.payload)
+        executor = self.accounts.get(request.local_user)
+        if executor is None:
+            return RhostsReply(ok=False, output="no such account").to_bytes()
+        allowed = self.rhosts.get(request.local_user, set())
+        # The old model: trust the host's word for who the user is, keyed
+        # by source address only.  No proof of identity at all.
+        if (request.claimed_user, IPAddress(datagram.src)) not in allowed:
+            return RhostsReply(ok=False, output="Permission denied.").to_bytes()
+        self.rhosts_logins += 1
+        return RhostsReply(ok=True, output=executor(request.command)).to_bytes()
+
+
+def rsh(
+    krb: KerberosClient,
+    service: Principal,
+    server_address,
+    command: str,
+    local_user: Optional[str] = None,
+    port: int = KSHELL_PORT,
+) -> str:
+    """Run a command remotely: Kerberos first, .rhosts fallback.
+
+    Exactly the Section 7.1 behaviour: any Kerberos failure (no tickets,
+    expired TGT, unregistered service) falls back to the legacy
+    address-trusting protocol.
+    """
+    try:
+        channel = KerberizedChannel(
+            krb, service, server_address, port, protection=Protection.NONE
+        )
+        try:
+            return channel.call(command.encode("utf-8")).decode("utf-8")
+        finally:
+            channel.close()
+    except (KerberosError, ChannelError, NetworkError):
+        pass  # fall back on the usual method of authorization
+
+    user = local_user or (krb.principal.name if krb.principal else "nobody")
+    request = RhostsRequest(
+        claimed_user=user, local_user=user, command=command
+    )
+    raw = krb.host.rpc(
+        IPAddress(server_address), RSHD_LEGACY_PORT, request.to_bytes()
+    )
+    reply = RhostsReply.from_bytes(raw)
+    if not reply.ok:
+        raise PermissionError(reply.output)
+    return reply.output
+
+
+def rlogin(
+    krb: KerberosClient,
+    service: Principal,
+    server_address,
+    port: int = KLOGIN_PORT,
+) -> KerberizedChannel:
+    """Open an interactive (mutually authenticated) login session."""
+    return KerberizedChannel(
+        krb,
+        service,
+        server_address,
+        port,
+        protection=Protection.NONE,
+        mutual=True,
+    )

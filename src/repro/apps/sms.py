@@ -1,0 +1,57 @@
+"""The Service Management System (paper Section 7.1).
+
+*"From SMS, it determines whether the information entered by the
+would-be new Athena user, such as name and MIT identification number, is
+valid."*  SMS is a substrate for the ``register`` program; it answers
+one question — is this (name, MIT id) pair a real affiliate?
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.encode import WireStruct, field
+from repro.netsim import Host, IPAddress
+from repro.netsim.ports import SMS_PORT
+
+
+class SmsQuery(WireStruct):
+    FIELDS = (field("fullname", "string"), field("mit_id", "string"))
+
+
+class SmsReply(WireStruct):
+    FIELDS = (field("valid", "bool"), field("text", "string"))
+
+
+class SmsServer:
+    """Registry of valid MIT affiliates."""
+
+    def __init__(self, host: Host, port: int = SMS_PORT) -> None:
+        self.host = host
+        self.port = port
+        self._affiliates: Dict[str, str] = {}  # mit_id -> fullname
+        host.bind(port, self._handle)
+
+    def add_affiliate(self, fullname: str, mit_id: str) -> None:
+        self._affiliates[mit_id] = fullname
+
+    def _handle(self, datagram) -> bytes:
+        query = SmsQuery.from_bytes(datagram.payload)
+        fullname = self._affiliates.get(query.mit_id)
+        if fullname is None:
+            return SmsReply(valid=False, text="unknown MIT id").to_bytes()
+        if fullname != query.fullname:
+            return SmsReply(valid=False, text="name does not match id").to_bytes()
+        return SmsReply(valid=True, text="ok").to_bytes()
+
+
+def sms_validate(
+    host: Host, sms_address, fullname: str, mit_id: str, port: int = SMS_PORT
+) -> bool:
+    """Client-side validity check (used by the register program)."""
+    raw = host.rpc(
+        IPAddress(sms_address),
+        port,
+        SmsQuery(fullname=fullname, mit_id=mit_id).to_bytes(),
+    )
+    return SmsReply.from_bytes(raw).valid

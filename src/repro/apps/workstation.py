@@ -1,0 +1,117 @@
+"""The Athena public workstation (paper appendix, first paragraphs).
+
+*"When a user logs in to one of these publicly available workstations,
+rather than validate her/his name and password against a locally
+resident password file, we use Kerberos to determine her/his
+authenticity.  The log-in program prompts for a username ... This
+username is used to fetch a Kerberos ticket-granting ticket. ... If
+decryption is successful, the user's home directory is located by
+consulting the Hesiod naming service and mounted through NFS.  The
+log-in program then turns control over to the user's shell ... The
+Hesiod service is also used to construct an entry in the local password
+file."*
+
+:class:`AthenaWorkstation` performs that whole sequence, and its
+``logout`` runs the cleanup path: unmount, invalidate mappings, destroy
+tickets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.apps.hesiod import HesiodEntry, hesiod_lookup
+from repro.apps.nfs.client import NfsClient
+from repro.core.client import KerberosClient
+from repro.netsim import Host, IPAddress
+from repro.principal import Principal
+from repro.user.login import LoginError, LoginSession
+
+
+@dataclass
+class MountedHome:
+    """The state of a logged-in user's attached home directory."""
+
+    nfs: NfsClient
+    entry: HesiodEntry
+    home_path: str
+
+
+class AthenaWorkstation:
+    """A public workstation: login program, local passwd file, NFS client."""
+
+    def __init__(
+        self,
+        host: Host,
+        krb: KerberosClient,
+        hesiod_address,
+        fileserver_directory: Dict[str, IPAddress],
+        mount_service_for: Dict[str, Principal],
+    ) -> None:
+        """``fileserver_directory`` maps fileserver hostnames (as Hesiod
+        names them) to addresses; ``mount_service_for`` maps them to
+        their mountd service principals."""
+        self.host = host
+        self.krb = krb
+        self.hesiod_address = IPAddress(hesiod_address)
+        self.fileservers = dict(fileserver_directory)
+        self.mount_services = dict(mount_service_for)
+        self.session = LoginSession(host, krb)
+        self.passwd_file: Dict[str, str] = {}  # username -> passwd line
+        self.home: Optional[MountedHome] = None
+
+    @property
+    def current_user(self) -> Optional[str]:
+        return self.session.username
+
+    def login(self, username: str, password: str) -> MountedHome:
+        """The full appendix login sequence."""
+        # 1. Kerberos instead of a local password file (Figure 5).
+        self.session.login(username, password)
+        try:
+            # 2. "the user's home directory is located by consulting the
+            # Hesiod naming service".
+            entry = hesiod_lookup(self.host, self.hesiod_address, username)
+            if entry is None:
+                raise LoginError(f"Hesiod has no entry for {username}")
+            server_address = self.fileservers.get(entry.home_server)
+            mount_service = self.mount_services.get(entry.home_server)
+            if server_address is None or mount_service is None:
+                raise LoginError(
+                    f"unknown fileserver {entry.home_server!r} for {username}"
+                )
+
+            # 3. "...and mounted through NFS" with the Kerberos mapping.
+            nfs = NfsClient(
+                self.host,
+                server_address,
+                uid_on_client=entry.uid,
+                gids=list(entry.gids),
+            )
+            nfs.kerberos_mount(self.krb, mount_service)
+
+            # 4. "The Hesiod service is also used to construct an entry in
+            # the local password file."
+            self.passwd_file[username] = entry.passwd_line()
+        except Exception:
+            # A failed mount must not leave a half-logged-in session.
+            self.session.logout()
+            raise
+
+        self.home = MountedHome(nfs=nfs, entry=entry, home_path=entry.home_path)
+        return self.home
+
+    def logout(self) -> None:
+        """Unmount, invalidate mappings, destroy tickets — leaving nothing
+        behind "before the workstation is made available for the next
+        user"."""
+        if not self.session.logged_in:
+            raise LoginError("nobody is logged in")
+        username = self.session.username
+        if self.home is not None:
+            self.home.nfs.logout()   # flush all my mappings on the server
+            self.home.nfs.unmount()
+            self.home = None
+        self.passwd_file.pop(username, None)
+        self.session.logout()        # tickets destroyed

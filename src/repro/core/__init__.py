@@ -1,0 +1,114 @@
+"""The Kerberos protocol core (paper Section 4 and Figure 9).
+
+This package is the paper's primary contribution: the building blocks
+(tickets, authenticators), the three authentication phases (initial
+ticket, server ticket, presenting credentials), the servers and client
+library that run them, and the supporting pieces (replay cache,
+credential cache, safe/private messages, cross-realm keys).
+
+Public API tour::
+
+    from repro.core import (
+        KerberosServer,      # the AS + TGS (run one per master/slave)
+        KerberosClient,      # the workstation library (kinit, tickets)
+        Principal,           # name.instance@realm
+        Ticket, Authenticator,
+        krb_mk_req, krb_rd_req, krb_mk_rep, krb_rd_rep,   # Figures 6-7
+        krb_mk_safe, krb_rd_safe, krb_mk_priv, krb_rd_priv,
+        SrvTab, ReplayCache, CredentialCache,
+        KerberosError, ErrorCode,
+    )
+"""
+
+from repro.principal import (
+    Principal,
+    PrincipalError,
+    kdbm_principal,
+    tgs_principal,
+)
+from repro.core.errors import ErrorCode, KerberosError
+from repro.core.ticket import Ticket, seal_ticket, unseal_ticket
+from repro.core.authenticator import (
+    Authenticator,
+    build_authenticator,
+    unseal_authenticator,
+)
+from repro.core.messages import (
+    ApReply,
+    ApRequest,
+    AsRequest,
+    ErrorReply,
+    KdcReply,
+    KdcReplyBody,
+    MessageType,
+    TgsRequest,
+    decode_message,
+    encode_message,
+    expect_reply,
+)
+from repro.core.replay import CLOCK_SKEW, ReplayCache
+from repro.core.applib import (
+    AuthContext,
+    SrvTab,
+    krb_mk_rep,
+    krb_mk_req,
+    krb_rd_rep,
+    krb_rd_req,
+)
+from repro.core.safe_priv import (
+    PrivMessage,
+    SafeMessage,
+    krb_mk_priv,
+    krb_mk_safe,
+    krb_rd_priv,
+    krb_rd_safe,
+)
+from repro.core.credcache import Credential, CredentialCache
+from repro.core.kdc import KerberosServer
+from repro.core.client import KerberosClient
+from repro.core.crossrealm import link_realms
+
+__all__ = [
+    "ApReply",
+    "ApRequest",
+    "AsRequest",
+    "AuthContext",
+    "Authenticator",
+    "CLOCK_SKEW",
+    "Credential",
+    "CredentialCache",
+    "ErrorCode",
+    "ErrorReply",
+    "KdcReply",
+    "KdcReplyBody",
+    "KerberosClient",
+    "KerberosError",
+    "KerberosServer",
+    "MessageType",
+    "Principal",
+    "PrincipalError",
+    "ReplayCache",
+    "SafeMessage",
+    "PrivMessage",
+    "SrvTab",
+    "TgsRequest",
+    "Ticket",
+    "build_authenticator",
+    "decode_message",
+    "encode_message",
+    "expect_reply",
+    "kdbm_principal",
+    "krb_mk_priv",
+    "krb_mk_rep",
+    "krb_mk_req",
+    "krb_mk_safe",
+    "krb_rd_priv",
+    "krb_rd_rep",
+    "krb_rd_req",
+    "krb_rd_safe",
+    "link_realms",
+    "seal_ticket",
+    "tgs_principal",
+    "unseal_authenticator",
+    "unseal_ticket",
+]

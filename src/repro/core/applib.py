@@ -1,0 +1,224 @@
+"""The Kerberos applications library (paper Sections 2.2 and 6.2).
+
+*"The most commonly used library functions are krb_mk_req on the client
+side, and krb_rd_req on the server side."*  This module provides both,
+plus the server-side key file:
+
+* :func:`krb_mk_req` — build the message a client sends with its first
+  request to a Kerberized service (ticket + fresh authenticator);
+* :func:`krb_rd_req` — the server side: decrypt the ticket with the
+  service key, decrypt the authenticator with the enclosed session key,
+  and run every check Section 4.3 lists (identity match, address match,
+  freshness, replay, expiry).  Returns a judgement in the form of an
+  :class:`AuthContext` or raises :class:`KerberosError`;
+* :func:`krb_mk_rep` / :func:`krb_rd_rep` — mutual authentication
+  (Figure 7);
+* :class:`SrvTab` — the in-memory form of ``/etc/srvtab``, which
+  "authenticates the server as a password typed at a terminal
+  authenticates the user" (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto import DesKey
+from repro.core.authenticator import build_authenticator, unseal_authenticator
+from repro.core.errors import ErrorCode, KerberosError
+from repro.core.messages import ApReply, ApRequest
+from repro.core.replay import CLOCK_SKEW, ReplayCache
+from repro.core.ticket import Ticket, unseal_ticket
+from repro.database.admin_tools import parse_srvtab
+from repro.netsim import IPAddress
+from repro.principal import Principal
+
+
+class SrvTab:
+    """Service keys installed on a server's machine (``/etc/srvtab``)."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[Tuple[str, int], DesKey] = {}
+        self._latest: Dict[str, int] = {}
+
+    def install(self, service: Principal, kvno: int, key: DesKey) -> None:
+        name = str(service)
+        self._keys[(name, kvno)] = key
+        self._latest[name] = max(self._latest.get(name, 0), kvno)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SrvTab":
+        """Load the file ext_srvtab produced."""
+        tab = cls()
+        for principal, kvno, key_bytes in parse_srvtab(data):
+            tab.install(principal, kvno, DesKey(key_bytes, allow_weak=True))
+        return tab
+
+    def key_for(self, service: Principal, kvno: Optional[int] = None) -> DesKey:
+        name = str(service)
+        if kvno is None:
+            kvno = self._latest.get(name, 0)
+        try:
+            return self._keys[(name, kvno)]
+        except KeyError:
+            raise KerberosError(
+                ErrorCode.RD_AP_VERSION,
+                f"no key for {name} version {kvno} in srvtab",
+            ) from None
+
+    def services(self):
+        return sorted(self._latest)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+@dataclass
+class AuthContext:
+    """krb_rd_req's judgement: who the client is, and the shared key.
+
+    "At the end of this exchange, the server is certain that, according
+    to Kerberos, the client is who it says it is.  Moreover, the client
+    and server share a key which no one else knows."
+    """
+
+    client: Principal
+    session_key: DesKey
+    address: IPAddress
+    authenticator_timestamp: float
+    ticket: Ticket
+    checksum: int
+
+
+def krb_mk_req(
+    ticket_blob: bytes,
+    session_key: DesKey,
+    client: Principal,
+    client_address: IPAddress,
+    now: float,
+    mutual: bool = False,
+    kvno: int = 1,
+    checksum: int = 0,
+) -> ApRequest:
+    """Client side of Figure 6: package the ticket with a fresh
+    authenticator sealed in the session key."""
+    authenticator = build_authenticator(
+        client=client,
+        address=client_address,
+        now=now,
+        session_key=session_key,
+        checksum=checksum,
+    )
+    return ApRequest(
+        ticket=ticket_blob,
+        authenticator=authenticator,
+        mutual=mutual,
+        kvno=kvno,
+    )
+
+
+def krb_rd_req(
+    request: ApRequest,
+    service: Principal,
+    service_key_or_srvtab,
+    packet_address: IPAddress,
+    now: float,
+    replay_cache: Optional[ReplayCache] = None,
+    skew: float = CLOCK_SKEW,
+) -> AuthContext:
+    """Server side of Figure 6, running the full Section 4.3 checklist.
+
+    *"the server decrypts the ticket, uses the session key included in
+    the ticket to decrypt the authenticator, compares the information in
+    the ticket with that in the authenticator, the IP address from which
+    the request was received, and the present time.  If everything
+    matches, it allows the request to proceed."*
+    """
+    if isinstance(service_key_or_srvtab, SrvTab):
+        service_key = service_key_or_srvtab.key_for(service, request.kvno)
+    else:
+        service_key = service_key_or_srvtab
+
+    ticket = unseal_ticket(request.ticket, service_key)
+
+    # The ticket must actually be for us — a ticket for another service
+    # sealed under (somehow) the same key is still rejected.
+    if not ticket.server.same_entity(service):
+        raise KerberosError(
+            ErrorCode.RD_AP_MODIFIED,
+            f"ticket is for {ticket.server}, this service is {service}",
+        )
+
+    # Ticket validity window.
+    if ticket.expired(now, skew):
+        raise KerberosError(
+            ErrorCode.RD_AP_EXP,
+            f"ticket expired at {ticket.expires:.0f}, now {now:.0f}",
+        )
+    if ticket.not_yet_valid(now, skew):
+        raise KerberosError(
+            ErrorCode.RD_AP_NYV,
+            f"ticket not valid until {ticket.timestamp:.0f}, now {now:.0f}",
+        )
+
+    auth = unseal_authenticator(request.authenticator, ticket.key)
+
+    # "compares the information in the ticket with that in the
+    # authenticator" — same client...
+    if not auth.client.same_entity(ticket.client):
+        raise KerberosError(
+            ErrorCode.RD_AP_PRINCIPAL,
+            f"authenticator names {auth.client}, ticket names {ticket.client}",
+        )
+    # ... same address, which must also be "the IP address from which the
+    # request was received".
+    packet_addr = IPAddress(packet_address)
+    if auth.address != ticket.address or packet_addr.as_int != ticket.address:
+        raise KerberosError(
+            ErrorCode.RD_AP_BADD,
+            f"address mismatch: ticket {ticket.client_address}, "
+            f"authenticator {auth.client_address}, packet {packet_addr}",
+        )
+
+    # "If the time in the request is too far in the future or the past,
+    # the server treats the request as an attempt to replay."
+    if abs(now - auth.timestamp) > skew:
+        raise KerberosError(
+            ErrorCode.RD_AP_TIME,
+            f"authenticator time {auth.timestamp:.0f} outside +/-{skew:.0f}s "
+            f"of server time {now:.0f}",
+        )
+
+    # "a request received with the same ticket and time stamp as one
+    # already received can be discarded."
+    if replay_cache is not None:
+        fresh = replay_cache.check_and_store(
+            str(auth.client), auth.address, auth.timestamp, now
+        )
+        if not fresh:
+            raise KerberosError(
+                ErrorCode.RD_AP_REPEAT,
+                f"authenticator from {auth.client} at {auth.timestamp:.0f} "
+                "already seen (replay)",
+            )
+
+    return AuthContext(
+        client=ticket.client,
+        session_key=ticket.key,
+        address=IPAddress(ticket.address),
+        authenticator_timestamp=auth.timestamp,
+        ticket=ticket,
+        checksum=auth.checksum,
+    )
+
+
+def krb_mk_rep(context: AuthContext) -> ApReply:
+    """Server side of Figure 7: prove knowledge of the session key by
+    returning {authenticator timestamp + 1} sealed in it."""
+    return ApReply.build(context.authenticator_timestamp, context.session_key)
+
+
+def krb_rd_rep(reply: ApReply, sent_timestamp: float, session_key: DesKey) -> None:
+    """Client side of Figure 7: verify the server's proof.  Raises on a
+    masquerading server (which cannot produce the seal)."""
+    reply.verify(sent_timestamp, session_key)

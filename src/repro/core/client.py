@@ -1,0 +1,355 @@
+"""The workstation-side Kerberos client library.
+
+Implements the client's half of every protocol in Figure 9:
+
+* the initial-ticket (AS) exchange of Figure 5 — :meth:`KerberosClient.kinit`;
+* the ticket-granting (TGS) exchange of Figure 8 —
+  :meth:`KerberosClient.get_credential`;
+* building authentication requests for end servers (Figure 6) and
+  verifying mutual-authentication replies (Figure 7) —
+  :meth:`KerberosClient.mk_req` / :meth:`KerberosClient.rd_rep`;
+* cross-realm acquisition (Section 7.2): a local TGT buys a remote TGT,
+  which buys tickets from the remote realm's TGS.
+
+Availability (Figure 10): the client knows *several* KDC addresses —
+the master and any slaves — and fails over between them, which is how
+"if the master machine is down, authentication can still be achieved on
+one of the slave machines".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto import DesKey, string_to_key
+from repro.core.applib import krb_mk_req, krb_rd_rep
+from repro.core.credcache import Credential, CredentialCache
+from repro.core.errors import ErrorCode, KerberosError
+from repro.core.messages import (
+    ApReply,
+    ApRequest,
+    AsRequest,
+    MessageType,
+    PreauthAsRequest,
+    TgsRequest,
+    build_preauth,
+    encode_message,
+    expect_reply,
+)
+from repro.core.authenticator import build_authenticator
+from repro.database.schema import DEFAULT_MAX_LIFE
+from repro.netsim import Host, IPAddress, Unreachable
+from repro.netsim.ports import KERBEROS_PORT
+from repro.principal import Principal, tgs_principal
+
+
+class KerberosClient:
+    """A user's Kerberos state on one workstation."""
+
+    def __init__(
+        self,
+        host: Host,
+        realm: str,
+        kdc_addresses: Sequence,
+        kdc_directory: Optional[Dict[str, Sequence]] = None,
+        default_life: float = DEFAULT_MAX_LIFE,
+        port: int = KERBEROS_PORT,
+        retries: int = 3,
+    ) -> None:
+        if not kdc_addresses:
+            raise ValueError("at least one KDC address is required")
+        if retries < 1:
+            raise ValueError("retries must be at least 1")
+        self.retries = retries
+        self.host = host
+        self.realm = realm
+        self.port = port
+        self.default_life = default_life
+        self.cache = CredentialCache()
+        # realm -> list of KDC addresses; the local realm's entry is the
+        # master-plus-slaves list for failover.
+        self._directory: Dict[str, List[IPAddress]] = {
+            realm: [IPAddress(a) for a in kdc_addresses]
+        }
+        for other_realm, addrs in (kdc_directory or {}).items():
+            self._directory[other_realm] = [IPAddress(a) for a in addrs]
+        self._last_auth_time = float("-inf")
+
+    def _auth_now(self) -> float:
+        """The workstation clock as seen by authenticator timestamps.
+
+        A real machine's clock has sub-second resolution, so no two
+        authenticators it builds ever share a timestamp; the simulated
+        clock can stand still, so sub-second stalls are nudged forward a
+        microsecond — otherwise back-to-back requests in the same
+        simulated instant would trip the server's replay cache.  A clock
+        stepped *backwards* by more than a second (an operator fixing a
+        skewed workstation) is honored as-is, exactly as a real machine
+        would emit older timestamps again.
+        """
+        now = self.host.clock.now()
+        if now <= self._last_auth_time and self._last_auth_time - now < 1.0:
+            now = self._last_auth_time + 1e-6
+        self._last_auth_time = now
+        return now
+
+    @property
+    def principal(self) -> Optional[Principal]:
+        return self.cache.owner
+
+    # -- KDC transport with failover (Figure 10) -----------------------------
+
+    def _ask_kdc(self, realm: str, build_payload) -> bytes:
+        """Send a request to one of the realm's KDCs, with UDP-style
+        retransmission and failover (Figure 10).
+
+        ``build_payload`` is a zero-argument callable producing the
+        request bytes, called fresh for every attempt: a retransmitted
+        TGS request must carry a *new* authenticator, because if only
+        the reply was lost the KDC has already recorded the old
+        timestamp in its replay cache and would reject a verbatim
+        resend.
+        """
+        addresses = self._directory.get(realm)
+        if not addresses:
+            raise KerberosError(
+                ErrorCode.KDC_NO_CROSS_REALM,
+                f"no known KDC for realm {realm}",
+            )
+        last_error: Optional[Exception] = None
+        attempts = 0
+        for _ in range(self.retries):
+            for address in addresses:
+                attempts += 1
+                try:
+                    return self.host.rpc(address, self.port, build_payload())
+                except Unreachable as exc:
+                    last_error = exc
+        raise Unreachable(
+            f"no KDC for {realm} reachable ({attempts} attempts): "
+            f"{last_error}"
+        )
+
+    # -- Figure 5: the initial ticket --------------------------------------------
+
+    def kinit(
+        self,
+        username: str,
+        password: str,
+        life: Optional[float] = None,
+        instance: str = "",
+    ) -> Credential:
+        """Log in: obtain a ticket-granting ticket with the user's password.
+
+        The request carries only "the user's name and the name of ...
+        the ticket-granting service"; the password never leaves the
+        workstation.  It is used locally to decrypt the reply, then both
+        it and the derived key are dropped (Section 4.2).
+        """
+        client = Principal(username, instance, self.realm)
+        cred = self.as_exchange(
+            client, password, tgs_principal(self.realm), life=life
+        )
+        self.cache.owner = client
+        return cred
+
+    def as_exchange(
+        self,
+        client: Principal,
+        password: str,
+        service: Principal,
+        life: Optional[float] = None,
+    ) -> Credential:
+        """The raw AS exchange, for the TGS (kinit) or for the KDBM
+        (kpasswd/kadmin, which 'must use the authentication service
+        itself', Section 5.1).  The resulting credential is cached."""
+        now = self.host.clock.now()
+        request = AsRequest(
+            client=client,
+            service=service,
+            requested_life=life if life is not None else self.default_life,
+            timestamp=now,
+        )
+        wire = encode_message(MessageType.AS_REQ, request)
+        raw = self._ask_kdc(self.realm, lambda: wire)
+        try:
+            reply = expect_reply(raw, MessageType.AS_REP)
+        except KerberosError as exc:
+            if exc.code != ErrorCode.KDC_PREAUTH_REQUIRED:
+                raise
+            # Preauthentication negotiation (extension): retry with the
+            # request timestamp sealed in the password-derived key.
+            preauth_request = PreauthAsRequest(
+                client=request.client,
+                service=request.service,
+                requested_life=request.requested_life,
+                timestamp=request.timestamp,
+                preauth=build_preauth(string_to_key(password), now),
+            )
+            preauth_wire = encode_message(
+                MessageType.PREAUTH_AS_REQ, preauth_request
+            )
+            raw = self._ask_kdc(self.realm, lambda: preauth_wire)
+            reply = expect_reply(raw, MessageType.AS_REP)
+
+        # "The password is converted to a DES key and used to decrypt the
+        # response."  A wrong password surfaces here as INTK_BADPW —
+        # never as a message to the server.
+        user_key = string_to_key(password)
+        body = reply.open(user_key)
+        del user_key, password  # "the user's password and DES key are erased"
+
+        if not body.server.same_entity(
+            service.with_realm(service.realm or self.realm)
+        ):
+            raise KerberosError(
+                ErrorCode.INTK_PROT,
+                f"reply is for {body.server}, requested {service}",
+            )
+        if body.request_timestamp != now:
+            raise KerberosError(
+                ErrorCode.INTK_PROT, "reply does not echo our request time"
+            )
+        cred = Credential(
+            service=body.server,
+            ticket=body.ticket,
+            session_key=DesKey(body.session_key, allow_weak=True),
+            issue_time=body.issue_time,
+            life=body.life,
+            kvno=body.kvno,
+        )
+        self.cache.store(cred)
+        return cred
+
+    # -- Figure 8: server tickets from the TGS ---------------------------------------
+
+    def get_credential(
+        self, service: Principal, life: Optional[float] = None
+    ) -> Credential:
+        """Return a usable credential for ``service``, running TGS
+        exchanges as needed (and going cross-realm when the service's
+        realm is not ours, Section 7.2).  Cached tickets are reused —
+        "once the ticket has been issued, it may be used multiple times"
+        — until they expire."""
+        target_realm = service.realm or self.realm
+        now = self.host.clock.now()
+
+        cached = self.cache.get(service, now=now)
+        if cached is not None:
+            return cached
+
+        if target_realm == self.realm:
+            tgt = self._require_tgt(now)
+            return self._tgs_exchange(self.realm, tgt, service, life)
+
+        # Cross-realm: first a TGT for the remote realm from our own TGS
+        # ("a user ... can obtain credentials issued by another realm, on
+        # the strength of the authentication provided by the local realm").
+        remote_tgt = self.cache.remote_tgt(self.realm, target_realm, now=now)
+        if remote_tgt is None:
+            local_tgt = self._require_tgt(now)
+            remote_tgt = self._tgs_exchange(
+                self.realm,
+                local_tgt,
+                tgs_principal(self.realm, target_realm),
+                life,
+            )
+        # Then the remote TGS issues the service ticket; it will
+        # recognize the TGT's realm and use the inter-realm key.
+        return self._tgs_exchange(target_realm, remote_tgt, service, life)
+
+    def _require_tgt(self, now: float) -> Credential:
+        tgt = self.cache.tgt(self.realm, now=now)
+        if tgt is None:
+            raise KerberosError(
+                ErrorCode.INTK_PROT,
+                "no valid ticket-granting ticket: run kinit "
+                "(the TGT may have expired, Section 6.1)",
+            )
+        return tgt
+
+    def _tgs_exchange(
+        self,
+        kdc_realm: str,
+        tgt: Credential,
+        service: Principal,
+        life: Optional[float],
+    ) -> Credential:
+        """One Figure-8 exchange against the TGS of ``kdc_realm``."""
+
+        def build_request() -> bytes:
+            # Fresh timestamp and authenticator per attempt (see _ask_kdc).
+            now = self._auth_now()
+            authenticator = build_authenticator(
+                client=self.cache.owner,
+                address=self.host.address,
+                now=now,
+                session_key=tgt.session_key,
+            )
+            # The TGT was issued by our own realm even when presented to a
+            # remote TGS — that cleartext field is how the remote side
+            # knows to use the inter-realm key.
+            request = TgsRequest(
+                service=service,
+                requested_life=life if life is not None else self.default_life,
+                timestamp=now,
+                tgt_realm=self.realm,
+                tgt=tgt.ticket,
+                authenticator=authenticator,
+            )
+            return encode_message(MessageType.TGS_REQ, request)
+
+        raw = self._ask_kdc(kdc_realm, build_request)
+        reply = expect_reply(raw, MessageType.TGS_REP)
+        # "the reply is encrypted in the session key that was part of the
+        # ticket-granting ticket" — the password plays no part.
+        body = reply.open(tgt.session_key)
+        cred = Credential(
+            service=service,
+            ticket=body.ticket,
+            session_key=DesKey(body.session_key, allow_weak=True),
+            issue_time=body.issue_time,
+            life=body.life,
+            kvno=body.kvno,
+        )
+        self.cache.store(cred)
+        return cred
+
+    # -- Figures 6 and 7: talking to end servers -----------------------------------------
+
+    def mk_req(
+        self,
+        service: Principal,
+        mutual: bool = False,
+        checksum: int = 0,
+    ) -> Tuple[ApRequest, Credential, float]:
+        """Build the authentication request for a service, fetching a
+        ticket first if needed.  Returns (request, credential, the
+        authenticator timestamp — needed to verify a mutual reply)."""
+        cred = self.get_credential(service)
+        now = self._auth_now()
+        request = krb_mk_req(
+            ticket_blob=cred.ticket,
+            session_key=cred.session_key,
+            client=self.cache.owner,
+            client_address=self.host.address,
+            now=now,
+            mutual=mutual,
+            kvno=cred.kvno,
+            checksum=checksum,
+        )
+        return request, cred, now
+
+    def rd_rep(
+        self, reply: ApReply, sent_timestamp: float, cred: Credential
+    ) -> None:
+        """Verify a Figure-7 mutual-authentication reply."""
+        krb_rd_rep(reply, sent_timestamp, cred.session_key)
+
+    # -- Section 6.1 user operations ----------------------------------------------------
+
+    def klist(self) -> List[Credential]:
+        return self.cache.list()
+
+    def kdestroy(self) -> int:
+        return self.cache.destroy()

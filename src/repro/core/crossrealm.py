@@ -1,0 +1,67 @@
+"""Cross-realm authentication setup (paper Section 7.2).
+
+*"In order to perform cross-realm authentication, it is necessary that
+the administrators of each pair of realms select a key to be shared
+between their realms."*
+
+The shared key is registered in both databases, under two different
+names to keep the two roles distinct:
+
+* in the **issuing** realm (where the user authenticates first), as the
+  remote realm's TGS principal — ``krbtgt.<remote>@<local>`` — so the
+  local TGS can *seal* TGTs the remote realm will accept;
+* in the **accepting** realm, as ``xrealm.<issuer>@<local>`` — the key
+  its TGS uses to *unseal* TGTs issued by that foreign realm.
+
+:func:`link_realms` installs both directions for a pair of realms.
+Because the entries are ordinary database records, they propagate to
+slaves with everything else (Figure 13).
+"""
+
+from __future__ import annotations
+
+from repro.crypto import DesKey, KeyGenerator
+from repro.core.kdc import XREALM_NAME
+from repro.database.db import KerberosDatabase
+from repro.principal import Principal, tgs_principal
+
+
+def register_issuing_key(
+    db: KerberosDatabase, remote_realm: str, key: DesKey, now: float = 0.0
+) -> None:
+    """Let ``db``'s realm issue TGTs for ``remote_realm``."""
+    db.add_principal(
+        tgs_principal(db.realm, remote_realm),
+        key=key,
+        now=now,
+        mod_by="cross-realm",
+    )
+
+
+def register_accepting_key(
+    db: KerberosDatabase, issuer_realm: str, key: DesKey, now: float = 0.0
+) -> None:
+    """Let ``db``'s realm accept TGTs issued by ``issuer_realm``."""
+    db.add_principal(
+        Principal(XREALM_NAME, issuer_realm, db.realm),
+        key=key,
+        now=now,
+        mod_by="cross-realm",
+    )
+
+
+def link_realms(
+    db_a: KerberosDatabase,
+    db_b: KerberosDatabase,
+    keygen: KeyGenerator,
+    now: float = 0.0,
+) -> DesKey:
+    """Full bidirectional pairing of two realms with one shared key, as
+    two administrators agreeing on a key would produce.  Returns the key
+    (for tests that need to demonstrate what its compromise allows)."""
+    key = keygen.session_key()
+    register_issuing_key(db_a, db_b.realm, key, now=now)
+    register_accepting_key(db_b, db_a.realm, key, now=now)
+    register_issuing_key(db_b, db_a.realm, key, now=now)
+    register_accepting_key(db_a, db_b.realm, key, now=now)
+    return key

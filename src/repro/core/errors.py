@@ -1,0 +1,60 @@
+"""Kerberos protocol error codes.
+
+The codes mirror the historical library's families: ``KDC_*`` for errors
+returned by the authentication/ticket-granting server, ``RD_AP_*`` for
+failures detected by a server reading an authentication request
+(Section 4.3's checks), and ``INTK_*`` for client-side failures getting
+an initial ticket (Section 4.2 — the wrong-password case).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorCode(enum.IntEnum):
+    """Protocol error codes carried in error replies."""
+
+    # KDC (authentication / ticket-granting server) errors.
+    KDC_OK = 0
+    KDC_PR_UNKNOWN = 1        # principal unknown ("checks that it knows about the client")
+    KDC_PR_EXPIRED = 2        # principal entry expired
+    KDC_PR_DISABLED = 3       # principal administratively disabled
+    KDC_SERVICE_UNKNOWN = 4   # target service not registered
+    KDC_SERVICE_EXPIRED = 5
+    KDC_PR_NOTGT = 6          # TGS will not issue tickets for this service (Sec. 5.1)
+    KDC_NO_CROSS_REALM = 7    # no inter-realm key with the TGT's realm (Sec. 7.2)
+    KDC_GEN_ERR = 8           # malformed or undecodable request
+    KDC_PREAUTH_REQUIRED = 9  # extension: principal requires preauthentication
+    KDC_PREAUTH_FAILED = 10   # extension: preauthentication did not verify
+
+    # Application-request (rd_req) errors.
+    RD_AP_MODIFIED = 20       # ticket or authenticator failed to decrypt/verify
+    RD_AP_TIME = 21           # authenticator timestamp outside the skew window
+    RD_AP_REPEAT = 22         # same ticket and timestamp already seen (replay)
+    RD_AP_BADD = 23           # address mismatch (ticket vs authenticator vs packet)
+    RD_AP_EXP = 24            # ticket expired
+    RD_AP_NYV = 25            # ticket not yet valid (issued in the future)
+    RD_AP_PRINCIPAL = 26      # authenticator names a different client than ticket
+    RD_AP_VERSION = 27        # unknown key version (stale srvtab)
+
+    # Client-side initial-ticket errors.
+    INTK_BADPW = 40           # reply would not decrypt: wrong password
+    INTK_PROT = 41            # malformed reply
+
+    # KDBM (administration) errors.
+    KDBM_DENIED = 60          # requester not authorized (Sec. 5.1 ACL check)
+    KDBM_READONLY = 61        # request reached a slave (Fig. 11)
+    KDBM_ERROR = 62
+
+    # Transport / application errors.
+    APP_ERROR = 80
+
+
+class KerberosError(Exception):
+    """A protocol-level failure, carrying its :class:`ErrorCode`."""
+
+    def __init__(self, code: ErrorCode, message: str = "") -> None:
+        self.code = ErrorCode(code)
+        self.message = message or self.code.name
+        super().__init__(f"{self.code.name}: {self.message}")

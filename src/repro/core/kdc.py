@@ -1,0 +1,333 @@
+"""The authentication server (paper Sections 2.2, 4.2, 4.4; Figures 5, 8, 10).
+
+One :class:`KerberosServer` implements both halves of the KDC:
+
+* the **authentication service** (Figure 5) — handles initial-ticket
+  requests: "The authentication server checks that it knows about the
+  client.  If so, it generates a random session key ... It then creates
+  a ticket for the ticket-granting server ... This is all encrypted in a
+  key known only to the ticket-granting server and the authentication
+  server"; the reply "is encrypted in the client's private key";
+* the **ticket-granting service** (Figure 8) — handles requests carrying
+  a TGT and authenticator: "The ticket-granting server then checks the
+  authenticator and ticket-granting ticket as described above.  If
+  valid, the ticket-granting server generates a new random session key
+  ... The lifetime of the new ticket is the minimum of the remaining
+  life for the ticket-granting ticket and the default for the service";
+  the reply "is encrypted in the session key that was part of the
+  ticket-granting ticket".
+
+The server "performs read-only operations on the Kerberos database", so
+the same class runs unchanged against a slave's read-only replica
+(Figure 10).  Cross-realm requests (Section 7.2) are recognized by the
+request's cleartext TGT realm and unsealed with the previously exchanged
+inter-realm key.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import DesKey, KeyGenerator
+from repro.core.applib import krb_rd_req
+from repro.core.errors import ErrorCode, KerberosError
+from repro.core.messages import (
+    AsRequest,
+    ErrorReply,
+    KdcReply,
+    KdcReplyBody,
+    MessageType,
+    PreauthAsRequest,
+    TgsRequest,
+    decode_message,
+    encode_message,
+    verify_preauth,
+)
+from repro.core.replay import CLOCK_SKEW, ReplayCache
+from repro.core.ticket import Ticket, seal_ticket
+from repro.database.db import KerberosDatabase, NoSuchPrincipal
+from repro.database.schema import PrincipalRecord
+from repro.netsim import Host, IPAddress
+from repro.netsim.ports import KERBEROS_PORT
+from repro.principal import Principal, tgs_principal
+
+#: db name under which the key for *accepting* TGTs issued by a remote
+#: realm is stored.  The issuing side stores the same key under the
+#: remote TGS principal (krbtgt.<remote>); see repro.core.crossrealm.
+XREALM_NAME = "xrealm"
+
+
+class KerberosServer:
+    """An authentication server bound to a host's Kerberos port.
+
+    Runs against the master database or any read-only slave copy —
+    authentication "can run on both master and slave machines"
+    (Figure 10).
+    """
+
+    def __init__(
+        self,
+        database: KerberosDatabase,
+        host: Host,
+        keygen: KeyGenerator,
+        skew: float = CLOCK_SKEW,
+        port: int = KERBEROS_PORT,
+    ) -> None:
+        self.db = database
+        self.realm = database.realm
+        self.host = host
+        self.keygen = keygen
+        self.skew = skew
+        self.replay_cache = ReplayCache(window=skew)
+        # Service counters for the benchmarks (Figure 10 / Section 9).
+        self.as_requests = 0
+        self.tgs_requests = 0
+        self.errors = 0
+        host.bind(port, self._handle)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _handle(self, datagram) -> bytes:
+        try:
+            mtype, message = decode_message(datagram.payload)
+            if mtype in (MessageType.AS_REQ, MessageType.PREAUTH_AS_REQ):
+                self.as_requests += 1
+                return self._handle_as(message, datagram)
+            if mtype == MessageType.TGS_REQ:
+                self.tgs_requests += 1
+                return self._handle_tgs(message, datagram)
+            raise KerberosError(
+                ErrorCode.KDC_GEN_ERR,
+                f"KDC does not handle {mtype.name} messages",
+            )
+        except KerberosError as err:
+            self.errors += 1
+            return encode_message(MessageType.ERROR, ErrorReply.from_error(err))
+
+    # -- shared pieces -----------------------------------------------------------
+
+    def _lookup_client(self, client: Principal, now: float) -> PrincipalRecord:
+        try:
+            record = self.db.get_record(client)
+        except NoSuchPrincipal as exc:
+            raise KerberosError(ErrorCode.KDC_PR_UNKNOWN, str(exc)) from exc
+        if record.expired(now):
+            raise KerberosError(
+                ErrorCode.KDC_PR_EXPIRED, f"principal {client} has expired"
+            )
+        if record.disabled:
+            raise KerberosError(
+                ErrorCode.KDC_PR_DISABLED, f"principal {client} is disabled"
+            )
+        return record
+
+    def _lookup_service(self, service: Principal, now: float) -> PrincipalRecord:
+        try:
+            record = self.db.get_record(service)
+        except NoSuchPrincipal as exc:
+            raise KerberosError(ErrorCode.KDC_SERVICE_UNKNOWN, str(exc)) from exc
+        if record.expired(now):
+            raise KerberosError(
+                ErrorCode.KDC_SERVICE_EXPIRED, f"service {service} has expired"
+            )
+        return record
+
+    def _issue(
+        self,
+        client: Principal,
+        service: Principal,
+        service_record: PrincipalRecord,
+        address: IPAddress,
+        life: float,
+        now: float,
+    ):
+        """Build and seal a ticket; returns (ticket_blob, session_key, kvno,
+        canonical ticket server)."""
+        session_key = self.keygen.session_key()
+        ticket_server = self._canonical_ticket_server(service)
+        ticket = Ticket(
+            server=ticket_server,
+            client=client,
+            address=IPAddress(address).as_int,
+            timestamp=now,
+            life=life,
+            session_key=session_key.key_bytes,
+        )
+        service_key = self.db.master_key.unseal_key(service_record.sealed_key)
+        return (
+            seal_ticket(ticket, service_key),
+            session_key,
+            service_record.key_version,
+            ticket_server,
+        )
+
+    def _canonical_ticket_server(self, service: Principal) -> Principal:
+        """Tickets for a *remote* TGS (cross-realm) are written with the
+        server as that realm knows itself, so the remote KDC's own
+        identity check passes."""
+        if service.is_tgs and service.instance != self.realm:
+            return tgs_principal(service.instance)
+        return service.with_realm(self.realm)
+
+    # -- the authentication service (Figure 5) --------------------------------------
+
+    def _handle_as(self, request, datagram) -> bytes:
+        now = self.host.clock.now()
+        client_record = self._lookup_client(request.client, now)
+        service_record = self._lookup_service(request.service, now)
+
+        # Preauthentication (extension, see PreauthAsRequest): principals
+        # flagged require-preauth get no reply without proof of their key.
+        if client_record.requires_preauth:
+            if not isinstance(request, PreauthAsRequest):
+                raise KerberosError(
+                    ErrorCode.KDC_PREAUTH_REQUIRED,
+                    f"{request.client} requires preauthentication",
+                )
+            if abs(now - request.timestamp) > self.skew:
+                raise KerberosError(
+                    ErrorCode.KDC_PREAUTH_FAILED,
+                    "preauthentication timestamp outside the skew window",
+                )
+            client_key_for_preauth = self.db.master_key.unseal_key(
+                client_record.sealed_key
+            )
+            if not verify_preauth(
+                request.preauth, client_key_for_preauth, request.timestamp
+            ):
+                raise KerberosError(
+                    ErrorCode.KDC_PREAUTH_FAILED,
+                    "preauthentication did not verify",
+                )
+
+        life = max(0.0, min(
+            request.requested_life,
+            client_record.max_life,
+            service_record.max_life,
+        ))
+        client = request.client.with_realm(self.realm)
+        ticket_blob, session_key, kvno, server = self._issue(
+            client=client,
+            service=request.service,
+            service_record=service_record,
+            address=datagram.src,
+            life=life,
+            now=now,
+        )
+        body = KdcReplyBody(
+            session_key=session_key.key_bytes,
+            server=request.service.with_realm(
+                request.service.realm or self.realm
+            ),
+            issue_time=now,
+            life=life,
+            kvno=kvno,
+            request_timestamp=request.timestamp,
+            ticket=ticket_blob,
+        )
+        client_key = self.db.master_key.unseal_key(client_record.sealed_key)
+        reply = KdcReply.build(client, body, client_key)
+        return encode_message(MessageType.AS_REP, reply)
+
+    # -- the ticket-granting service (Figure 8, Section 7.2) ---------------------------
+
+    def _tgt_key(self, tgt_realm: str) -> DesKey:
+        """The key that should open the presented TGT: our own TGS key for
+        local TGTs, the inter-realm key for foreign ones."""
+        if tgt_realm == self.realm:
+            return self.db.principal_key(tgs_principal(self.realm))
+        try:
+            return self.db.principal_key(
+                Principal(XREALM_NAME, tgt_realm, self.realm)
+            )
+        except NoSuchPrincipal:
+            raise KerberosError(
+                ErrorCode.KDC_NO_CROSS_REALM,
+                f"no inter-realm key with {tgt_realm}",
+            ) from None
+
+    def _handle_tgs(self, request: TgsRequest, datagram) -> bytes:
+        now = self.host.clock.now()
+        tgt_key = self._tgt_key(request.tgt_realm)
+
+        # "The ticket-granting server then checks the authenticator and
+        # ticket-granting ticket as described above" — the full Figure 6
+        # validation, with the TGS itself as the target service.
+        context = krb_rd_req(
+            request=_as_ap_request(request),
+            service=tgs_principal(self.realm),
+            service_key_or_srvtab=tgt_key,
+            packet_address=datagram.src,
+            now=now,
+            replay_cache=self.replay_cache,
+            skew=self.skew,
+        )
+        client = context.client  # realm preserved from the TGT (Sec. 7.2)
+
+        service_record = self._lookup_service(request.service, now)
+        # Section 5.1: "the ticket-granting service will not issue
+        # tickets for it" — services flagged no-TGT (the KDBM) must be
+        # reached through the authentication service instead.
+        if not service_record.tgt_allowed:
+            raise KerberosError(
+                ErrorCode.KDC_PR_NOTGT,
+                f"{request.service} tickets are only issued by the "
+                "authentication service (a password is required)",
+            )
+        # The paper stops at one hop: a foreign client may use local
+        # services, but chaining onward to a third realm would require
+        # recording "the entire path that was taken" (Section 7.2).
+        is_remote_tgs = (
+            request.service.is_tgs and request.service.instance != self.realm
+        )
+        if is_remote_tgs and client.realm != self.realm:
+            raise KerberosError(
+                ErrorCode.KDC_NO_CROSS_REALM,
+                "realm chaining not supported: only the initial "
+                "authentication realm is recorded in tickets",
+            )
+
+        # "The lifetime of the new ticket is the minimum of the remaining
+        # life for the ticket-granting ticket and the default for the
+        # service."
+        life = max(0.0, min(
+            request.requested_life,
+            context.ticket.remaining_life(now),
+            service_record.max_life,
+        ))
+        ticket_blob, session_key, kvno, server = self._issue(
+            client=client,
+            service=request.service,
+            service_record=service_record,
+            address=datagram.src,
+            life=life,
+            now=now,
+        )
+        body = KdcReplyBody(
+            session_key=session_key.key_bytes,
+            server=request.service.with_realm(
+                request.service.realm or self.realm
+            ),
+            issue_time=now,
+            life=life,
+            kvno=kvno,
+            request_timestamp=request.timestamp,
+            ticket=ticket_blob,
+        )
+        # "the reply is encrypted in the session key that was part of the
+        # ticket-granting ticket" — no password needed again.
+        reply = KdcReply.build(client, body, context.session_key)
+        return encode_message(MessageType.TGS_REP, reply)
+
+
+def _as_ap_request(request: TgsRequest):
+    """View the TGT+authenticator of a TGS request as an AP request, so the
+    TGS can reuse the standard krb_rd_req validation (the paper: the
+    ticket-granting service 'makes use of the service access protocol
+    described in the previous section')."""
+    from repro.core.messages import ApRequest
+
+    return ApRequest(
+        ticket=request.tgt,
+        authenticator=request.authenticator,
+        mutual=False,
+        kvno=0,
+    )

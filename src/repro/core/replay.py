@@ -1,0 +1,69 @@
+"""Replay detection (paper Section 4.3).
+
+*"The server is also allowed to keep track of all past requests with
+time stamps that are still valid.  In order to further foil replay
+attacks, a request received with the same ticket and time stamp as one
+already received can be discarded."*
+
+The cache remembers (client, address, timestamp) triples for as long as
+their timestamps remain inside the acceptance window; older entries are
+purged as time advances, bounding memory at (window x request rate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set, Tuple
+
+from repro.netsim.clock import MINUTE
+
+#: "It is assumed that clocks are synchronized to within several
+#: minutes" — we take "several" to be five.
+CLOCK_SKEW = 5 * MINUTE
+
+_Entry = Tuple[str, int, float]
+
+
+class ReplayCache:
+    """Remembers recently seen authenticators for one server."""
+
+    def __init__(self, window: float = CLOCK_SKEW) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._seen: Set[_Entry] = set()
+        self._order: Deque[Tuple[float, _Entry]] = deque()
+
+    def seen_before(self, client: str, address: int, timestamp: float) -> bool:
+        """Has this exact (client, addr, timestamp) already been presented?"""
+        return (client, address, timestamp) in self._seen
+
+    def remember(self, client: str, address: int, timestamp: float, now: float) -> None:
+        """Record a fresh authenticator and purge entries that have aged
+        out of the window (their timestamps are no longer acceptable, so
+        remembering them is pointless)."""
+        self.purge(now)
+        entry = (client, address, timestamp)
+        if entry not in self._seen:
+            self._seen.add(entry)
+            self._order.append((timestamp, entry))
+
+    def check_and_store(
+        self, client: str, address: int, timestamp: float, now: float
+    ) -> bool:
+        """Combined operation: True if fresh (and now recorded), False if
+        this is a replay."""
+        if self.seen_before(client, address, timestamp):
+            return False
+        self.remember(client, address, timestamp, now)
+        return True
+
+    def purge(self, now: float) -> None:
+        """Drop entries whose timestamps have fallen out of the window."""
+        cutoff = now - self.window
+        while self._order and self._order[0][0] < cutoff:
+            _, entry = self._order.popleft()
+            self._seen.discard(entry)
+
+    def __len__(self) -> int:
+        return len(self._seen)

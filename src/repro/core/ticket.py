@@ -1,0 +1,88 @@
+"""Kerberos tickets (paper Section 4.1, Figure 3).
+
+*"A ticket is good for a single server and a single client.  It contains
+the name of the server, the name of the client, the Internet address of
+the client, a time stamp, a lifetime, and a random session key.  This
+information is encrypted using the key of the server for which the
+ticket will be used."*
+
+Figure 3::
+
+    {s, c, addr, timestamp, life, K_s,c} K_s
+
+Because the ticket is sealed in the server's key, "it is safe to allow
+the user to pass the ticket on to the server without having to worry
+about the user modifying the ticket".  To everyone but the issuing KDC
+and the target server a ticket is opaque bytes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import DesKey, IntegrityError, seal, unseal
+from repro.core.errors import ErrorCode, KerberosError
+from repro.encode import DecodeError, WireStruct, field
+from repro.netsim import IPAddress
+from repro.principal import Principal
+
+
+class Ticket(WireStruct):
+    """The plaintext content of a ticket — exactly Figure 3's six fields."""
+
+    FIELDS = (
+        field("server", Principal),     # s
+        field("client", Principal),     # c  (client realm records where the
+                                        #     user originally authenticated,
+                                        #     Section 7.2)
+        field("address", "u32"),        # addr
+        field("timestamp", "f64"),      # time of issue
+        field("life", "f64"),           # lifetime in seconds
+        field("session_key", "bytes"),  # K_s,c
+    )
+
+    # -- validity ----------------------------------------------------------
+
+    @property
+    def expires(self) -> float:
+        return self.timestamp + self.life
+
+    def expired(self, now: float, skew: float = 0.0) -> bool:
+        return now > self.expires + skew
+
+    def not_yet_valid(self, now: float, skew: float = 0.0) -> bool:
+        return now < self.timestamp - skew
+
+    def remaining_life(self, now: float) -> float:
+        return max(0.0, self.expires - now)
+
+    @property
+    def key(self) -> DesKey:
+        return DesKey(self.session_key, allow_weak=True)
+
+    @property
+    def client_address(self) -> IPAddress:
+        return IPAddress(self.address)
+
+    def __repr__(self) -> str:
+        return (
+            f"Ticket(server={self.server}, client={self.client}, "
+            f"addr={self.client_address}, t={self.timestamp}, "
+            f"life={self.life})"
+        )
+
+
+def seal_ticket(ticket: Ticket, server_key: DesKey) -> bytes:
+    """Encrypt a ticket in the target server's private key ({...}K_s)."""
+    return seal(server_key, ticket.to_bytes())
+
+
+def unseal_ticket(blob: bytes, server_key: DesKey) -> Ticket:
+    """Decrypt and parse a ticket; only the named server (and the KDC that
+    issued it) can do this.  A wrong key, a modified ticket, or garbage
+    all raise ``RD_AP_MODIFIED`` — the indistinguishability is the point:
+    tampering cannot be told apart from forgery."""
+    try:
+        return Ticket.from_bytes(unseal(server_key, blob))
+    except (IntegrityError, DecodeError) as exc:
+        raise KerberosError(
+            ErrorCode.RD_AP_MODIFIED, f"ticket failed to decrypt: {exc}"
+        ) from exc

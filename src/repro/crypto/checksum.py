@@ -1,0 +1,77 @@
+"""Message checksums used by the Kerberos protocols.
+
+Two checksums, matching the two uses in the paper:
+
+* :func:`cbc_mac` — a DES-CBC message authentication code.  Figure 13:
+  *"First kprop sends a checksum of the new database it is about to send.
+  The checksum is encrypted in the Kerberos master database key"* — that
+  checksum is this MAC.  It is keyed, so only holders of the key can
+  forge it.
+* :func:`quad_cksum` — the fast quadratic checksum the historical
+  implementation used for *safe messages* (authenticated but not
+  encrypted application data).  It is seeded with the session key, making
+  it unforgeable without the seed while remaining much cheaper than a
+  full DES pass — the "tradeoffs between speed and security" of
+  Section 2.2.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+from repro.crypto.bits import bytes_to_int
+from repro.crypto.des import BLOCK_SIZE, DesKey
+from repro.crypto.modes import cbc_encrypt
+
+
+def cbc_mac(key: DesKey, data: bytes) -> bytes:
+    """DES-CBC MAC: the final cipher block of a zero-IV CBC encryption.
+
+    The data is length-prefixed before MAC-ing so that messages that
+    differ only by trailing zero padding yield different MACs.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"data must be bytes, got {type(data).__name__}")
+    framed = len(data).to_bytes(8, "big") + bytes(data)
+    framed += b"\x00" * ((-len(framed)) % BLOCK_SIZE)
+    return cbc_encrypt(key, framed)[-BLOCK_SIZE:]
+
+
+def verify_cbc_mac(key: DesKey, data: bytes, mac: bytes) -> bool:
+    """Constant-time comparison of a received MAC against a fresh one."""
+    return _hmac.compare_digest(cbc_mac(key, data), bytes(mac))
+
+
+# Modulus for the quadratic checksum: the Mersenne prime 2**31 - 1, as in
+# the historical quad_cksum.
+_QUAD_MOD = 0x7FFFFFFF
+
+
+def quad_cksum(data: bytes, seed: bytes) -> int:
+    """Seeded quadratic checksum over 4-byte words, mod 2**31 - 1.
+
+    ``z_{i+1} = (z_i + w_i)^2 mod (2**31 - 1)`` chained over the little
+    words of the message, starting from a seed derived from the key.
+    Returns a 32-bit integer.  Not cryptographically strong — the paper's
+    own implementation accepted that tradeoff for safe messages — but
+    unforgeable without the seed for casual attackers, and fast.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"data must be bytes, got {type(data).__name__}")
+    if len(seed) < 8:
+        raise ValueError("seed must be at least 8 bytes (a DES key)")
+    z = bytes_to_int(seed[:4]) % _QUAD_MOD
+    z2 = bytes_to_int(seed[4:8]) % _QUAD_MOD
+    padded = bytes(data) + b"\x00" * ((-len(data)) % 4)
+    for i in range(0, len(padded), 4):
+        word = int.from_bytes(padded[i : i + 4], "big")
+        z = ((z + word) * (z + word) + z2) % _QUAD_MOD
+        z2 = (z2 + z) % _QUAD_MOD
+    # Mix in the length so prefixes do not collide trivially.
+    z = ((z + len(data)) * (z + len(data)) + z2) % _QUAD_MOD
+    return z
+
+
+def quad_cksum_key(key: DesKey, data: bytes) -> int:
+    """Convenience wrapper seeding :func:`quad_cksum` from a DES key."""
+    return quad_cksum(data, key.key_bytes)

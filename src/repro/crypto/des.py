@@ -1,0 +1,362 @@
+"""The Data Encryption Standard (FIPS PUB 46), implemented from scratch.
+
+This is the block cipher underneath every Kerberos operation in the paper:
+tickets are "encrypted using the key of the server", KDC replies are
+"encrypted in the client's private key", and authenticators are "encrypted
+in the session key".
+
+The implementation follows the standard exactly:
+
+* 64-bit blocks, 64-bit keys of which 56 bits are used (one parity bit
+  per byte, odd parity);
+* initial permutation IP, 16 Feistel rounds, final permutation FP;
+* the round function expands 32 bits to 48 (table E), XORs a 48-bit
+  subkey, passes 6-bit groups through the eight S-boxes, and permutes
+  the 32-bit result (table P);
+* the key schedule applies PC-1, splits into two 28-bit halves, rotates
+  per the shift schedule, and extracts each subkey with PC-2.
+
+For speed in pure Python the permutations are compiled to per-byte lookup
+tables (:mod:`repro.crypto.bits`) and the P permutation is folded into
+the S-boxes ("SP boxes"), a standard implementation technique that does
+not change the function computed.  Correctness is pinned by published
+test vectors in ``tests/crypto/test_des.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.crypto.bits import (
+    apply_permutation,
+    bytes_to_int,
+    compile_permutation,
+    int_to_bytes,
+    rotate_left_28,
+)
+
+BLOCK_SIZE = 8
+KEY_SIZE = 8
+
+
+class KeyError_(ValueError):
+    """Raised for malformed DES keys (wrong length, rejected weak key)."""
+
+
+# --------------------------------------------------------------------------
+# FIPS 46 tables (1-indexed from the most significant bit, as published).
+# --------------------------------------------------------------------------
+
+_IP = (
+    58, 50, 42, 34, 26, 18, 10, 2,
+    60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9, 1,
+    59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,
+    63, 55, 47, 39, 31, 23, 15, 7,
+)
+
+_FP = (
+    40, 8, 48, 16, 56, 24, 64, 32,
+    39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28,
+    35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26,
+    33, 1, 41, 9, 49, 17, 57, 25,
+)
+
+_E = (
+    32, 1, 2, 3, 4, 5,
+    4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13,
+    12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21,
+    20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29,
+    28, 29, 30, 31, 32, 1,
+)
+
+_P = (
+    16, 7, 20, 21, 29, 12, 28, 17,
+    1, 15, 23, 26, 5, 18, 31, 10,
+    2, 8, 24, 14, 32, 27, 3, 9,
+    19, 13, 30, 6, 22, 11, 4, 25,
+)
+
+_PC1 = (
+    57, 49, 41, 33, 25, 17, 9,
+    1, 58, 50, 42, 34, 26, 18,
+    10, 2, 59, 51, 43, 35, 27,
+    19, 11, 3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,
+    7, 62, 54, 46, 38, 30, 22,
+    14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
+)
+
+_PC2 = (
+    14, 17, 11, 24, 1, 5,
+    3, 28, 15, 6, 21, 10,
+    23, 19, 12, 4, 26, 8,
+    16, 7, 27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55,
+    30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53,
+    46, 42, 50, 36, 29, 32,
+)
+
+_SHIFTS = (1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1)
+
+_SBOXES = (
+    (
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+        0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+        4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+        15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ),
+    (
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+        3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+        0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+        13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ),
+    (
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+        13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+        13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+        1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ),
+    (
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+        13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+        10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+        3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ),
+    (
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+        14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+        4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+        11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ),
+    (
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+        10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+        9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+        4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ),
+    (
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+        13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+        1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+        6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ),
+    (
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+        1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+        7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+        2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Compiled permutations and SP boxes (built once at import).
+# --------------------------------------------------------------------------
+
+_IP_C = compile_permutation(_IP, 64)
+_FP_C = compile_permutation(_FP, 64)
+_E_C = compile_permutation(_E, 32)
+_PC1_C = compile_permutation(_PC1, 64)
+_PC2_C = compile_permutation(_PC2, 56)
+_P_C = compile_permutation(_P, 32)
+
+
+def _build_sp_boxes() -> Tuple[Tuple[int, ...], ...]:
+    """Fold the P permutation into each S-box.
+
+    ``SP[i][six]`` is the 32-bit contribution of S-box ``i`` (fed the
+    6-bit group ``six``) *after* the P permutation — so a round's S+P
+    stage becomes eight lookups OR-ed together.
+    """
+    sp: List[Tuple[int, ...]] = []
+    for i, sbox in enumerate(_SBOXES):
+        table = []
+        for six in range(64):
+            row = ((six >> 4) & 0b10) | (six & 0b01)
+            col = (six >> 1) & 0x0F
+            s_out = sbox[row * 16 + col]
+            placed = s_out << (28 - 4 * i)
+            table.append(apply_permutation(_P_C, placed))
+        sp.append(tuple(table))
+    return tuple(sp)
+
+
+_SP = _build_sp_boxes()
+
+# --------------------------------------------------------------------------
+# Parity and weak keys.
+# --------------------------------------------------------------------------
+
+# The four weak keys and twelve semi-weak keys from FIPS 74.  Weak keys
+# produce palindromic key schedules (encryption == decryption); Kerberos
+# key generation avoids them.
+WEAK_KEYS = frozenset(
+    bytes.fromhex(h)
+    for h in (
+        # weak
+        "0101010101010101",
+        "fefefefefefefefe",
+        "1f1f1f1f0e0e0e0e",
+        "e0e0e0e0f1f1f1f1",
+        # semi-weak pairs
+        "01fe01fe01fe01fe", "fe01fe01fe01fe01",
+        "1fe01fe00ef10ef1", "e01fe01ff10ef10e",
+        "01e001e001f101f1", "e001e001f101f101",
+        "1ffe1ffe0efe0efe", "fe1ffe1ffe0efe0e",
+        "011f011f010e010e", "1f011f010e010e01",
+        "e0fee0fef1fef1fe", "fee0fee0fef1fef1",
+    )
+)
+
+
+def _odd_parity_byte(value: int) -> int:
+    """Return ``value`` with its low bit set so the byte has odd parity."""
+    v = value & 0xFE
+    ones = bin(v).count("1")
+    return v | (0 if ones % 2 == 1 else 1)
+
+
+_PARITY_TABLE = tuple(_odd_parity_byte(v) for v in range(256))
+
+
+def fix_parity(key: bytes) -> bytes:
+    """Set each byte of an 8-byte key to odd parity (FIPS requirement)."""
+    if len(key) != KEY_SIZE:
+        raise KeyError_(f"DES key must be {KEY_SIZE} bytes, got {len(key)}")
+    return bytes(_PARITY_TABLE[b] for b in key)
+
+
+def check_parity(key: bytes) -> bool:
+    """True if every byte of the key has odd parity."""
+    if len(key) != KEY_SIZE:
+        raise KeyError_(f"DES key must be {KEY_SIZE} bytes, got {len(key)}")
+    return all(bin(b).count("1") % 2 == 1 for b in key)
+
+
+def is_weak_key(key: bytes) -> bool:
+    """True if the key is one of the FIPS 74 weak or semi-weak keys."""
+    if len(key) != KEY_SIZE:
+        raise KeyError_(f"DES key must be {KEY_SIZE} bytes, got {len(key)}")
+    return fix_parity(key) in WEAK_KEYS
+
+
+# --------------------------------------------------------------------------
+# Key schedule and the cipher proper.
+# --------------------------------------------------------------------------
+
+
+def _key_schedule(key: bytes) -> Tuple[int, ...]:
+    """Derive the sixteen 48-bit round subkeys from an 8-byte key."""
+    k56 = apply_permutation(_PC1_C, bytes_to_int(key))
+    c = (k56 >> 28) & 0x0FFFFFFF
+    d = k56 & 0x0FFFFFFF
+    subkeys = []
+    for shift in _SHIFTS:
+        c = rotate_left_28(c, shift)
+        d = rotate_left_28(d, shift)
+        subkeys.append(apply_permutation(_PC2_C, (c << 28) | d))
+    return tuple(subkeys)
+
+
+def _feistel(right: int, subkey: int) -> int:
+    """The DES round function f(R, K)."""
+    t = apply_permutation(_E_C, right) ^ subkey
+    sp = _SP
+    return (
+        sp[0][(t >> 42) & 0x3F]
+        | sp[1][(t >> 36) & 0x3F]
+        | sp[2][(t >> 30) & 0x3F]
+        | sp[3][(t >> 24) & 0x3F]
+        | sp[4][(t >> 18) & 0x3F]
+        | sp[5][(t >> 12) & 0x3F]
+        | sp[6][(t >> 6) & 0x3F]
+        | sp[7][t & 0x3F]
+    )
+
+
+def _crypt_block_int(block: int, subkeys) -> int:
+    b = apply_permutation(_IP_C, block)
+    left = (b >> 32) & 0xFFFFFFFF
+    right = b & 0xFFFFFFFF
+    for subkey in subkeys:
+        left, right = right, left ^ _feistel(right, subkey)
+    # Final swap is built into taking (R16, L16).
+    return apply_permutation(_FP_C, (right << 32) | left)
+
+
+class DesKey:
+    """A scheduled DES key.
+
+    >>> key = DesKey(bytes.fromhex("133457799BBCDFF1"))
+    >>> key.encrypt_block(bytes.fromhex("0123456789ABCDEF")).hex()
+    '85e813540f0ab405'
+
+    ``allow_weak`` admits the FIPS weak keys (needed only by tests that
+    demonstrate why they are rejected elsewhere).  Parity is *normalized*
+    rather than rejected, matching the historical library: key bytes have
+    their parity bit fixed up on entry.
+    """
+
+    __slots__ = ("_key", "_enc_subkeys", "_dec_subkeys")
+
+    def __init__(self, key: bytes, allow_weak: bool = False) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise KeyError_(f"key must be bytes, got {type(key).__name__}")
+        if len(key) != KEY_SIZE:
+            raise KeyError_(f"DES key must be {KEY_SIZE} bytes, got {len(key)}")
+        key = fix_parity(bytes(key))
+        if not allow_weak and key in WEAK_KEYS:
+            raise KeyError_(f"refusing weak DES key {key.hex()}")
+        self._key = key
+        self._enc_subkeys = _key_schedule(key)
+        self._dec_subkeys = tuple(reversed(self._enc_subkeys))
+
+    @property
+    def key_bytes(self) -> bytes:
+        return self._key
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        out = _crypt_block_int(bytes_to_int(block), self._enc_subkeys)
+        return int_to_bytes(out, BLOCK_SIZE)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        out = _crypt_block_int(bytes_to_int(block), self._dec_subkeys)
+        return int_to_bytes(out, BLOCK_SIZE)
+
+    # Integer-block variants used by the block modes (avoids bytes<->int
+    # conversion churn in inner loops).
+    def encrypt_block_int(self, block: int) -> int:
+        return _crypt_block_int(block, self._enc_subkeys)
+
+    def decrypt_block_int(self, block: int) -> int:
+        return _crypt_block_int(block, self._dec_subkeys)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DesKey):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        # Never print key material; show a short fingerprint instead.
+        fp = hex(hash(self._key) & 0xFFFF)
+        return f"DesKey(<fingerprint {fp}>)"

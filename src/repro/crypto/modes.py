@@ -1,0 +1,209 @@
+"""DES block modes: ECB, CBC, and the paper's Propagating CBC (PCBC).
+
+Paper, Section 2.2: *"In CBC, an error is propagated only through the
+current block of the cipher, whereas in PCBC, the error is propagated
+throughout the message.  This renders the entire message useless if an
+error occurs, rather than just a portion of it."*
+
+On top of the raw modes this module provides the ``seal``/``unseal`` pair
+used by every protocol message in the repository.  ``seal`` frames the
+plaintext as::
+
+    | magic u32 | length u32 | data ... | zero pad | 8-byte trailer |
+
+and encrypts it (PCBC by default).  ``unseal`` decrypts and checks the
+magic, the length, and the trailer.  With PCBC, corrupting *any*
+ciphertext block garbles every later plaintext block — including the
+trailer — so tampering anywhere in the message is detected.  With CBC the
+trailer survives mid-message corruption, which is exactly the weakness
+the paper's PCBC extension exists to close (benchmarked in exp C1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.crypto.bits import bytes_to_int, int_to_bytes
+from repro.crypto.des import BLOCK_SIZE, DesKey
+
+_MASK64 = (1 << 64) - 1
+
+#: Magic marking the start of a sealed message ("KRB4" in ASCII).
+SEAL_MAGIC = 0x4B524234
+#: Trailer block appended before encryption; survives decryption intact
+#: only if no earlier block was corrupted (under PCBC).
+SEAL_TRAILER = b"ATHENA88"
+
+ZERO_IV = b"\x00" * BLOCK_SIZE
+
+
+class IntegrityError(ValueError):
+    """Decryption produced garbage: wrong key, corruption, or tampering."""
+
+
+class Mode(enum.Enum):
+    """Cipher mode selector for :func:`seal`/:func:`unseal`."""
+
+    ECB = "ecb"
+    CBC = "cbc"
+    PCBC = "pcbc"
+
+
+def _require_blocks(data: bytes, what: str) -> None:
+    if len(data) % BLOCK_SIZE != 0:
+        raise ValueError(
+            f"{what} length {len(data)} is not a multiple of {BLOCK_SIZE}"
+        )
+
+
+def _require_iv(iv: bytes) -> int:
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    return bytes_to_int(iv)
+
+
+# --------------------------------------------------------------------------
+# Raw modes. All operate on data whose length is a multiple of 8.
+# --------------------------------------------------------------------------
+
+
+def ecb_encrypt(key: DesKey, data: bytes) -> bytes:
+    """Electronic codebook: each block independently encrypted."""
+    _require_blocks(data, "plaintext")
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        out += key.encrypt_block(data[i : i + BLOCK_SIZE])
+    return bytes(out)
+
+
+def ecb_decrypt(key: DesKey, data: bytes) -> bytes:
+    _require_blocks(data, "ciphertext")
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        out += key.decrypt_block(data[i : i + BLOCK_SIZE])
+    return bytes(out)
+
+
+def cbc_encrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
+    """Cipher block chaining: C_i = E(P_i xor C_{i-1}), C_0 = IV."""
+    _require_blocks(data, "plaintext")
+    prev = _require_iv(iv)
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = bytes_to_int(data[i : i + BLOCK_SIZE])
+        prev = key.encrypt_block_int(block ^ prev)
+        out += int_to_bytes(prev, BLOCK_SIZE)
+    return bytes(out)
+
+
+def cbc_decrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
+    _require_blocks(data, "ciphertext")
+    prev = _require_iv(iv)
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = bytes_to_int(data[i : i + BLOCK_SIZE])
+        out += int_to_bytes(key.decrypt_block_int(block) ^ prev, BLOCK_SIZE)
+        prev = block
+    return bytes(out)
+
+
+def pcbc_encrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
+    """Propagating CBC: C_i = E(P_i xor P_{i-1} xor C_{i-1}).
+
+    The chaining value mixes both the previous plaintext and the previous
+    ciphertext, so any ciphertext error cascades into every subsequent
+    plaintext block on decryption — the paper's whole-message error
+    propagation.
+    """
+    _require_blocks(data, "plaintext")
+    chain = _require_iv(iv)  # holds P_{i-1} xor C_{i-1}
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        plain = bytes_to_int(data[i : i + BLOCK_SIZE])
+        cipher = key.encrypt_block_int(plain ^ chain)
+        out += int_to_bytes(cipher, BLOCK_SIZE)
+        chain = (plain ^ cipher) & _MASK64
+    return bytes(out)
+
+
+def pcbc_decrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
+    _require_blocks(data, "ciphertext")
+    chain = _require_iv(iv)
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        cipher = bytes_to_int(data[i : i + BLOCK_SIZE])
+        plain = key.decrypt_block_int(cipher) ^ chain
+        out += int_to_bytes(plain, BLOCK_SIZE)
+        chain = (plain ^ cipher) & _MASK64
+    return bytes(out)
+
+
+_ENCRYPTORS = {
+    Mode.ECB: lambda key, data, iv: ecb_encrypt(key, data),
+    Mode.CBC: cbc_encrypt,
+    Mode.PCBC: pcbc_encrypt,
+}
+
+_DECRYPTORS = {
+    Mode.ECB: lambda key, data, iv: ecb_decrypt(key, data),
+    Mode.CBC: cbc_decrypt,
+    Mode.PCBC: pcbc_decrypt,
+}
+
+
+# --------------------------------------------------------------------------
+# Sealed messages.
+# --------------------------------------------------------------------------
+
+
+def seal(
+    key: DesKey,
+    data: bytes,
+    iv: bytes = ZERO_IV,
+    mode: Mode = Mode.PCBC,
+) -> bytes:
+    """Frame and encrypt ``data`` so that :func:`unseal` can validate it.
+
+    This is the primitive behind every "{...}K" in the paper's figures:
+    tickets sealed in the server's key, KDC replies sealed in the client's
+    key, authenticators sealed in the session key.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"data must be bytes, got {type(data).__name__}")
+    header = SEAL_MAGIC.to_bytes(4, "big") + len(data).to_bytes(4, "big")
+    body = header + bytes(data)
+    pad_len = (-len(body)) % BLOCK_SIZE
+    body += b"\x00" * pad_len + SEAL_TRAILER
+    return _ENCRYPTORS[mode](key, body, iv)
+
+
+def unseal(
+    key: DesKey,
+    ciphertext: bytes,
+    iv: bytes = ZERO_IV,
+    mode: Mode = Mode.PCBC,
+) -> bytes:
+    """Decrypt a sealed message and return the original data.
+
+    Raises :class:`IntegrityError` if the magic, length, or trailer do not
+    check out — which is what happens when the wrong key is used (the
+    paper's wrong-password case) or when the ciphertext was tampered with
+    (detected whole-message under PCBC).
+    """
+    if len(ciphertext) % BLOCK_SIZE != 0 or len(ciphertext) < 2 * BLOCK_SIZE:
+        raise IntegrityError(
+            f"sealed message has invalid length {len(ciphertext)}"
+        )
+    plain = _DECRYPTORS[mode](key, ciphertext, iv)
+    magic = int.from_bytes(plain[:4], "big")
+    if magic != SEAL_MAGIC:
+        raise IntegrityError("bad magic: wrong key or corrupted message")
+    length = int.from_bytes(plain[4:8], "big")
+    if 8 + length + BLOCK_SIZE > len(plain):
+        raise IntegrityError("declared length exceeds message size")
+    if plain[-BLOCK_SIZE:] != SEAL_TRAILER:
+        raise IntegrityError("bad trailer: message corrupted in transit")
+    pad = plain[8 + length : -BLOCK_SIZE]
+    if any(pad):
+        raise IntegrityError("nonzero padding: message corrupted in transit")
+    return plain[8 : 8 + length]

@@ -1,0 +1,76 @@
+"""The one-way function from a user's password to their DES private key.
+
+Paper, "Conventions": *"In the case of a user, the private key is the
+result of a one-way function applied to the user's password."*  And in
+Section 4.2: *"The password is converted to a DES key and used to decrypt
+the response from the authentication server."*
+
+This module implements the historical Kerberos-4 ``des_string_to_key``
+algorithm:
+
+1. pad the password with NULs to a multiple of 8 bytes;
+2. *fan-fold* the 8-byte chunks into a single 64-bit value, reversing the
+   bit order of every second chunk before XOR-ing it in;
+3. fix the folded value to odd parity per byte (and nudge it away from a
+   weak key) to obtain a temporary key;
+4. compute the DES-CBC checksum of the padded password under that
+   temporary key (with the key itself as IV); the final cipher block,
+   parity-fixed and weak-key-nudged, is the user's private key.
+
+Step 4 is what makes the function one-way: recovering the password from
+the key requires inverting a DES-CBC MAC.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.bits import reverse_block_bits
+from repro.crypto.des import (
+    BLOCK_SIZE,
+    DesKey,
+    WEAK_KEYS,
+    fix_parity,
+)
+from repro.crypto.modes import cbc_encrypt
+
+
+def _unweaken(key: bytes) -> bytes:
+    """Nudge a weak key as the historical library did (XOR last byte 0xF0)."""
+    if key in WEAK_KEYS:
+        key = key[:-1] + bytes([key[-1] ^ 0xF0])
+    return key
+
+
+def string_to_key(password: str, salt: str = "") -> DesKey:
+    """Derive a user's DES private key from a password.
+
+    ``salt`` is appended to the password before folding.  The 1988
+    implementation had no salt; realm-based salting is offered for the
+    cross-realm tests and defaults to the faithful empty string.
+    """
+    if not isinstance(password, str):
+        raise TypeError(f"password must be str, got {type(password).__name__}")
+    data = (password + salt).encode("utf-8")
+    if not data:
+        raise ValueError("password must not be empty")
+
+    padded = data + b"\x00" * ((-len(data)) % BLOCK_SIZE)
+
+    # Fan-fold: XOR successive 8-byte chunks, bit-reversing every second one.
+    folded = bytearray(BLOCK_SIZE)
+    forward = True
+    for i in range(0, len(padded), BLOCK_SIZE):
+        chunk = padded[i : i + BLOCK_SIZE]
+        if not forward:
+            chunk = reverse_block_bits(chunk)
+        for j in range(BLOCK_SIZE):
+            folded[j] ^= chunk[j]
+        forward = not forward
+
+    temp = _unweaken(fix_parity(bytes(folded)))
+    temp_key = DesKey(temp, allow_weak=True)
+
+    # CBC-checksum the padded password under the temporary key; the last
+    # ciphertext block becomes the real key.
+    mac = cbc_encrypt(temp_key, padded, iv=temp)[-BLOCK_SIZE:]
+    final = _unweaken(fix_parity(mac))
+    return DesKey(final, allow_weak=True)

@@ -1,0 +1,85 @@
+"""The KDBM access control list (paper Section 5.1).
+
+*"If they are not the same, the KDBM server consults an access control
+list (stored in a file on the master Kerberos system).  If the
+requester's principal name is found in this file, the request is
+permitted, otherwise it is denied."*
+
+And the convention: *"names with a NULL instance (the default instance)
+do not appear in the access control list file; instead, an admin
+instance is used."*
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.principal import ADMIN_INSTANCE, Principal
+
+
+class AclError(ValueError):
+    """Raised when an entry violates the admin-instance convention."""
+
+
+class AccessControlList:
+    """The set of principals allowed to administer the database."""
+
+    def __init__(self, entries: Iterable[Principal] = ()) -> None:
+        self._entries: set = set()
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, principal: Principal) -> None:
+        """Add an administrator.  NULL-instance names are rejected per the
+        paper's convention: administrators act through an admin instance,
+        keeping a distinct password for administration."""
+        if not principal.instance:
+            raise AclError(
+                f"{principal} has the NULL instance; by convention only "
+                f"'{ADMIN_INSTANCE}' instances appear in the ACL"
+            )
+        self._entries.add(str(principal))
+
+    def remove(self, principal: Principal) -> None:
+        self._entries.discard(str(principal))
+
+    def check(self, principal: Principal) -> bool:
+        """Is this (fully-qualified) principal an administrator?"""
+        return str(principal) in self._entries
+
+    def entries(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, principal: Principal) -> bool:
+        return self.check(principal)
+
+    # -- file representation ("stored in a file on the master") ------------
+
+    def to_text(self) -> str:
+        """One principal per line, as the historical ACL file."""
+        return "".join(f"{entry}\n" for entry in self.entries())
+
+    @classmethod
+    def from_text(cls, text: str, default_realm: str = "") -> "AccessControlList":
+        acl = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                acl.add(Principal.parse(line, default_realm=default_realm))
+            except (AclError, ValueError) as exc:
+                raise AclError(f"ACL line {lineno}: {exc}") from exc
+        return acl
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_text())
+
+    @classmethod
+    def load(cls, path: str, default_realm: str = "") -> "AccessControlList":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_text(f.read(), default_realm=default_realm)

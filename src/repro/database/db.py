@@ -1,0 +1,306 @@
+"""The Kerberos database library (paper Sections 2.2 and 5).
+
+Two kinds of consumer, with different rights:
+
+* the **authentication server** "performs read-only operations on the
+  Kerberos database, namely, the authentication of principals, and
+  generation of session keys" — it may run against a slave copy;
+* the **administration server (KDBM)** needs write access and "may only
+  run on the machine housing the Kerberos database".
+
+A :class:`KerberosDatabase` opened with ``readonly=True`` (every slave
+copy) raises :class:`ReadOnlyDatabase` on any mutation, which is the
+mechanism behind Figures 10 and 11.
+
+Every database carries the historical ``K.M`` verification principal —
+the master key sealed under itself — so opening a database with the wrong
+master key fails immediately instead of corrupting records later.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.crypto import DesKey, string_to_key
+from repro.database.masterkey import MasterKey, MasterKeyError
+from repro.database.schema import (
+    DEFAULT_EXPIRATION_DELTA,
+    DEFAULT_MAX_LIFE,
+    PrincipalRecord,
+)
+from repro.database.store import MemoryStore, RecordStore
+from repro.encode import Decoder, DecodeError, Encoder
+from repro.principal import Principal
+
+#: The master-key verification principal, as in the historical database.
+MASTER_VERIFY_KEY = "K.M"
+
+_DUMP_MAGIC = b"KDBDUMP1"
+
+
+class DatabaseError(Exception):
+    """Base class for Kerberos database errors."""
+
+
+class NoSuchPrincipal(DatabaseError):
+    """Lookup failed: the authentication server 'checks that it knows
+    about the client' and this is the failure branch."""
+
+
+class PrincipalExists(DatabaseError):
+    """Registration collided with an existing entry (the register
+    program's uniqueness check, Section 7.1)."""
+
+
+class ReadOnlyDatabase(DatabaseError):
+    """A mutation was attempted on a slave copy (Figure 11)."""
+
+
+class KerberosDatabase:
+    """The realm's principal database plus its master key."""
+
+    def __init__(
+        self,
+        realm: str,
+        master_key: MasterKey,
+        store: Optional[RecordStore] = None,
+        readonly: bool = False,
+    ) -> None:
+        if not realm:
+            raise ValueError("realm must not be empty")
+        self.realm = realm
+        self.master_key = master_key
+        self.store = store if store is not None else MemoryStore()
+        self.readonly = readonly
+        if len(self.store) == 0 and not readonly:
+            self._install_verifier()
+        elif len(self.store) > 0:
+            self.verify_master_key()
+
+    # -- master key verification ------------------------------------------
+
+    def _install_verifier(self) -> None:
+        sealed = self.master_key.seal_key(self.master_key.des_key)
+        record = PrincipalRecord(
+            name="K",
+            instance="M",
+            sealed_key=sealed,
+            key_version=1,
+            expiration=float("inf"),
+            max_life=0.0,
+            attributes=0,
+            mod_time=0.0,
+            mod_by="kdb_init",
+        )
+        self.store.put(MASTER_VERIFY_KEY, record.to_bytes())
+
+    def verify_master_key(self) -> None:
+        """Check the K.M record opens under our master key."""
+        raw = self.store.get(MASTER_VERIFY_KEY)
+        if raw is None:
+            raise DatabaseError("database has no K.M verification record")
+        record = PrincipalRecord.from_bytes(raw)
+        try:
+            recovered = self.master_key.unseal_key(record.sealed_key)
+        except MasterKeyError as exc:
+            raise DatabaseError(f"master key verification failed: {exc}") from exc
+        if recovered != self.master_key.des_key:
+            raise DatabaseError("master key verification failed: key mismatch")
+
+    # -- guards ----------------------------------------------------------------
+
+    def _writable(self) -> None:
+        if self.readonly:
+            raise ReadOnlyDatabase(
+                f"database copy for realm {self.realm} is read-only "
+                "(changes may only be made on the master, Section 5)"
+            )
+
+    def _local(self, principal: Principal) -> Principal:
+        """Accept names with our realm or with no realm; reject foreign."""
+        if principal.realm and principal.realm != self.realm:
+            raise NoSuchPrincipal(
+                f"{principal} belongs to realm {principal.realm!r}, "
+                f"this database serves {self.realm!r}"
+            )
+        return principal
+
+    # -- reads -------------------------------------------------------------------
+
+    def get_record(self, principal: Principal) -> PrincipalRecord:
+        self._local(principal)
+        raw = self.store.get(principal.db_key())
+        if raw is None:
+            raise NoSuchPrincipal(f"no principal {principal} in {self.realm}")
+        return PrincipalRecord.from_bytes(raw)
+
+    def exists(self, principal: Principal) -> bool:
+        try:
+            self.get_record(principal)
+            return True
+        except NoSuchPrincipal:
+            return False
+
+    def principal_key(self, principal: Principal) -> DesKey:
+        """Unseal and return a principal's private key."""
+        return self.master_key.unseal_key(self.get_record(principal).sealed_key)
+
+    def list_principals(self) -> List[str]:
+        return [k for k in self.store.keys() if k != MASTER_VERIFY_KEY]
+
+    def __len__(self) -> int:
+        return max(0, len(self.store) - 1)  # exclude K.M
+
+    # -- writes (master only) -------------------------------------------------------
+
+    def add_principal(
+        self,
+        principal: Principal,
+        key: Optional[DesKey] = None,
+        password: Optional[str] = None,
+        now: float = 0.0,
+        expiration: Optional[float] = None,
+        max_life: float = DEFAULT_MAX_LIFE,
+        attributes: int = 0,
+        mod_by: str = "kadmin",
+    ) -> PrincipalRecord:
+        """Register a principal with either an explicit key or a password.
+
+        "The private keys are negotiated at registration" (Section 2.1);
+        users register with a password, servers usually with "an
+        automatically generated random key" (Section 6.3).
+        """
+        self._writable()
+        self._local(principal)
+        if (key is None) == (password is None):
+            raise ValueError("provide exactly one of key= or password=")
+        if principal.db_key() == MASTER_VERIFY_KEY:
+            raise ValueError("K.M is reserved for master key verification")
+        if self.store.get(principal.db_key()) is not None:
+            raise PrincipalExists(f"{principal} already registered")
+        if key is None:
+            key = string_to_key(password)
+        record = PrincipalRecord(
+            name=principal.name,
+            instance=principal.instance,
+            sealed_key=self.master_key.seal_key(key),
+            key_version=1,
+            expiration=(
+                expiration if expiration is not None
+                else now + DEFAULT_EXPIRATION_DELTA
+            ),
+            max_life=max_life,
+            attributes=attributes,
+            mod_time=now,
+            mod_by=mod_by,
+        )
+        self.store.put(principal.db_key(), record.to_bytes())
+        return record
+
+    def change_key(
+        self,
+        principal: Principal,
+        new_key: Optional[DesKey] = None,
+        new_password: Optional[str] = None,
+        now: float = 0.0,
+        mod_by: str = "kpasswd",
+    ) -> PrincipalRecord:
+        """Change a principal's key (kpasswd / kadmin cpw)."""
+        self._writable()
+        record = self.get_record(principal)
+        if (new_key is None) == (new_password is None):
+            raise ValueError("provide exactly one of new_key= or new_password=")
+        if new_key is None:
+            new_key = string_to_key(new_password)
+        updated = record.replace(
+            sealed_key=self.master_key.seal_key(new_key),
+            key_version=record.key_version + 1,
+            mod_time=now,
+            mod_by=mod_by,
+        )
+        self.store.put(principal.db_key(), updated.to_bytes())
+        return updated
+
+    def set_attributes(
+        self, principal: Principal, attributes: int, now: float = 0.0,
+        mod_by: str = "kadmin",
+    ) -> PrincipalRecord:
+        self._writable()
+        record = self.get_record(principal)
+        updated = record.replace(
+            attributes=attributes, mod_time=now, mod_by=mod_by
+        )
+        self.store.put(principal.db_key(), updated.to_bytes())
+        return updated
+
+    def set_max_life(
+        self, principal: Principal, max_life: float, now: float = 0.0,
+        mod_by: str = "kadmin",
+    ) -> PrincipalRecord:
+        """Change a principal's maximum ticket lifetime — the knob the
+        Section 8 lifetime-tradeoff discussion is about."""
+        self._writable()
+        record = self.get_record(principal)
+        updated = record.replace(max_life=max_life, mod_time=now, mod_by=mod_by)
+        self.store.put(principal.db_key(), updated.to_bytes())
+        return updated
+
+    def delete_principal(self, principal: Principal) -> None:
+        self._writable()
+        self._local(principal)
+        if not self.store.delete(principal.db_key()):
+            raise NoSuchPrincipal(f"no principal {principal} in {self.realm}")
+
+    # -- dump / load (Figure 13) -----------------------------------------------------
+
+    def dump(self, now: float = 0.0) -> bytes:
+        """Serialize the entire database ("The database is sent, in its
+        entirety, to the slave machines").  Keys inside are already sealed
+        under the master key, so the dump is eavesdropper-safe."""
+        enc = Encoder()
+        enc.raw(_DUMP_MAGIC)
+        enc.string(self.realm)
+        enc.f64(now)
+        entries = list(self.store.items())
+        enc.u32(len(entries))
+        for key, value in entries:
+            enc.string(key)
+            enc.bytes_(value)
+        return enc.getvalue()
+
+    def load_dump(self, data: bytes) -> int:
+        """Replace the database contents from a dump (slave update).
+
+        Bypasses the read-only guard deliberately: propagation is the one
+        sanctioned way slave contents change.  Returns the record count.
+        """
+        dec = Decoder(data)
+        if dec.raw(len(_DUMP_MAGIC)) != _DUMP_MAGIC:
+            raise DatabaseError("not a Kerberos database dump")
+        realm = dec.string()
+        if realm != self.realm:
+            raise DatabaseError(
+                f"dump is for realm {realm!r}, this database is {self.realm!r}"
+            )
+        self.dump_time = dec.f64()
+        count = dec.u32()
+        try:
+            entries = [(dec.string(), dec.bytes_()) for _ in range(count)]
+            dec.expect_eof()
+        except DecodeError as exc:
+            raise DatabaseError(f"corrupt dump: {exc}") from exc
+        self.store.clear()
+        for key, value in entries:
+            self.store.put(key, value)
+        self.verify_master_key()
+        return count
+
+    def replica(self, store: Optional[RecordStore] = None) -> "KerberosDatabase":
+        """Create an empty read-only copy for a slave machine, then feed it
+        via :meth:`load_dump`."""
+        slave = KerberosDatabase.__new__(KerberosDatabase)
+        slave.realm = self.realm
+        slave.master_key = self.master_key
+        slave.store = store if store is not None else MemoryStore()
+        slave.readonly = True
+        return slave

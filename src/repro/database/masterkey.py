@@ -1,0 +1,107 @@
+"""The master database key.
+
+Paper, Section 5.3: *"All passwords in the Kerberos database are
+encrypted in the master database key.  Therefore, the information passed
+from master to slave over the network is not useful to an eavesdropper."*
+The same key authenticates database propagation: *"The checksum is
+encrypted in the Kerberos master database key, which both the master and
+slave Kerberos machines possess."*
+
+The master key is derived from a password entered at database
+initialization and may be *stashed* in a file on the (physically secure,
+per Section 6.3) Kerberos machines so servers can restart unattended —
+the historical ``.k`` file.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import (
+    DesKey,
+    IntegrityError,
+    cbc_mac,
+    seal,
+    string_to_key,
+    unseal,
+    verify_cbc_mac,
+)
+
+
+class MasterKeyError(Exception):
+    """Wrong master key, corrupt stash file, or failed verification."""
+
+
+class MasterKey:
+    """Wraps the realm's master DES key with its two duties:
+    sealing principal keys at rest and authenticating database dumps.
+    """
+
+    def __init__(self, key: DesKey) -> None:
+        if not isinstance(key, DesKey):
+            raise TypeError(f"expected DesKey, got {type(key).__name__}")
+        self._key = key
+
+    @classmethod
+    def from_password(cls, password: str) -> "MasterKey":
+        """Derive the master key exactly as a user key is derived."""
+        return cls(string_to_key(password))
+
+    # -- sealing principal keys ------------------------------------------
+
+    def seal_key(self, principal_key: DesKey) -> bytes:
+        """Encrypt a principal's key for storage in the database."""
+        return seal(self._key, principal_key.key_bytes)
+
+    def unseal_key(self, sealed: bytes) -> DesKey:
+        """Recover a principal's key from its stored form."""
+        try:
+            raw = unseal(self._key, sealed)
+        except IntegrityError as exc:
+            raise MasterKeyError(f"cannot unseal principal key: {exc}") from exc
+        return DesKey(raw, allow_weak=True)
+
+    # -- authenticating dumps (Figure 13) ---------------------------------
+
+    def checksum(self, data: bytes) -> bytes:
+        """The kprop checksum: a MAC keyed by the master key."""
+        return cbc_mac(self._key, data)
+
+    def verify_checksum(self, data: bytes, mac: bytes) -> bool:
+        return verify_cbc_mac(self._key, data, mac)
+
+    # -- stash file ----------------------------------------------------------
+
+    def stash(self, path: str) -> None:
+        """Write the key to a stash file (the historical ``.k`` file).
+
+        The paper's operational answer to "where does the master key live
+        while the server runs unattended" is the physical security of the
+        Kerberos machines (Section 6.3); the stash file models that: it is
+        plaintext on a host assumed physically secure.
+        """
+        with open(path, "wb") as f:
+            f.write(b"KSTASH01" + self._key.key_bytes)
+
+    @classmethod
+    def load_stash(cls, path: str) -> "MasterKey":
+        with open(path, "rb") as f:
+            raw = f.read()
+        if len(raw) != 16 or raw[:8] != b"KSTASH01":
+            raise MasterKeyError(f"{path} is not a master key stash file")
+        return cls(DesKey(raw[8:], allow_weak=True))
+
+    # -- comparison (never expose bytes casually) -----------------------------
+
+    @property
+    def des_key(self) -> DesKey:
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MasterKey):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(("MasterKey", self._key))
+
+    def __repr__(self) -> str:
+        return "MasterKey(<sealed>)"

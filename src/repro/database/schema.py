@@ -1,0 +1,78 @@
+"""The per-principal database record.
+
+Paper, Section 2.2: *"a record is held for each principal, containing
+the name, private key, and expiration date of the principal, along with
+some administrative information.  (The expiration date is the date after
+which an entry is no longer valid.  It is usually set to a few years
+into the future at registration.)"*
+
+The private key field holds the key *sealed under the master database
+key* (Section 5.3: "All passwords in the Kerberos database are encrypted
+in the master database key"), so a dump of these records is safe to send
+to slaves over the network.
+"""
+
+from __future__ import annotations
+
+from repro.encode import WireStruct, field
+from repro.netsim.clock import HOUR
+
+#: Default ticket lifetime granted for a service: the paper's
+#: "currently 8 hours" (Section 6.1).
+DEFAULT_MAX_LIFE = 8 * HOUR
+
+#: "a few years into the future at registration" — five years of
+#: simulated seconds.
+DEFAULT_EXPIRATION_DELTA = 5 * 365 * 24 * HOUR
+
+#: Attribute flag: entry disabled by an administrator.
+ATTR_DISABLED = 1 << 0
+#: Attribute flag: principal may not be issued a ticket-granting ticket
+#: (set on the KDBM service itself, which must be reached via the AS).
+ATTR_NO_TGT = 1 << 1
+#: Attribute flag (extension, not in the 1988 paper): the AS refuses to
+#: answer for this principal unless the request proves knowledge of the
+#: principal's key — closing the active offline-guessing probe.  Added
+#: to Kerberos shortly after the paper; V5 made it standard.
+ATTR_REQUIRE_PREAUTH = 1 << 2
+
+
+class PrincipalRecord(WireStruct):
+    """One row of the Kerberos database.
+
+    ``sealed_key`` is the principal's DES key encrypted in the master
+    database key.  ``key_version`` increments on every password change so
+    stale srvtabs are detectable.  ``max_life`` is "the default for the
+    service" used in the Figure 8 lifetime rule.  ``mod_time``/``mod_by``
+    are the administrative audit fields.
+    """
+
+    FIELDS = (
+        field("name", "string"),
+        field("instance", "string"),
+        field("sealed_key", "bytes"),
+        field("key_version", "u32"),
+        field("expiration", "f64"),
+        field("max_life", "f64"),
+        field("attributes", "u32"),
+        field("mod_time", "f64"),
+        field("mod_by", "string"),
+    )
+
+    @property
+    def disabled(self) -> bool:
+        return bool(self.attributes & ATTR_DISABLED)
+
+    @property
+    def tgt_allowed(self) -> bool:
+        return not self.attributes & ATTR_NO_TGT
+
+    @property
+    def requires_preauth(self) -> bool:
+        return bool(self.attributes & ATTR_REQUIRE_PREAUTH)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expiration
+
+    def db_key(self) -> str:
+        return f"{self.name}.{self.instance}" if self.instance else self.name

@@ -1,0 +1,82 @@
+"""A relational record store (paper Section 2.2's replaceability claim).
+
+*"Another replaceable module is the database management system.  The
+current Athena implementation of the database library uses ndbm,
+although INGRES was originally used.  Other database management
+libraries could be used as well."*
+
+INGRES — a real relational DBMS — was the original backend.  This module
+makes the same point with SQLite: a genuine SQL database behind the very
+same :class:`~repro.database.store.RecordStore` interface, completely
+invisible to the database library, the KDC, and everything above them.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterator, Optional, Tuple
+
+from repro.database.store import RecordStore
+
+
+class SqliteStore(RecordStore):
+    """Principal records in a SQLite table.
+
+    ``path`` may be a filesystem path or ``":memory:"``.  Writes commit
+    immediately — the KDBM's changes must survive a master crash.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS principals ("
+            "  key   TEXT PRIMARY KEY,"
+            "  value BLOB NOT NULL"
+            ")"
+        )
+        self._conn.commit()
+
+    def get(self, key: str) -> Optional[bytes]:
+        row = self._conn.execute(
+            "SELECT value FROM principals WHERE key = ?", (key,)
+        ).fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(key, str):
+            raise TypeError(f"key must be str, got {type(key).__name__}")
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"value must be bytes, got {type(value).__name__}")
+        self._conn.execute(
+            "INSERT INTO principals (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, bytes(value)),
+        )
+        self._conn.commit()
+
+    def delete(self, key: str) -> bool:
+        cursor = self._conn.execute(
+            "DELETE FROM principals WHERE key = ?", (key,)
+        )
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        for key, value in self._conn.execute(
+            "SELECT key, value FROM principals ORDER BY key"
+        ):
+            yield key, bytes(value)
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM principals")
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM principals"
+        ).fetchone()
+        return count
+
+    def close(self) -> None:
+        self._conn.close()

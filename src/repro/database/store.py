@@ -1,0 +1,180 @@
+"""Replaceable record storage underneath the Kerberos database.
+
+Paper, Section 2.2: *"Another replaceable module is the database
+management system.  The current Athena implementation of the database
+library uses ndbm, although INGRES was originally used."*
+
+The replaceable boundary is :class:`RecordStore`: string keys to byte
+values with iteration.  Two implementations are provided — an in-memory
+dict (the default for simulations) and an ndbm-flavoured file store that
+persists every mutation to an append-only log and compacts on demand.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.encode import DecodeError, Decoder, Encoder
+
+
+class StoreError(Exception):
+    """Raised when the storage layer itself fails (corrupt file, etc.)."""
+
+
+class RecordStore(abc.ABC):
+    """Key/value records: the interface the database library builds on."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[bytes]:
+        """Return the value for ``key``, or None when absent."""
+
+    @abc.abstractmethod
+    def put(self, key: str, value: bytes) -> None:
+        """Insert or replace the value for ``key``."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; return True if it existed."""
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        """Iterate (key, value) pairs in sorted key order."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Remove every record (used when a slave loads a new dump)."""
+
+    def keys(self) -> List[str]:
+        return [k for k, _ in self.items()]
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        ...
+
+
+class MemoryStore(RecordStore):
+    """Dict-backed store, the workhorse for simulated realms."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(key, str):
+            raise TypeError(f"key must be str, got {type(key).__name__}")
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"value must be bytes, got {type(value).__name__}")
+        self._data[key] = bytes(value)
+
+    def delete(self, key: str) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        for key in sorted(self._data):
+            yield key, self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+# Log-record opcodes for the file store.
+_OP_PUT = 1
+_OP_DELETE = 2
+_MAGIC = b"KDB1"
+
+
+class FileStore(RecordStore):
+    """File-backed store in the spirit of ndbm.
+
+    Mutations append (opcode, key, value) records to a log file; opening
+    replays the log.  :meth:`compact` rewrites the file to contain only
+    live records.  The format is deliberately simple — the point is that
+    the database library above cannot tell this store from the in-memory
+    one, demonstrating the paper's replaceability claim.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._data: Dict[str, bytes] = {}
+        if os.path.exists(self.path):
+            self._replay()
+        else:
+            with open(self.path, "wb") as f:
+                f.write(_MAGIC)
+
+    def _replay(self) -> None:
+        with open(self.path, "rb") as f:
+            raw = f.read()
+        if raw[:4] != _MAGIC:
+            raise StoreError(f"{self.path} is not a Kerberos store file")
+        dec = Decoder(raw[4:])
+        try:
+            while not dec.eof():
+                op = dec.u8()
+                key = dec.string()
+                if op == _OP_PUT:
+                    self._data[key] = dec.bytes_()
+                elif op == _OP_DELETE:
+                    self._data.pop(key, None)
+                else:
+                    raise StoreError(f"corrupt log opcode {op} in {self.path}")
+        except DecodeError as exc:
+            raise StoreError(f"corrupt store file {self.path}: {exc}") from exc
+
+    def _append(self, op: int, key: str, value: bytes = b"") -> None:
+        enc = Encoder()
+        enc.u8(op).string(key)
+        if op == _OP_PUT:
+            enc.bytes_(value)
+        with open(self.path, "ab") as f:
+            f.write(enc.getvalue())
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(key, str):
+            raise TypeError(f"key must be str, got {type(key).__name__}")
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"value must be bytes, got {type(value).__name__}")
+        value = bytes(value)
+        self._data[key] = value
+        self._append(_OP_PUT, key, value)
+
+    def delete(self, key: str) -> bool:
+        existed = self._data.pop(key, None) is not None
+        if existed:
+            self._append(_OP_DELETE, key)
+        return existed
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        for key in sorted(self._data):
+            yield key, self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+        with open(self.path, "wb") as f:
+            f.write(_MAGIC)
+
+    def compact(self) -> None:
+        """Rewrite the log with only live records."""
+        enc = Encoder()
+        for key, value in self.items():
+            enc.u8(_OP_PUT).string(key).bytes_(value)
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(_MAGIC + enc.getvalue())
+        os.replace(tmp, self.path)
+
+    def __len__(self) -> int:
+        return len(self._data)

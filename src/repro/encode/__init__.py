@@ -1,0 +1,36 @@
+"""Binary wire encoding for Kerberos protocol messages.
+
+The 1988 Kerberos implementation shipped raw C structs over UDP.  This
+package provides the equivalent substrate for the reproduction: a small,
+deterministic, length-prefixed binary codec with explicit integer widths
+and network (big-endian) byte order.  Every protocol message, ticket, and
+database dump in the repository is serialized through :class:`Encoder`
+and parsed through :class:`Decoder` so that "bytes on the wire" is a real,
+inspectable artifact rather than an in-process Python object.
+
+Design points:
+
+* big-endian fixed-width integers (the 4.3BSD convention the paper's
+  implementation used on VAX/RT hardware after byte-order fixes);
+* byte strings carry a 32-bit length prefix, so messages are
+  self-delimiting and concatenable;
+* decoding is strict: short reads, trailing garbage, and out-of-range
+  values raise :class:`DecodeError` instead of being silently accepted.
+"""
+
+from repro.encode.buffer import (
+    DecodeError,
+    Decoder,
+    EncodeError,
+    Encoder,
+)
+from repro.encode.structfmt import WireStruct, field
+
+__all__ = [
+    "Decoder",
+    "DecodeError",
+    "Encoder",
+    "EncodeError",
+    "WireStruct",
+    "field",
+]

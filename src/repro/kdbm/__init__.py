@@ -1,0 +1,26 @@
+"""The administration server and protocol (paper Section 5, Figures 11-12).
+
+*"The administration server (or KDBM server) provides a read-write
+network interface to the database. ... The server side, however, must
+run on the machine housing the Kerberos database in order to make
+changes to the database."*
+
+Components:
+
+* :mod:`repro.kdbm.messages` — the admin protocol: operations ride
+  inside *private messages* (Section 2.1: "Private messages are used,
+  for example, by the Kerberos server itself for sending passwords over
+  the network");
+* :mod:`repro.kdbm.server` — the KDBM server: authenticates requesters
+  via tickets obtained *from the authentication service only*
+  (Section 5.1), authorizes by self-service-or-ACL, applies changes to
+  the master database, and logs every request;
+* :mod:`repro.kdbm.client` — the client side used by the kpasswd and
+  kadmin programs (Figure 12).
+"""
+
+from repro.kdbm.client import KdbmClient
+from repro.kdbm.messages import AdminOperation
+from repro.kdbm.server import KdbmLogEntry, KdbmServer
+
+__all__ = ["AdminOperation", "KdbmClient", "KdbmLogEntry", "KdbmServer"]

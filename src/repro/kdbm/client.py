@@ -1,0 +1,159 @@
+"""Client side of the administration protocol (paper Figure 12).
+
+The kpasswd and kadmin programs both work this way:
+
+1. obtain a ticket for the KDBM service *via the authentication
+   service* — which requires typing a password: the old password for
+   kpasswd, the admin-instance password for kadmin ("An administrator is
+   required to enter the password for their admin instance name when
+   they invoke the kadmin program");
+2. send the operation, sealed as a private message, with the ticket;
+3. read the (private) reply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.applib import krb_mk_req
+from repro.core.client import KerberosClient
+from repro.core.credcache import Credential
+from repro.core.errors import ErrorCode, KerberosError
+from repro.core.safe_priv import PrivMessage, krb_mk_priv, krb_rd_priv
+from repro.kdbm.messages import (
+    AdminOperation,
+    AdminReplyBody,
+    AdminRequestBody,
+    KdbmRequest,
+)
+from repro.netsim import IPAddress
+from repro.netsim.ports import KDBM_PORT
+from repro.principal import Principal, kdbm_principal
+
+
+class KdbmClient:
+    """Speaks the admin protocol on behalf of kpasswd/kadmin."""
+
+    def __init__(
+        self,
+        kerberos_client: KerberosClient,
+        master_address,
+        port: int = KDBM_PORT,
+    ) -> None:
+        self.krb = kerberos_client
+        self.master_address = IPAddress(master_address)
+        self.port = port
+
+    def _kdbm_credential(
+        self, principal: Principal, password: str
+    ) -> Credential:
+        """Get a KDBM ticket the only way possible: through the AS, with a
+        password (Section 5.1's deliberate design)."""
+        return self.krb.as_exchange(
+            principal, password, kdbm_principal(self.krb.realm)
+        )
+
+    def _roundtrip(
+        self, cred: Credential, client: Principal, body: AdminRequestBody
+    ) -> AdminReplyBody:
+        now = self.krb._auth_now()
+        ap_request = krb_mk_req(
+            ticket_blob=cred.ticket,
+            session_key=cred.session_key,
+            client=client,
+            client_address=self.krb.host.address,
+            now=now,
+            kvno=cred.kvno,
+        )
+        private = krb_mk_priv(
+            body.to_bytes(), cred.session_key, self.krb.host.address, now
+        )
+        request = KdbmRequest(
+            ap_request=ap_request.to_bytes(),
+            private_body=private.to_bytes(),
+        )
+        raw = self.krb.host.rpc(self.master_address, self.port, request.to_bytes())
+        if not raw:
+            raise KerberosError(
+                ErrorCode.KDBM_ERROR,
+                "KDBM dropped the request (authentication failed?)",
+            )
+        reply_data = krb_rd_priv(
+            PrivMessage.from_bytes(raw),
+            cred.session_key,
+            expected_sender=self.master_address,
+            now=self.krb.host.clock.now(),
+        )
+        return AdminReplyBody.from_bytes(reply_data)
+
+    def _check(self, reply: AdminReplyBody) -> str:
+        if not reply.ok:
+            raise KerberosError(ErrorCode(reply.code), reply.text)
+        return reply.text
+
+    # -- the operations --------------------------------------------------------
+
+    def change_password(
+        self,
+        principal: Principal,
+        old_password: str,
+        new_password: str,
+    ) -> str:
+        """kpasswd: users "are required to enter their old password when
+        they invoke the program"."""
+        cred = self._kdbm_credential(principal, old_password)
+        body = AdminRequestBody(
+            operation=int(AdminOperation.CHANGE_PASSWORD),
+            target=principal,
+            new_password=new_password,
+            max_life=0.0,
+        )
+        return self._check(self._roundtrip(cred, principal, body))
+
+    def admin_change_password(
+        self,
+        admin: Principal,
+        admin_password: str,
+        target: Principal,
+        new_password: str,
+    ) -> str:
+        """kadmin cpw: an administrator resets someone else's password."""
+        cred = self._kdbm_credential(admin, admin_password)
+        body = AdminRequestBody(
+            operation=int(AdminOperation.CHANGE_PASSWORD),
+            target=target,
+            new_password=new_password,
+            max_life=0.0,
+        )
+        return self._check(self._roundtrip(cred, admin, body))
+
+    def add_principal(
+        self,
+        admin: Principal,
+        admin_password: str,
+        target: Principal,
+        initial_password: str,
+        max_life: float = 0.0,
+    ) -> str:
+        """kadmin ank: register a new principal."""
+        cred = self._kdbm_credential(admin, admin_password)
+        body = AdminRequestBody(
+            operation=int(AdminOperation.ADD_PRINCIPAL),
+            target=target,
+            new_password=initial_password,
+            max_life=max_life,
+        )
+        return self._check(self._roundtrip(cred, admin, body))
+
+    def get_entry(
+        self, principal: Principal, password: str, target: Optional[Principal] = None
+    ) -> str:
+        """kadmin get: inspect a database entry (no key material returned)."""
+        cred = self._kdbm_credential(principal, password)
+        body = AdminRequestBody(
+            operation=int(AdminOperation.GET_ENTRY),
+            target=target if target is not None else principal,
+            new_password="",
+            max_life=0.0,
+        )
+        return self._check(self._roundtrip(cred, principal, body))

@@ -1,0 +1,58 @@
+"""Wire format of the administration protocol (paper Figure 12).
+
+A KDBM request is two pieces:
+
+1. an :class:`repro.core.messages.ApRequest` authenticating the
+   requester to the ``changepw.kerberos`` service — with a ticket that
+   can only have come from the *authentication service*, i.e. only by
+   entering a password (Section 5.1);
+2. an operation, sealed as a private message in the session key —
+   passwords travel the network encrypted ("using fairly high security
+   measures", Section 2.2).
+
+Replies are private messages too, so eavesdroppers learn nothing about
+outcomes either.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.encode import WireStruct, field
+from repro.principal import Principal
+
+
+class AdminOperation(enum.IntEnum):
+    CHANGE_PASSWORD = 1   # kpasswd, or kadmin cpw
+    ADD_PRINCIPAL = 2     # kadmin ank
+    GET_ENTRY = 3         # kadmin get (no secrets returned)
+
+
+class AdminRequestBody(WireStruct):
+    """The operation, carried inside a private message."""
+
+    FIELDS = (
+        field("operation", "u8"),
+        field("target", Principal),
+        field("new_password", "string"),   # empty for GET_ENTRY
+        field("max_life", "f64"),          # ADD_PRINCIPAL only; 0 = default
+    )
+
+
+class KdbmRequest(WireStruct):
+    """The datagram sent to the KDBM port."""
+
+    FIELDS = (
+        field("ap_request", "bytes"),   # encoded ApRequest
+        field("private_body", "bytes"),  # encoded PrivMessage(AdminRequestBody)
+    )
+
+
+class AdminReplyBody(WireStruct):
+    """The outcome, returned inside a private message."""
+
+    FIELDS = (
+        field("ok", "bool"),
+        field("code", "u32"),
+        field("text", "string"),
+    )

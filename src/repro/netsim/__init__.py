@@ -1,0 +1,71 @@
+"""Simulated open-network substrate.
+
+The paper's threat model is an *open network*: "Users have complete
+control of their workstations ... someone elsewhere on the network may be
+masquerading as the given server", and "Someone watching the network
+should not be able to obtain the information necessary to impersonate
+another user."
+
+This package is the stand-in for Project Athena's physical network.  It
+provides exactly the facilities the protocols (and their attackers) see:
+
+* :class:`SimClock` / :class:`HostClock` — simulated time with per-host
+  skew, so ticket lifetimes, the "several minutes" synchronization
+  assumption, and replay windows are all exercised deterministically;
+* :class:`IPAddress` — the client network addresses carried inside
+  tickets and authenticators;
+* :class:`Network` / :class:`Host` — datagram delivery between named
+  hosts with well-known ports, host-down failures, per-message taps
+  (eavesdroppers) and interceptors (active attackers), and traffic
+  statistics for the benchmarks.
+
+Nothing here knows about Kerberos; the package is reusable by any
+protocol built on datagrams.
+"""
+
+from repro.netsim.address import IPAddress
+from repro.netsim.clock import HostClock, SimClock
+from repro.netsim.network import (
+    Datagram,
+    Host,
+    Network,
+    NetworkError,
+    NoSuchService,
+    Unreachable,
+)
+from repro.netsim.ports import (
+    KDBM_PORT,
+    KERBEROS_PORT,
+    KLOGIN_PORT,
+    KPROP_PORT,
+    KSHELL_PORT,
+    MOUNTD_PORT,
+    NFS_PORT,
+    POP_PORT,
+    ZEPHYR_PORT,
+    HESIOD_PORT,
+    SMS_PORT,
+)
+
+__all__ = [
+    "Datagram",
+    "Host",
+    "HostClock",
+    "IPAddress",
+    "Network",
+    "NetworkError",
+    "NoSuchService",
+    "SimClock",
+    "Unreachable",
+    "KDBM_PORT",
+    "KERBEROS_PORT",
+    "KLOGIN_PORT",
+    "KPROP_PORT",
+    "KSHELL_PORT",
+    "MOUNTD_PORT",
+    "NFS_PORT",
+    "POP_PORT",
+    "ZEPHYR_PORT",
+    "HESIOD_PORT",
+    "SMS_PORT",
+]

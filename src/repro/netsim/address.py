@@ -1,0 +1,66 @@
+"""Network addresses.
+
+Tickets and authenticators both carry "the Internet address of the
+client" (Figures 3 and 4); servers compare it against "the IP address
+from which the request was received".  Addresses are therefore a wire
+type: a 32-bit value with the familiar dotted-quad text form.
+"""
+
+from __future__ import annotations
+
+
+class IPAddress:
+    """An IPv4-style address, hashable and wire-encodable as a u32."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value) -> None:
+        if isinstance(value, IPAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"address {value} out of 32-bit range")
+            self._value = value
+        elif isinstance(value, str):
+            self._value = self._parse(value)
+        else:
+            raise TypeError(f"cannot make an address from {type(value).__name__}")
+
+    @staticmethod
+    def _parse(text: str) -> int:
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed address {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise ValueError(f"malformed address {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"octet {octet} out of range in {text!r}")
+            value = (value << 8) | octet
+        return value
+
+    @property
+    def as_int(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        v = self._value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __repr__(self) -> str:
+        return f"IPAddress({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPAddress):
+            return self._value == other._value
+        if isinstance(other, (int, str)):
+            try:
+                return self._value == IPAddress(other)._value
+            except (TypeError, ValueError):
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)

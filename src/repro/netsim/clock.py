@@ -1,0 +1,93 @@
+"""Simulated time.
+
+The paper's protocols are time-based: tickets carry "a time stamp, a
+lifetime"; servers assume "clocks are synchronized to within several
+minutes"; the master database "is dumped every hour".  Reproducing those
+behaviours deterministically requires simulated time that tests can
+advance at will, and *per-host skew* so the several-minute assumption can
+itself be violated on demand.
+
+Time is modelled as seconds (float) since an arbitrary epoch 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+#: Ticket lifetimes in the paper are quoted in hours ("currently 8 hours").
+HOUR = 3600.0
+MINUTE = 60.0
+
+
+class SimClock:
+    """The realm's reference clock.
+
+    Supports scheduled callbacks so periodic activities — the hourly
+    database dump of Figure 13 — run automatically as tests advance time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._schedule: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, firing any callbacks that come due."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds} (backwards)")
+        target = self._now + seconds
+        while self._schedule and self._schedule[0][0] <= target:
+            when, _, callback = heapq.heappop(self._schedule)
+            # Fire at the scheduled instant, not at the end of the jump,
+            # so a callback that reschedules itself keeps its cadence.
+            self._now = max(self._now, when)
+            callback()
+        self._now = target
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire when the clock reaches ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when}, now is {self._now}")
+        heapq.heappush(self._schedule, (when, next(self._counter), callback))
+
+    def call_every(self, interval: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire every ``interval`` seconds."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+
+        def fire() -> None:
+            callback()
+            self.call_at(self._now + interval, fire)
+
+        self.call_at(self._now + interval, fire)
+
+    def pending_callbacks(self) -> int:
+        return len(self._schedule)
+
+
+class HostClock:
+    """A host's view of time: the realm clock plus a fixed skew.
+
+    Paper, Section 4.3: "It is assumed that clocks are synchronized to
+    within several minutes."  Workstations whose skew exceeds the
+    server's acceptance window get their requests treated as replays.
+    """
+
+    def __init__(self, reference: SimClock, skew: float = 0.0) -> None:
+        self._reference = reference
+        self.skew = float(skew)
+
+    def now(self) -> float:
+        return self._reference.now() + self.skew
+
+    @property
+    def reference(self) -> SimClock:
+        return self._reference
+
+    def __repr__(self) -> str:
+        return f"HostClock(skew={self.skew:+.1f}s)"

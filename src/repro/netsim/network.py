@@ -1,0 +1,292 @@
+"""Datagram network between simulated hosts.
+
+The model matches what the 1988 implementation assumed of UDP/IP:
+
+* unreliable, unauthenticated datagrams — anybody can read them (taps),
+  modify or drop them (interceptors), or forge the source address
+  (:meth:`Network.inject`), which is precisely the attacker the paper
+  designs against;
+* synchronous request/response on top (:meth:`Host.rpc`), standing in
+  for the send-and-wait UDP exchanges of the real clients;
+* hosts can be down (master failure in Figures 10/11), and each hop can
+  cost simulated latency.
+
+Traffic statistics are kept per destination port so the benchmarks can
+report message counts per service, e.g. KDC load at Athena scale.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.address import IPAddress
+from repro.netsim.clock import HostClock, SimClock
+
+
+class NetworkError(Exception):
+    """Base class for simulated network failures."""
+
+
+class Unreachable(NetworkError):
+    """The destination host is down, unknown, or the packet was lost."""
+
+
+class NoSuchService(NetworkError):
+    """The destination host is up but nothing listens on the port."""
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One packet on the wire.  Attackers see exactly this."""
+
+    src: IPAddress
+    src_port: int
+    dst: IPAddress
+    dst_port: int
+    payload: bytes
+
+    def reply_with(self, payload: bytes) -> "Datagram":
+        """Build the response datagram travelling the reverse path."""
+        return Datagram(
+            src=self.dst,
+            src_port=self.dst_port,
+            dst=self.src,
+            dst_port=self.src_port,
+            payload=payload,
+        )
+
+
+#: A bound service: takes the request datagram, returns reply bytes or None.
+Handler = Callable[[Datagram], Optional[bytes]]
+#: A passive tap: sees a copy of every datagram.
+Tap = Callable[[Datagram], None]
+#: An active interceptor: may rewrite or drop (return None) any datagram.
+Interceptor = Callable[[Datagram], Optional[Datagram]]
+
+#: Ephemeral source port used for client sides of RPCs.
+EPHEMERAL_PORT = 0
+
+
+class Host:
+    """A machine on the network: an address, a clock, and bound services."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        address: IPAddress,
+        clock: HostClock,
+    ) -> None:
+        self.network = network
+        self.name = name
+        self.address = address
+        self.clock = clock
+        self.up = True
+        self._services: Dict[int, Handler] = {}
+
+    def bind(self, port: int, handler: Handler) -> None:
+        """Start a service on ``port``.  One handler per port."""
+        if port in self._services:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._services[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._services.pop(port, None)
+
+    def handler_for(self, port: int) -> Optional[Handler]:
+        return self._services.get(port)
+
+    def rpc(self, dst, port: int, payload: bytes) -> bytes:
+        """Send a request from this host and wait for the reply."""
+        return self.network.rpc(self, dst, port, payload)
+
+    def send(self, dst, port: int, payload: bytes) -> None:
+        """Fire-and-forget datagram (no reply expected)."""
+        self.network.send(self, dst, port, payload)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"Host({self.name!r}, {self.address}, {state})"
+
+
+class Network:
+    """The wire connecting every host, plus its attackers and its stats."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        latency: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate {loss_rate} outside [0, 1)")
+        self.clock = clock if clock is not None else SimClock()
+        self.latency = float(latency)
+        self.loss_rate = float(loss_rate)
+        self._rng = random.Random(seed)
+        self._hosts_by_name: Dict[str, Host] = {}
+        self._hosts_by_addr: Dict[IPAddress, Host] = {}
+        self._taps: List[Tap] = []
+        self._interceptors: List[Interceptor] = []
+        self._next_octet = 1
+        self.stats: Counter = Counter()
+
+    # -- topology -----------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        address: Optional[str] = None,
+        clock_skew: float = 0.0,
+    ) -> Host:
+        """Register a machine.  Addresses default to 18.72.0.x (MITnet)."""
+        if name in self._hosts_by_name:
+            raise ValueError(f"host name {name!r} already in use")
+        if address is None:
+            # Skip over any addresses claimed explicitly.
+            while True:
+                addr = IPAddress(
+                    f"18.72.{self._next_octet // 256}.{self._next_octet % 256}"
+                )
+                self._next_octet += 1
+                if addr not in self._hosts_by_addr:
+                    break
+        else:
+            addr = IPAddress(address)
+            if addr in self._hosts_by_addr:
+                raise ValueError(f"address {addr} already in use")
+        host = Host(self, name, addr, HostClock(self.clock, clock_skew))
+        self._hosts_by_name[name] = host
+        self._hosts_by_addr[addr] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts_by_name[name]
+        except KeyError:
+            raise KeyError(f"no host named {name!r}") from None
+
+    def host_by_address(self, address) -> Host:
+        addr = IPAddress(address)
+        try:
+            return self._hosts_by_addr[addr]
+        except KeyError:
+            raise KeyError(f"no host at {addr}") from None
+
+    def hosts(self) -> List[Host]:
+        return list(self._hosts_by_name.values())
+
+    def set_down(self, name: str) -> None:
+        """Take a machine off the network (paper: 'the master machine is down')."""
+        self.host(name).up = False
+
+    def set_up(self, name: str) -> None:
+        self.host(name).up = True
+
+    # -- attackers ------------------------------------------------------------
+
+    def add_tap(self, tap: Tap) -> None:
+        """Attach a passive eavesdropper; it sees every datagram."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Attach an active attacker that may rewrite or drop datagrams."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    # -- delivery -------------------------------------------------------------
+
+    def rpc(self, src: Host, dst, port: int, payload: bytes) -> bytes:
+        """Synchronous request/response between two hosts."""
+        if not src.up:
+            raise Unreachable(f"source host {src.name} is down")
+        request = Datagram(
+            src=src.address,
+            src_port=EPHEMERAL_PORT,
+            dst=IPAddress(dst),
+            dst_port=port,
+            payload=bytes(payload),
+        )
+        reply_payload = self._deliver(request)
+        if reply_payload is None:
+            raise Unreachable(
+                f"no reply from {request.dst}:{port} (request timed out)"
+            )
+        reply = request.reply_with(reply_payload)
+        final = self._transit(reply)
+        if final is None:
+            raise Unreachable(f"reply from {request.dst}:{port} was lost")
+        return final.payload
+
+    def send(self, src: Host, dst, port: int, payload: bytes) -> None:
+        """One-way datagram; silently lost on failure, like UDP."""
+        if not src.up:
+            raise Unreachable(f"source host {src.name} is down")
+        datagram = Datagram(
+            src=src.address,
+            src_port=EPHEMERAL_PORT,
+            dst=IPAddress(dst),
+            dst_port=port,
+            payload=bytes(payload),
+        )
+        try:
+            self._deliver(datagram)
+        except NetworkError:
+            pass
+
+    def inject(self, datagram: Datagram) -> Optional[bytes]:
+        """Deliver a hand-crafted datagram — source address forgery.
+
+        This is the primitive behind the NFS appendix's observation that
+        "this information could be forged": an attacker does not need a
+        registered host to put packets on the wire.
+        """
+        return self._deliver(datagram)
+
+    # -- internals --------------------------------------------------------------
+
+    def _transit(self, datagram: Datagram) -> Optional[Datagram]:
+        """One hop across the wire: latency, loss, taps, interceptors."""
+        if self.latency:
+            self.clock.advance(self.latency)
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            return None
+        for tap in self._taps:
+            tap(datagram)
+        for interceptor in self._interceptors:
+            result = interceptor(datagram)
+            if result is None:
+                return None
+            datagram = result
+        self.stats["messages"] += 1
+        self.stats["bytes"] += len(datagram.payload)
+        self.stats[f"port:{datagram.dst_port}"] += 1
+        return datagram
+
+    def _deliver(self, datagram: Datagram) -> Optional[bytes]:
+        datagram_after = self._transit(datagram)
+        if datagram_after is None:
+            return None
+        datagram = datagram_after
+        host = self._hosts_by_addr.get(datagram.dst)
+        if host is None or not host.up:
+            raise Unreachable(f"host {datagram.dst} is unreachable")
+        handler = host.handler_for(datagram.dst_port)
+        if handler is None:
+            raise NoSuchService(
+                f"{host.name} ({datagram.dst}) has no service on port "
+                f"{datagram.dst_port}"
+            )
+        return handler(datagram)
+
+    def reset_stats(self) -> None:
+        self.stats.clear()

@@ -1,0 +1,28 @@
+"""Well-known ports for the simulated Athena services.
+
+The numbers follow the historical /etc/services assignments of the era so
+that traffic traces read naturally.
+"""
+
+#: The authentication server (AS + TGS), "kerberos" in /etc/services.
+KERBEROS_PORT = 750
+#: The administration (KDBM) server, "kerberos_master".
+KDBM_PORT = 751
+#: Database propagation (kprop -> kpropd), "krb_prop".
+KPROP_PORT = 754
+#: Kerberized rlogin ("klogin").
+KLOGIN_PORT = 543
+#: Kerberized rsh ("kshell").
+KSHELL_PORT = 544
+#: Post Office Protocol.
+POP_PORT = 109
+#: Zephyr notification service.
+ZEPHYR_PORT = 2102
+#: Sun NFS.
+NFS_PORT = 2049
+#: NFS mount daemon (historically dynamic via portmap; fixed here).
+MOUNTD_PORT = 635
+#: Hesiod nameserver.
+HESIOD_PORT = 251
+#: Service Management System.
+SMS_PORT = 260

@@ -1,0 +1,244 @@
+"""Realm assembly (the Section 6.3 administrator's checklist, automated).
+
+*"The Kerberos administrator's job begins with running a program to
+initialize the database.  Another program must be run to register
+essential principals ...  The Kerberos authentication server and the
+administration server must be started up.  If there are slave databases,
+the administrator must arrange that the programs to propagate database
+updates from master to slaves be kicked off periodically."*
+
+:class:`Realm` performs exactly those steps against a simulated network
+and exposes the running parts for tests, examples, and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.applib import SrvTab
+from repro.core.client import KerberosClient
+from repro.core.crossrealm import link_realms
+from repro.core.kdc import KerberosServer
+from repro.crypto import DesKey, KeyGenerator
+from repro.database.acl import AccessControlList
+from repro.database.admin_tools import (
+    ext_srvtab,
+    kdb_init,
+    register_essential_admin,
+    register_service,
+)
+from repro.database.db import KerberosDatabase
+from repro.database.schema import DEFAULT_MAX_LIFE
+from repro.kdbm.server import KdbmServer
+from repro.netsim import Host, IPAddress, Network
+from repro.principal import Principal
+from repro.replication.kprop import Kprop
+from repro.replication.kpropd import Kpropd
+
+
+@dataclass
+class SlaveSite:
+    """One slave machine: read-only DB copy + auth server + kpropd."""
+
+    host: Host
+    db: KerberosDatabase
+    kdc: KerberosServer
+    kpropd: Kpropd
+
+
+@dataclass
+class Workstation:
+    """A user-controlled machine with its Kerberos client library."""
+
+    host: Host
+    client: KerberosClient
+
+
+class Realm:
+    """A running Kerberos realm: master, optional slaves, KDBM, kprop."""
+
+    def __init__(
+        self,
+        net: Network,
+        name: str,
+        master_password: str = "master-password",
+        seed: bytes = b"realm-seed",
+        n_slaves: int = 0,
+        host_prefix: Optional[str] = None,
+    ) -> None:
+        self.net = net
+        self.name = name
+        prefix = host_prefix if host_prefix is not None else name.split(".")[0].lower()
+        self.keygen = KeyGenerator(seed=seed + name.encode())
+
+        # Initialize the database and essential principals.
+        self.db = kdb_init(
+            name, master_password, self.keygen, now=net.clock.now()
+        )
+        self.acl = AccessControlList()
+
+        # Start the master's servers.
+        self.master_host = net.add_host(f"{prefix}-kerberos")
+        self.kdc = KerberosServer(
+            self.db, self.master_host, self.keygen.fork(b"kdc-master")
+        )
+        self.kdbm = KdbmServer(self.db, self.acl, self.master_host)
+
+        # Slaves with propagation.
+        self.slaves: List[SlaveSite] = []
+        self.kprop = Kprop(self.db, self.master_host, slave_addresses=[])
+        for i in range(n_slaves):
+            self.add_slave(f"{prefix}-kerberos-{i + 1}")
+        if n_slaves:
+            self.kprop.propagate()  # initial full dump to all slaves
+
+        self._service_keys: Dict[str, DesKey] = {}
+        self._ws_count = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_slave(self, hostname: str) -> SlaveSite:
+        host = self.net.add_host(hostname)
+        slave_db = self.db.replica()
+        kdc = KerberosServer(slave_db, host, self.keygen.fork(hostname.encode()))
+        kpropd = Kpropd(slave_db, host)
+        site = SlaveSite(host=host, db=slave_db, kdc=kdc, kpropd=kpropd)
+        self.slaves.append(site)
+        self.kprop.add_slave(host.address)
+        return site
+
+    def kdc_addresses(self) -> List[IPAddress]:
+        """Master first, then slaves — the client failover list."""
+        return [self.master_host.address] + [s.host.address for s in self.slaves]
+
+    def workstation(self, hostname: Optional[str] = None, clock_skew: float = 0.0) -> Workstation:
+        """A public workstation with the client library configured."""
+        if hostname is None:
+            self._ws_count += 1
+            hostname = f"ws{self._ws_count}"
+        host = self.net.add_host(hostname, clock_skew=clock_skew)
+        client = KerberosClient(host, self.name, self.kdc_addresses())
+        return Workstation(host=host, client=client)
+
+    # -- registration (the administrator's ongoing job) ----------------------------
+
+    def add_user(
+        self,
+        username: str,
+        password: str,
+        instance: str = "",
+        max_life: float = DEFAULT_MAX_LIFE,
+    ) -> Principal:
+        principal = Principal(username, instance, self.name)
+        self.db.add_principal(
+            principal,
+            password=password,
+            now=self.net.clock.now(),
+            max_life=max_life,
+        )
+        return principal
+
+    def add_admin(self, username: str, admin_password: str) -> Principal:
+        return register_essential_admin(
+            self.db, self.acl, username, admin_password, now=self.net.clock.now()
+        )
+
+    def add_service(
+        self,
+        name: str,
+        instance: str,
+        max_life: float = DEFAULT_MAX_LIFE,
+    ) -> Tuple[Principal, DesKey]:
+        """Register a service with a random key (Section 6.3) and keep the
+        key for srvtab extraction."""
+        service = Principal(name, instance, self.name)
+        key = register_service(
+            self.db, service, self.keygen,
+            now=self.net.clock.now(), max_life=max_life,
+        )
+        self._service_keys[str(service)] = key
+        return service, key
+
+    def srvtab_for(self, *services: Principal) -> SrvTab:
+        """Extract and parse the srvtab a server machine would install."""
+        return SrvTab.from_bytes(ext_srvtab(self.db, list(services)))
+
+    def rotate_service_key(
+        self, service: Principal, srvtab: Optional[SrvTab] = None
+    ) -> DesKey:
+        """Change a service's key (new kvno) and, if its srvtab is given,
+        install the new version alongside the old ones — so tickets
+        sealed under previous keys keep working until they expire."""
+        new_key = self.keygen.session_key()
+        record = self.db.change_key(
+            service, new_key=new_key, now=self.net.clock.now(),
+            mod_by="ksrvutil",
+        )
+        self._service_keys[str(service)] = new_key
+        if srvtab is not None:
+            srvtab.install(service, record.key_version, new_key)
+        return new_key
+
+    def service_key(self, service: Principal) -> DesKey:
+        return self._service_keys[str(service)]
+
+    # -- operations ------------------------------------------------------------------
+
+    def propagate(self):
+        """Run one kprop round to all slaves (Figure 13)."""
+        return self.kprop.propagate()
+
+    def promote_slave(self, index: int = 0) -> SlaveSite:
+        """Disaster recovery: turn a slave into the new master.
+
+        The procedure an Athena administrator would run after losing the
+        master machine for good: take the slave's (propagated) database
+        copy, open it read-write with the master key — which every
+        Kerberos machine possesses (Section 5.3) — and start the
+        write-side services (KDBM, kprop) on that host.  The old master,
+        if it ever returns, must be rebuilt as a slave.
+
+        Returns the promoted site; ``self.master_host``/``kdbm``/``kprop``
+        are repointed.  Clients keep working throughout: their KDC lists
+        already include the promoted host.
+        """
+        site = self.slaves.pop(index)
+        # Reopen the slave's store read-write under the same master key.
+        promoted_db = KerberosDatabase(
+            self.name, self.db.master_key, store=site.db.store
+        )
+        site.kdc.db = promoted_db
+        site.db = promoted_db
+        # The write-side services move to the new master.
+        site.host.unbind(754)  # kpropd retires; this host now sends dumps
+        self.db = promoted_db
+        self.master_host = site.host
+        self.kdc = site.kdc
+        self.kdbm = KdbmServer(promoted_db, self.acl, site.host)
+        self.kprop = Kprop(
+            promoted_db, site.host,
+            slave_addresses=[s.host.address for s in self.slaves],
+        )
+        return site
+
+    def schedule_propagation(self, interval: Optional[float] = None) -> None:
+        if interval is None:
+            self.kprop.schedule_hourly()
+        else:
+            self.kprop.schedule_hourly(interval=interval)
+
+
+def link(realm_a: Realm, realm_b: Realm, now: Optional[float] = None) -> DesKey:
+    """Exchange an inter-realm key between two realms (Section 7.2) and
+    re-propagate so slaves learn it too."""
+    key = link_realms(
+        realm_a.db,
+        realm_b.db,
+        realm_a.keygen.fork(b"interrealm" + realm_b.name.encode()),
+        now=now if now is not None else realm_a.net.clock.now(),
+    )
+    for realm in (realm_a, realm_b):
+        if realm.slaves:
+            realm.propagate()
+    return key

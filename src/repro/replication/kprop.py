@@ -1,0 +1,85 @@
+"""kprop: the master-side propagation program (paper Figure 13).
+
+The administrator "must arrange that the programs to propagate database
+updates from master to slaves be kicked off periodically" (Section 6.3);
+:meth:`Kprop.schedule_hourly` wires that to the simulated clock at the
+paper's stated cadence ("The master database is dumped every hour").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List
+
+from repro.database.db import KerberosDatabase
+from repro.netsim import Host, IPAddress, NetworkError
+from repro.netsim.clock import HOUR
+from repro.netsim.ports import KPROP_PORT
+from repro.replication.messages import PropReply, PropTransfer
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of one full propagation round."""
+
+    time: float
+    attempted: int
+    succeeded: int
+    failures: Dict[str, str] = dc_field(default_factory=dict)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.succeeded == self.attempted
+
+
+class Kprop:
+    """Dumps the master database and pushes it to every slave."""
+
+    def __init__(
+        self,
+        database: KerberosDatabase,
+        host: Host,
+        slave_addresses,
+        port: int = KPROP_PORT,
+    ) -> None:
+        if database.readonly:
+            raise ValueError("kprop runs on the master, against the master database")
+        self.db = database
+        self.host = host
+        self.port = port
+        self.slaves: List[IPAddress] = [IPAddress(a) for a in slave_addresses]
+        self.history: List[PropagationResult] = []
+
+    def add_slave(self, address) -> None:
+        self.slaves.append(IPAddress(address))
+
+    def propagate(self) -> PropagationResult:
+        """One round: dump, checksum under the master key, send to each
+        slave, collect outcomes.  A dead slave does not block the others
+        (it simply misses this round and catches up on the next)."""
+        now = self.host.clock.now()
+        dump = self.db.dump(now=now)
+        transfer = PropTransfer(
+            checksum=self.db.master_key.checksum(dump),
+            dump=dump,
+        ).to_bytes()
+
+        result = PropagationResult(time=now, attempted=len(self.slaves), succeeded=0)
+        for address in self.slaves:
+            try:
+                raw = self.host.rpc(address, self.port, transfer)
+                reply = PropReply.from_bytes(raw)
+            except NetworkError as exc:
+                result.failures[str(address)] = f"unreachable: {exc}"
+                continue
+            if reply.ok:
+                result.succeeded += 1
+            else:
+                result.failures[str(address)] = reply.text
+        self.history.append(result)
+        return result
+
+    def schedule_hourly(self, interval: float = HOUR) -> None:
+        """Kick off propagation every ``interval`` seconds of simulated
+        time (the paper's hourly dump)."""
+        self.host.clock.reference.call_every(interval, self.propagate)

@@ -1,0 +1,77 @@
+"""kpropd: the slave-side propagation daemon (paper Figure 13).
+
+*"The slave propagation server calculates a checksum of the data it has
+received, and if it matches the checksum sent by the master, the new
+information is used to update the slave's database."*  A bad checksum —
+tampering in transit, or an imposter master without the master key —
+rejects the transfer and leaves the previous database in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.database.db import DatabaseError, KerberosDatabase
+from repro.encode import DecodeError
+from repro.netsim import Host
+from repro.netsim.ports import KPROP_PORT
+from repro.replication.messages import PropReply, PropTransfer
+
+
+class Kpropd:
+    """Receives database dumps and applies verified ones."""
+
+    def __init__(
+        self,
+        database: KerberosDatabase,
+        host: Host,
+        port: int = KPROP_PORT,
+    ) -> None:
+        if not database.readonly:
+            raise ValueError("kpropd feeds a read-only slave database copy")
+        self.db = database
+        self.host = host
+        self.updates_applied = 0
+        self.updates_rejected = 0
+        self.last_update_time: Optional[float] = None
+        self.rejection_log: List[str] = []
+        host.bind(port, self._handle)
+
+    def _handle(self, datagram) -> bytes:
+        try:
+            transfer = PropTransfer.from_bytes(datagram.payload)
+        except DecodeError as exc:
+            return self._reject(f"undecodable transfer: {exc}")
+
+        # The paper's core check: recompute the keyed checksum over the
+        # received bytes and compare.  Only the holder of the master
+        # database key can produce a matching one.
+        if not self.db.master_key.verify_checksum(transfer.dump, transfer.checksum):
+            return self._reject(
+                "checksum mismatch: transfer tampered with or not from the master"
+            )
+
+        try:
+            records = self.db.load_dump(transfer.dump)
+        except DatabaseError as exc:
+            return self._reject(f"dump rejected: {exc}")
+
+        self.updates_applied += 1
+        self.last_update_time = self.host.clock.now()
+        return PropReply(
+            ok=True, records=records, text=f"loaded {records} records"
+        ).to_bytes()
+
+    def _reject(self, reason: str) -> bytes:
+        self.updates_rejected += 1
+        self.rejection_log.append(reason)
+        return PropReply(ok=False, records=0, text=reason).to_bytes()
+
+    def staleness(self, now: float) -> float:
+        """Seconds since the last applied update (inf if never updated).
+        With hourly propagation this is the slave's maximum data age —
+        the consistency window the paper accepts ("very simple methods
+        suffice for dealing with inconsistency")."""
+        if self.last_update_time is None:
+            return float("inf")
+        return now - self.last_update_time

@@ -1,0 +1,33 @@
+"""Wire format of a database propagation transfer (paper Figure 13)."""
+
+from __future__ import annotations
+
+from repro.encode import WireStruct, field
+
+
+class PropTransfer(WireStruct):
+    """kprop -> kpropd: the MAC comes first ("First kprop sends a
+    checksum of the new database it is about to send"), then the dump.
+
+    The dump itself needs no further encryption: "All passwords in the
+    Kerberos database are encrypted in the master database key.
+    Therefore, the information passed from master to slave over the
+    network is not useful to an eavesdropper."  The keyed checksum is
+    what guarantees "that only information from the master host be
+    accepted by the slaves, and that tampering of data be detected".
+    """
+
+    FIELDS = (
+        field("checksum", "bytes"),
+        field("dump", "bytes"),
+    )
+
+
+class PropReply(WireStruct):
+    """kpropd -> kprop: outcome of the update."""
+
+    FIELDS = (
+        field("ok", "bool"),
+        field("records", "u32"),
+        field("text", "string"),
+    )

@@ -1,0 +1,33 @@
+"""Attacker harnesses for the paper's threat model.
+
+Section 1: *"Someone watching the network should not be able to obtain
+the information necessary to impersonate another user."*  Section 2:
+*"Replay occurs when a message is stolen off the network and resent
+later."*  Section 1 again: *"someone elsewhere on the network may be
+masquerading as the given server."*  Section 8: stolen tickets "can be
+used" until they expire — the acknowledged residual risk.
+
+Each module arms one of those attackers against the simulated network so
+tests and benchmarks can verify which attacks the protocol defeats — and
+honestly demonstrate the ones the 1988 design accepts (short-lived
+stolen-ticket use from the same workstation, offline password guessing
+against an AS reply).
+"""
+
+from repro.threat.eavesdropper import Eavesdropper, active_as_probe
+from repro.threat.replayer import Replayer
+from repro.threat.masquerade import MasqueradingServer
+from repro.threat.stolen import steal_credentials, use_stolen_credential
+from repro.threat.trojan import Smartcard, SmartcardLogin, TrojanedLoginSession
+
+__all__ = [
+    "Eavesdropper",
+    "active_as_probe",
+    "MasqueradingServer",
+    "Replayer",
+    "Smartcard",
+    "SmartcardLogin",
+    "TrojanedLoginSession",
+    "steal_credentials",
+    "use_stolen_credential",
+]

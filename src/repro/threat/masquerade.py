@@ -1,0 +1,64 @@
+"""A masquerading server (paper Section 1).
+
+*"It is not sufficient to physically secure the host running a network
+server; someone elsewhere on the network may be masquerading as the
+given server."*
+
+The masquerader binds the service's port (having taken over the host or
+hijacked its traffic) but does **not** have the service's private key —
+that is the whole point.  It can accept connections and return plausible
+bytes; what it cannot do is decrypt the ticket (so it learns no session
+key) or produce the Figure 7 mutual-authentication proof.  A client that
+demands mutual authentication detects the fake before sending a byte of
+application data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.kerberized import OpenReply, OpenRequest, _Kind
+from repro.core.messages import ApReply
+from repro.crypto import DesKey, KeyGenerator
+from repro.netsim import Host
+
+
+class MasqueradingServer:
+    """Binds a port and bluffs: claims every authentication succeeded."""
+
+    def __init__(self, host: Host, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.victims_contacted = 0
+        self.stolen_payloads: List[bytes] = []
+        # The attacker can make up a key, but not the service's real one.
+        self._fake_key: DesKey = KeyGenerator(seed=b"masquerade").session_key()
+        host.bind(port, self._handle)
+
+    def _handle(self, datagram) -> bytes:
+        payload = datagram.payload
+        if payload and payload[0] == _Kind.OPEN:
+            self.victims_contacted += 1
+            try:
+                request = OpenRequest.from_bytes(payload[1:])
+            except Exception:
+                request = None
+            # The ticket in the request is sealed in the real service's
+            # key; the masquerader can store it but not open it.
+            if request is not None:
+                self.stolen_payloads.append(request.ap_request)
+            # Bluff an acceptance.  For mutual auth it must fabricate an
+            # ApReply — sealed with a key it invented, which is exactly
+            # what the client's rd_rep will catch.
+            fake_ap_reply = ApReply.build(0.0, self._fake_key).to_bytes()
+            return OpenReply(
+                ok=True,
+                session_id=1,
+                ap_reply=fake_ap_reply,
+                text="authenticated (says the impostor)",
+            ).to_bytes()
+        # Any other message: claim success and hope for application data.
+        self.stolen_payloads.append(payload)
+        from repro.apps.kerberized import CallReply
+
+        return CallReply(ok=True, payload=b"", text="").to_bytes()

@@ -1,0 +1,71 @@
+"""Stolen-credential scenarios (paper Section 8).
+
+*"If the life of a ticket is long, then if a ticket and its associated
+session key are stolen or misplaced, they can be used for a longer
+period of time.  Such information can be stolen if a user forgets to log
+out of a public workstation.  Alternatively, if a user has been
+authenticated on a system that allows multiple users, another user with
+access to root might be able to find the information needed to use
+stolen tickets."*
+
+Two cases fall out of the protocol:
+
+* stolen and used **from another machine** — defeated by the address
+  check (the ticket names the victim's workstation);
+* stolen and used **from the victim's own workstation** (the root-thief
+  or the forgot-to-logout case) — succeeds until the ticket expires.
+  This is the residual risk the lifetime tradeoff (exp L1) quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.applib import krb_mk_req
+from repro.core.client import KerberosClient
+from repro.core.credcache import Credential
+from repro.core.messages import ApRequest
+from repro.netsim import Host
+from repro.principal import Principal
+
+
+@dataclass
+class StolenCredential:
+    """What a thief copies out of a victim's ticket file."""
+
+    victim: Principal
+    credential: Credential
+
+
+def steal_credentials(victim_client: KerberosClient) -> List[StolenCredential]:
+    """Copy everything in the victim's credential cache — what a root
+    attacker on a shared machine, or a passerby at an unattended
+    workstation, obtains."""
+    return [
+        StolenCredential(victim=victim_client.principal, credential=cred)
+        for cred in victim_client.cache.list()
+    ]
+
+
+def use_stolen_credential(
+    stolen: StolenCredential,
+    from_host: Host,
+    now: float = None,
+) -> ApRequest:
+    """Build the best request a thief can: genuine ticket, genuine session
+    key, fresh authenticator — sent from ``from_host``.
+
+    Note the thief *must* put some address in the authenticator; whatever
+    they choose, the server compares the ticket's address, the
+    authenticator's address, and the packet's source.  Only requests
+    genuinely sent from the victim's workstation line all three up.
+    """
+    return krb_mk_req(
+        ticket_blob=stolen.credential.ticket,
+        session_key=stolen.credential.session_key,
+        client=stolen.victim,
+        client_address=from_host.address,
+        now=now if now is not None else from_host.clock.now(),
+        kvno=stolen.credential.kvno,
+    )

@@ -1,0 +1,119 @@
+"""Human-readable protocol traces (a debugging/teaching tool).
+
+Attach a :class:`ProtocolTracer` to a network and get an annotated,
+tcpdump-style line for every datagram — with Kerberos messages decoded
+to their type and cleartext fields (and only those: sealed payloads stay
+sealed, like they would for any observer).
+
+    tracer = ProtocolTracer(net)
+    ... run protocol ...
+    print(tracer.format())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.errors import KerberosError
+from repro.core.messages import (
+    ApRequest,
+    AsRequest,
+    ErrorReply,
+    KdcReply,
+    MessageType,
+    PreauthAsRequest,
+    TgsRequest,
+    decode_message,
+)
+from repro.netsim.network import Datagram, Network
+from repro.netsim.ports import (
+    HESIOD_PORT,
+    KDBM_PORT,
+    KERBEROS_PORT,
+    KPROP_PORT,
+    MOUNTD_PORT,
+    NFS_PORT,
+    POP_PORT,
+    SMS_PORT,
+    ZEPHYR_PORT,
+)
+
+_PORT_NAMES = {
+    KERBEROS_PORT: "kerberos",
+    KDBM_PORT: "kdbm",
+    KPROP_PORT: "kprop",
+    POP_PORT: "pop",
+    ZEPHYR_PORT: "zephyr",
+    NFS_PORT: "nfs",
+    MOUNTD_PORT: "mountd",
+    HESIOD_PORT: "hesiod",
+    SMS_PORT: "sms",
+    543: "klogin",
+    544: "kshell",
+    514: "rshd",
+    261: "register",
+}
+
+
+def describe_payload(payload: bytes, dst_port: int) -> str:
+    """Best-effort one-line description of a datagram's contents."""
+    if dst_port in (KERBEROS_PORT, 0):
+        try:
+            mtype, message = decode_message(payload)
+        except KerberosError:
+            return f"[{len(payload)} bytes]"
+        if isinstance(message, AsRequest):
+            return (f"AS-REQ  client={message.client} "
+                    f"service={message.service} life={message.requested_life:.0f}s")
+        if isinstance(message, PreauthAsRequest):
+            return (f"AS-REQ* client={message.client} "
+                    f"service={message.service} "
+                    f"preauth=[{len(message.preauth)}B sealed]")
+        if isinstance(message, TgsRequest):
+            return (f"TGS-REQ service={message.service} "
+                    f"tgt_realm={message.tgt_realm} "
+                    f"tgt=[{len(message.tgt)}B sealed] "
+                    f"authenticator=[{len(message.authenticator)}B sealed]")
+        if isinstance(message, KdcReply):
+            kind = "AS-REP " if mtype == MessageType.AS_REP else "TGS-REP"
+            return (f"{kind} client={message.client} "
+                    f"body=[{len(message.sealed_body)}B sealed]")
+        if isinstance(message, ApRequest):
+            return (f"AP-REQ  ticket=[{len(message.ticket)}B sealed] "
+                    f"mutual={message.mutual} kvno={message.kvno}")
+        if isinstance(message, ErrorReply):
+            return f"ERROR   code={message.code} {message.text!r}"
+        return f"{mtype.name} [{len(payload)} bytes]"
+    return f"[{len(payload)} bytes]"
+
+
+class ProtocolTracer:
+    """Records and pretty-prints every datagram on a network."""
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.lines: List[str] = []
+        self._tap = self._on_datagram
+        net.add_tap(self._tap)
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        t = self.net.clock.now()
+        port = datagram.dst_port
+        service = _PORT_NAMES.get(port, str(port))
+        description = describe_payload(datagram.payload, port)
+        self.lines.append(
+            f"{t:>10.3f}  {str(datagram.src):>15} -> "
+            f"{str(datagram.dst):<15} {service:<9} {description}"
+        )
+
+    def detach(self) -> None:
+        self.net.remove_tap(self._tap)
+
+    def format(self) -> str:
+        return "\n".join(self.lines)
+
+    def clear(self) -> None:
+        self.lines.clear()
+
+    def __len__(self) -> int:
+        return len(self.lines)

@@ -1,0 +1,30 @@
+"""End-user programs (paper Figure 1's "user programs" and Section 6.1).
+
+*"there are end-user programs for logging in to Kerberos, changing a
+Kerberos password, and displaying or destroying Kerberos tickets"* —
+kinit, kpasswd, klist, kdestroy — plus the administrator's kadmin
+(Section 5.2) and the workstation log-in session of Section 6.1.
+"""
+
+from repro.user.login import LoginError, LoginSession
+from repro.user.programs import (
+    kadmin_add_principal,
+    ksrvutil_list,
+    kadmin_change_password,
+    kdestroy,
+    kinit,
+    klist,
+    kpasswd,
+)
+
+__all__ = [
+    "LoginError",
+    "LoginSession",
+    "kadmin_add_principal",
+    "kadmin_change_password",
+    "kdestroy",
+    "kinit",
+    "klist",
+    "kpasswd",
+    "ksrvutil_list",
+]

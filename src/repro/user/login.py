@@ -1,0 +1,82 @@
+"""The workstation log-in session (paper Sections 4.2 and 6.1).
+
+*"The process of logging in appears to the user to be the same as
+logging in to a timesharing system ...  Behind the scenes, though, it is
+quite different."*  And at the other end: *"Kerberos tickets are
+automatically destroyed when a user logs out."*
+
+:class:`LoginSession` models one user's tenure at a public workstation:
+``login`` runs the Figure 5 exchange (raising :class:`LoginError` on a
+bad password — which, per the protocol, is detected *locally* when the
+AS reply fails to decrypt), the session then uses Kerberized services
+transparently, and ``logout`` destroys all tickets.
+
+The full Athena login — Hesiod home-directory lookup and the NFS mount
+of the appendix — is layered on top in
+:class:`repro.apps.workstation.AthenaWorkstation`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import KerberosClient
+from repro.core.credcache import Credential
+from repro.core.errors import ErrorCode, KerberosError
+from repro.netsim import Host, NetworkError
+
+
+class LoginError(Exception):
+    """Login failed: bad password, unknown user, or no reachable KDC."""
+
+
+class LoginSession:
+    """One user's log-in session on a workstation."""
+
+    def __init__(self, host: Host, client: KerberosClient) -> None:
+        self.host = host
+        self.client = client
+        self.username: Optional[str] = None
+        self.login_time: Optional[float] = None
+
+    @property
+    def logged_in(self) -> bool:
+        return self.username is not None
+
+    def login(self, username: str, password: str) -> Credential:
+        """Authenticate via Kerberos rather than a local password file.
+
+        The failure modes map exactly to the protocol: an unknown user is
+        an error *from* the KDC; a wrong password is a reply that will
+        not decrypt, detected on the workstation.
+        """
+        if self.logged_in:
+            raise LoginError(f"{self.username} is already logged in here")
+        try:
+            tgt = self.client.kinit(username, password)
+        except KerberosError as exc:
+            if exc.code == ErrorCode.INTK_BADPW:
+                raise LoginError("Incorrect password") from exc
+            if exc.code == ErrorCode.KDC_PR_UNKNOWN:
+                raise LoginError(f"No such user: {username}") from exc
+            raise LoginError(f"Login failed: {exc}") from exc
+        except NetworkError as exc:
+            raise LoginError(f"Login failed: {exc}") from exc
+        self.username = username
+        self.login_time = self.host.clock.now()
+        return tgt
+
+    def logout(self) -> int:
+        """End the session; "Kerberos tickets are automatically destroyed
+        when a user logs out."  Returns the number wiped."""
+        if not self.logged_in:
+            raise LoginError("nobody is logged in")
+        count = self.client.kdestroy()
+        self.username = None
+        self.login_time = None
+        return count
+
+    def session_duration(self) -> float:
+        if self.login_time is None:
+            raise LoginError("nobody is logged in")
+        return self.host.clock.now() - self.login_time

@@ -1,0 +1,113 @@
+"""The user and administrator command programs.
+
+Each function mirrors one historical program's behaviour and produces
+the human-readable output a user at a terminal would see; the heavy
+lifting happens in :mod:`repro.core.client` and :mod:`repro.kdbm`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.applib import SrvTab
+from repro.core.client import KerberosClient
+from repro.core.credcache import Credential
+from repro.kdbm.client import KdbmClient
+from repro.principal import Principal
+
+
+def kinit(
+    client: KerberosClient,
+    username: str,
+    password: str,
+    life: Optional[float] = None,
+    instance: str = "",
+) -> str:
+    """Obtain a ticket-granting ticket (Section 6.1: run after a TGT
+    expires mid-session, "as when logging in, a password must be
+    provided")."""
+    cred = client.kinit(username, password, life=life, instance=instance)
+    return (
+        f"Kerberos initialization for {client.principal}\n"
+        f"Ticket-granting ticket issued at {cred.issue_time:.0f}, "
+        f"expires at {cred.expires:.0f}"
+    )
+
+
+def _format_credential(cred: Credential) -> str:
+    return (
+        f"  issued {cred.issue_time:>12.0f}  expires {cred.expires:>12.0f}  "
+        f"{cred.service}"
+    )
+
+
+def klist(client: KerberosClient) -> str:
+    """Display the ticket file — often surprisingly full (Section 6.1)."""
+    creds = client.klist()
+    if client.principal is None and not creds:
+        return "klist: no ticket file"
+    header = f"Principal: {client.principal}\n"
+    if not creds:
+        return header + "No tickets."
+    return header + "\n".join(_format_credential(c) for c in creds)
+
+
+def kdestroy(client: KerberosClient) -> str:
+    """Destroy all tickets (run automatically at logout, Section 6.1)."""
+    count = client.kdestroy()
+    return f"Tickets destroyed ({count} wiped)."
+
+
+def kpasswd(
+    kdbm: KdbmClient, username: str, old_password: str, new_password: str
+) -> str:
+    """Change one's own password (Section 5.2); the old password is
+    required to fetch the KDBM ticket."""
+    principal = Principal(username, "", kdbm.krb.realm)
+    result = kdbm.change_password(principal, old_password, new_password)
+    return f"Password changed for {principal}: {result}"
+
+
+def kadmin_add_principal(
+    kdbm: KdbmClient,
+    admin_username: str,
+    admin_password: str,
+    new_username: str,
+    initial_password: str,
+    instance: str = "",
+) -> str:
+    """kadmin ank: an administrator registers a new principal
+    (Section 5.2, Figure 12)."""
+    admin = Principal(admin_username, "admin", kdbm.krb.realm)
+    target = Principal(new_username, instance, kdbm.krb.realm)
+    result = kdbm.add_principal(admin, admin_password, target, initial_password)
+    return f"kadmin: {result}"
+
+
+def kadmin_change_password(
+    kdbm: KdbmClient,
+    admin_username: str,
+    admin_password: str,
+    target_username: str,
+    new_password: str,
+    instance: str = "",
+) -> str:
+    """kadmin cpw: an administrator resets a user's password."""
+    admin = Principal(admin_username, "admin", kdbm.krb.realm)
+    target = Principal(target_username, instance, kdbm.krb.realm)
+    result = kdbm.admin_change_password(admin, admin_password, target, new_password)
+    return f"kadmin: {result}"
+
+
+def ksrvutil_list(srvtab: SrvTab) -> str:
+    """List the keys installed in a server's srvtab (never the key
+    material itself, only names and versions) — the operator's check
+    that key rotation actually landed on the machine."""
+    if len(srvtab) == 0:
+        return "ksrvutil: srvtab is empty"
+    lines = ["Vno  Principal"]
+    for name in srvtab.services():
+        principal = Principal.parse(name)
+        vno = srvtab._latest[name]
+        lines.append(f"{vno:>3}  {name}")
+    return "\n".join(lines)

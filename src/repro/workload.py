@@ -1,0 +1,149 @@
+"""Workload generation for deployment-scale experiments (paper Section 9).
+
+The paper's deployment facts — 5,000 users, 650 workstations, 65
+servers — become parameters here.  :class:`AthenaWorkload` populates a
+realm at a chosen registered scale and drives seeded, repeatable
+activity against it: login storms, Zipf-flavoured service traffic, and
+whole working-day sessions.  The Section 9 benchmark and the scale tests
+are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.principal import Principal
+from repro.realm import Realm, Workstation
+
+
+@dataclass
+class WorkloadStats:
+    """What a driven workload did, for the benchmark tables."""
+
+    logins: int = 0
+    service_uses: int = 0
+    kdc_messages: int = 0
+    failures: int = 0
+
+    @property
+    def kdc_requests_per_use(self) -> float:
+        return self.kdc_messages / self.service_uses if self.service_uses else 0.0
+
+
+class AthenaWorkload:
+    """A population of users and services plus seeded activity drivers."""
+
+    def __init__(
+        self,
+        realm: Realm,
+        n_users: int,
+        n_services: int,
+        seed: int = 1988,
+    ) -> None:
+        self.realm = realm
+        self.rng = random.Random(seed)
+        self.users: List[Tuple[str, str]] = []
+        self.services: List[Principal] = []
+        for i in range(n_users):
+            username = f"user{i:05d}"
+            password = f"password-{i}"
+            realm.add_user(username, password)
+            self.users.append((username, password))
+        for i in range(n_services):
+            service, _ = realm.add_service("svc", f"server{i:02d}")
+            self.services.append(service)
+        if realm.slaves:
+            realm.propagate()
+
+    # -- populations -------------------------------------------------------
+
+    def workstations(self, count: int, spread_kdcs: bool = True) -> List[Workstation]:
+        """``count`` workstations, optionally spreading KDC preference
+        round-robin across master and slaves (Figure 10's load story)."""
+        addresses = self.realm.kdc_addresses()
+        stations = []
+        for i in range(count):
+            ws = self.realm.workstation()
+            if spread_kdcs and len(addresses) > 1:
+                preferred = addresses[i % len(addresses)]
+                ws.client._directory[self.realm.name] = [preferred] + [
+                    a for a in addresses if a != preferred
+                ]
+            stations.append(ws)
+        return stations
+
+    def random_user(self) -> Tuple[str, str]:
+        return self.rng.choice(self.users)
+
+    def pick_services(self, k: int) -> List[Principal]:
+        """A session's working set: a few services, heavy-tailed (the
+        first services registered are the popular ones, like Athena's
+        central timesharing machines)."""
+        chosen = []
+        for _ in range(k):
+            # Zipf-ish: index biased strongly toward 0.
+            index = min(
+                int(self.rng.paretovariate(1.2)) - 1, len(self.services) - 1
+            )
+            chosen.append(self.services[index])
+        return chosen
+
+    # -- drivers --------------------------------------------------------------
+
+    def login_storm(self, stations: List[Workstation]) -> WorkloadStats:
+        """Everyone arrives at once — 9 AM in a cluster."""
+        stats = WorkloadStats()
+        self.realm.net.reset_stats()
+        for ws in stations:
+            username, password = self.random_user()
+            ws.client.kdestroy()
+            ws.client.kinit(username, password)
+            stats.logins += 1
+        stats.kdc_messages = self.realm.net.stats["port:750"]
+        return stats
+
+    def session_traffic(
+        self,
+        stations: List[Workstation],
+        uses_per_session: int,
+        working_set: int = 3,
+    ) -> WorkloadStats:
+        """Each logged-in station touches its working set repeatedly —
+        the pattern that makes ticket caching pay."""
+        stats = WorkloadStats()
+        self.realm.net.reset_stats()
+        for ws in stations:
+            services = self.pick_services(working_set)
+            for _ in range(uses_per_session):
+                service = self.rng.choice(services)
+                try:
+                    ws.client.mk_req(service)
+                    stats.service_uses += 1
+                except Exception:
+                    stats.failures += 1
+        stats.kdc_messages = self.realm.net.stats["port:750"]
+        return stats
+
+    def busy_hour(
+        self,
+        n_stations: int,
+        uses_per_session: int = 6,
+    ) -> WorkloadStats:
+        """login storm + session traffic, combined accounting."""
+        stations = self.workstations(n_stations)
+        self.realm.net.reset_stats()
+        total = WorkloadStats()
+        for ws in stations:
+            username, password = self.random_user()
+            ws.client.kdestroy()
+            ws.client.kinit(username, password)
+            total.logins += 1
+            services = self.pick_services(3)
+            for _ in range(uses_per_session):
+                service = self.rng.choice(services)
+                ws.client.mk_req(service)
+                total.service_uses += 1
+        total.kdc_messages = self.realm.net.stats["port:750"]
+        return total

@@ -1,0 +1,65 @@
+"""Shared fixture: a miniature Athena — realm, Hesiod, fileserver, users."""
+
+import pytest
+
+from repro.apps.hesiod import HesiodServer
+from repro.apps.nfs import AuthMode, MountDaemon, NfsServer
+from repro.netsim import Network
+from repro.realm import Realm
+
+REALM = "ATHENA.MIT.EDU"
+
+
+class AthenaWorld:
+    """Everything the application tests need, pre-wired."""
+
+    def __init__(self):
+        self.net = Network()
+        self.realm = Realm(self.net, REALM)
+        self.realm.add_user("jis", "jis-pw")
+        self.realm.add_user("bcn", "bcn-pw")
+
+        # Hesiod.
+        self.hesiod_host = self.net.add_host("hesiod")
+        self.hesiod = HesiodServer(self.hesiod_host)
+        self.hesiod.add_user("jis", 1001, [100], "fs1", "/u/jis", "Jeff Schiller")
+        self.hesiod.add_user("bcn", 1002, [100], "fs1", "/u/bcn", "Cliff Neuman")
+
+        # The fileserver with mount daemon (MAPPED mode).
+        self.fs_host = self.net.add_host("fs1")
+        self.nfs_service, _ = self.realm.add_service("nfs", "fs1")
+        self.mount_service, _ = self.realm.add_service("mountd", "fs1")
+        srvtab = self.realm.srvtab_for(self.nfs_service, self.mount_service)
+        self.nfs_server = NfsServer(
+            self.fs_host,
+            mode=AuthMode.MAPPED,
+            service=self.nfs_service,
+            srvtab=srvtab,
+        )
+        self.nfs_server.passwd.add("jis", 1001, [100])
+        self.nfs_server.passwd.add("bcn", 1002, [100])
+        self.mountd = MountDaemon(
+            self.nfs_server, self.mount_service, srvtab, self.fs_host
+        )
+        self.nfs_server.fs.install_home("jis", 1001, 100)
+        self.nfs_server.fs.install_home("bcn", 1002, 100)
+
+    def workstation(self, **kw):
+        return self.realm.workstation(**kw)
+
+    def athena_workstation(self):
+        from repro.apps.workstation import AthenaWorkstation
+
+        ws = self.workstation()
+        return AthenaWorkstation(
+            ws.host,
+            ws.client,
+            self.hesiod_host.address,
+            {"fs1": self.fs_host.address},
+            {"fs1": self.mount_service},
+        )
+
+
+@pytest.fixture
+def world():
+    return AthenaWorld()

@@ -1,0 +1,450 @@
+"""Kerberized NFS tests — the paper's appendix, end to end (exp NFS)."""
+
+import pytest
+
+from repro.apps.nfs import (
+    AuthMode,
+    CredentialMap,
+    FileSystem,
+    FsError,
+    MountDaemon,
+    NfsClient,
+    NfsCredential,
+    NfsServer,
+    UnmappedPolicy,
+)
+from repro.apps.nfs.client import NfsClientError
+from repro.apps.nfs.fs import NOBODY_UID
+
+from tests.apps.conftest import REALM
+
+
+def make_server(world, mode, policy=UnmappedPolicy.FRIENDLY, hostname="fsx"):
+    host = world.net.add_host(hostname)
+    nfs_service, _ = world.realm.add_service("nfs", hostname)
+    mount_service, _ = world.realm.add_service("mountd", hostname)
+    srvtab = world.realm.srvtab_for(nfs_service, mount_service)
+    server = NfsServer(
+        host, mode=mode, unmapped_policy=policy,
+        service=nfs_service, srvtab=srvtab,
+    )
+    server.passwd.add("jis", 1001, [100])
+    server.passwd.add("bcn", 1002, [100])
+    mountd = MountDaemon(server, mount_service, srvtab, host)
+    server.fs.install_home("jis", 1001, 100)
+    server.fs.install_home("bcn", 1002, 100)
+    # Seed a file in each home.
+    server.fs.create("/u/jis/secret.txt", NfsCredential(uid=1001, gids=(100,)))
+    server.fs.write(
+        "/u/jis/secret.txt", b"jis private data", NfsCredential(uid=1001)
+    )
+    return host, server, nfs_service, mount_service
+
+
+class TestFileSystemSubstrate:
+    def test_owner_permissions(self):
+        fs = FileSystem()
+        cred = NfsCredential(uid=5, gids=(10,))
+        fs.mkdir("/d", NfsCredential(uid=0), mode=0o777)
+        fs.create("/d/f", cred, mode=0o600)
+        assert fs.read("/d/f", cred) == b""
+        with pytest.raises(FsError):
+            fs.read("/d/f", NfsCredential(uid=6))
+
+    def test_group_permissions(self):
+        fs = FileSystem()
+        owner = NfsCredential(uid=5, gids=(10,))
+        fs.mkdir("/d", NfsCredential(uid=0), mode=0o777)
+        fs.create("/d/f", owner, mode=0o640)
+        groupmate = NfsCredential(uid=6, gids=(10,))
+        stranger = NfsCredential(uid=7, gids=(11,))
+        fs.read("/d/f", groupmate)
+        with pytest.raises(FsError):
+            fs.read("/d/f", stranger)
+
+    def test_root_bypasses_checks(self):
+        fs = FileSystem()
+        fs.mkdir("/d", NfsCredential(uid=0), mode=0o777)
+        fs.create("/d/f", NfsCredential(uid=5), mode=0o600)
+        assert fs.read("/d/f", NfsCredential(uid=0)) == b""
+
+    def test_private_home_blocks_traversal(self):
+        fs = FileSystem()
+        fs.install_home("jis", 1001, 100)
+        fs.create("/u/jis/f", NfsCredential(uid=1001), mode=0o644)
+        # Even a world-readable file inside a 0700 home is unreachable.
+        with pytest.raises(FsError, match="traversing"):
+            fs.read("/u/jis/f", NfsCredential(uid=NOBODY_UID))
+
+    def test_chmod_owner_only(self):
+        fs = FileSystem()
+        fs.mkdir("/d", NfsCredential(uid=0), mode=0o777)
+        fs.create("/d/f", NfsCredential(uid=5))
+        with pytest.raises(FsError):
+            fs.chmod("/d/f", 0o777, NfsCredential(uid=6))
+        fs.chmod("/d/f", 0o600, NfsCredential(uid=5))
+
+    def test_listing_and_removal(self):
+        fs = FileSystem()
+        cred = NfsCredential(uid=0)
+        fs.mkdir("/d", cred)
+        fs.create("/d/a", cred)
+        fs.create("/d/b", cred)
+        assert fs.listdir("/d", cred) == ["a", "b"]
+        fs.remove("/d/a", cred)
+        assert fs.listdir("/d", cred) == ["b"]
+
+    def test_relative_paths_rejected(self):
+        with pytest.raises(FsError):
+            FileSystem().read("no-slash", NfsCredential(uid=0))
+
+
+class TestCredentialMap:
+    def test_add_lookup_delete(self):
+        cm = CredentialMap()
+        cred = NfsCredential(uid=1001, gids=(100,))
+        cm.add("18.72.0.5", 1001, cred)
+        assert cm.lookup("18.72.0.5", 1001) == cred
+        assert cm.delete("18.72.0.5", 1001)
+        assert cm.lookup("18.72.0.5", 1001) is None
+
+    def test_flush_uid(self):
+        cm = CredentialMap()
+        cred = NfsCredential(uid=1001)
+        cm.add("18.72.0.5", 1001, cred)
+        cm.add("18.72.0.6", 17, cred)      # same user from another ws
+        cm.add("18.72.0.7", 2, NfsCredential(uid=2002))
+        assert cm.flush_uid(1001) == 2
+        assert len(cm) == 1
+
+    def test_flush_address(self):
+        cm = CredentialMap()
+        cm.add("18.72.0.5", 1, NfsCredential(uid=1))
+        cm.add("18.72.0.5", 2, NfsCredential(uid=2))
+        cm.add("18.72.0.6", 1, NfsCredential(uid=1))
+        assert cm.flush_address("18.72.0.5") == 2
+        assert len(cm) == 1
+
+    def test_lookup_counts(self):
+        cm = CredentialMap()
+        cm.lookup("1.1.1.1", 1)
+        cm.lookup("1.1.1.1", 1)
+        assert cm.lookups == 2
+
+
+class TestUnmodifiedNfs:
+    """The appendix's starting point and its flaw."""
+
+    def test_trusted_workstation_can_masquerade(self, world):
+        """"it is possible from a trusted workstation to masquerade as
+        any valid user of the file service system"."""
+        host, server, _, _ = make_server(world, AuthMode.TRUSTED, hostname="fst")
+        attacker_ws = world.workstation()
+        # The attacker simply *claims* to be uid 1001 (jis).
+        nc = NfsClient(attacker_ws.host, host.address, uid_on_client=1001, gids=[100])
+        assert nc.read("/u/jis/secret.txt") == b"jis private data"
+
+    def test_untrusted_workstation_gets_nothing(self, world):
+        """Paper: untrusted systems cannot access any files at all."""
+        host, server, _, _ = make_server(world, AuthMode.UNTRUSTED, hostname="fsu")
+        ws = world.workstation()
+        nc = NfsClient(ws.host, host.address, uid_on_client=1001, gids=[100])
+        with pytest.raises(NfsClientError, match="access error"):
+            nc.read("/u/jis/secret.txt")
+
+
+class TestMappedNfs:
+    """The shipped hybrid design."""
+
+    def test_mount_then_access(self, world):
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)  # any local uid
+        nc.kerberos_mount(ws.client, mount_service)
+        assert nc.read("/u/jis/secret.txt") == b"jis private data"
+
+    def test_mapping_keyed_by_address_and_uid(self, world):
+        """The mapping is ⟨CLIENT-IP-ADDRESS, UID-ON-CLIENT⟩ — a different
+        local uid on the same workstation is NOT mapped."""
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(ws.client, mount_service)
+        other = NfsClient(ws.host, host.address, uid_on_client=778)
+        with pytest.raises(NfsClientError):
+            other.read("/u/jis/secret.txt")
+
+    def test_gids_in_claimed_credential_ignored(self, world):
+        """"all information in the client-generated credential except the
+        UID-ON-CLIENT is discarded" — claiming group 100 gains nothing."""
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        ws = world.workstation()
+        ws.client.kinit("bcn", "bcn-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=5, gids=[0, 100])
+        nc.kerberos_mount(ws.client, mount_service)
+        # bcn's mapping is to uid 1002; jis's 0700 home stays closed no
+        # matter what groups the request claims.
+        with pytest.raises(NfsClientError):
+            nc.read("/u/jis/secret.txt")
+
+    def test_friendly_unmapped_becomes_nobody(self, world):
+        host, server, _, _ = make_server(
+            world, AuthMode.MAPPED, UnmappedPolicy.FRIENDLY, hostname="fsf"
+        )
+        # World-readable file outside any private home.
+        server.fs.create("/motd", NfsCredential(uid=0), mode=0o644)
+        server.fs.write("/motd", b"welcome to athena", NfsCredential(uid=0))
+        ws = world.workstation()
+        nc = NfsClient(ws.host, host.address, uid_on_client=1001)
+        assert nc.read("/motd") == b"welcome to athena"  # as nobody
+        with pytest.raises(NfsClientError):
+            nc.read("/u/jis/secret.txt")                  # but nothing private
+
+    def test_unfriendly_unmapped_is_error(self, world):
+        """Paper: unfriendly servers return an NFS access error."""
+        host, server, _, _ = make_server(
+            world, AuthMode.MAPPED, UnmappedPolicy.UNFRIENDLY, hostname="fsh"
+        )
+        server.fs.create("/motd", NfsCredential(uid=0), mode=0o644)
+        ws = world.workstation()
+        nc = NfsClient(ws.host, host.address, uid_on_client=1001)
+        with pytest.raises(NfsClientError, match="access error"):
+            nc.read("/motd")
+
+    def test_unmount_removes_mapping(self, world):
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(ws.client, mount_service)
+        assert nc.unmount()
+        with pytest.raises(NfsClientError):
+            nc.read("/u/jis/secret.txt")
+
+    def test_logout_flushes_all_mappings_for_user(self, world):
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(ws.client, mount_service)
+        assert "flushed 1" in nc.logout()
+        assert len(server.credmap) == 0
+
+    def test_mount_requires_real_tickets(self, world):
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        ws = world.workstation()  # no kinit
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        from repro.core.errors import KerberosError
+
+        with pytest.raises(KerberosError):
+            nc.kerberos_mount(ws.client, mount_service)
+
+    def test_uid_on_client_rides_inside_authenticator(self, world):
+        """The UID-ON-CLIENT is sealed in the authenticator; an attacker
+        rewriting the mount request cannot change which local uid gets
+        mapped (it would break the seal)."""
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        captured = []
+        world.net.add_tap(lambda d: captured.append(d))
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(ws.client, mount_service)
+        mount_packets = [d for d in captured if d.dst_port == 635]
+        assert mount_packets
+        # 777 encoded big-endian must not appear in the clear anywhere.
+        assert not any(
+            (777).to_bytes(4, "big") in d.payload for d in mount_packets
+        )
+
+
+class TestSecurityImplications:
+    """The appendix's own honest security assessment."""
+
+    def test_forgery_while_logged_in_succeeds(self, world):
+        """Paper: the address/uid pair "could be forged and thus security
+        compromised", but "this form of attack is limited to when the
+        user in question is logged in"."""
+        from repro.apps.nfs.protocol import NfsOp, NfsReply, NfsRequest
+        from repro.netsim import Datagram
+
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        victim_ws = world.workstation()
+        victim_ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(victim_ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(victim_ws.client, mount_service)
+
+        # The attacker forges the victim's address AND local uid.
+        forged = Datagram(
+            src=victim_ws.host.address,
+            src_port=0,
+            dst=host.address,
+            dst_port=2049,
+            payload=NfsRequest(
+                op=int(NfsOp.READ), path="/u/jis/secret.txt", data=b"",
+                mode=0, claimed_uid=777, claimed_gids=[], ap_request=b"",
+            ).to_bytes(),
+        )
+        reply = NfsReply.from_bytes(world.net.inject(forged))
+        assert reply.ok  # the attack works... while jis is logged in
+
+    def test_forgery_after_logout_fails(self, world):
+        """Paper: "When a user is not logged in, no amount of IP address
+        forgery will permit unauthorized access to her/his files"."""
+        from repro.apps.nfs.protocol import NfsOp, NfsReply, NfsRequest
+        from repro.netsim import Datagram
+
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED)
+        victim_ws = world.workstation()
+        victim_ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(victim_ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(victim_ws.client, mount_service)
+        nc.logout()
+
+        forged = Datagram(
+            src=victim_ws.host.address,
+            src_port=0,
+            dst=host.address,
+            dst_port=2049,
+            payload=NfsRequest(
+                op=int(NfsOp.READ), path="/u/jis/secret.txt", data=b"",
+                mode=0, claimed_uid=777, claimed_gids=[], ap_request=b"",
+            ).to_bytes(),
+        )
+        reply = NfsReply.from_bytes(world.net.inject(forged))
+        assert not reply.ok
+
+
+class TestPerRpcKerberos:
+    """The rejected design, kept for the appendix benchmark."""
+
+    def test_per_rpc_mode_works(self, world):
+        host, server, nfs_service, mount_service = make_server(
+            world, AuthMode.KERBEROS_RPC, hostname="fsk"
+        )
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=1001)
+        nc.enable_per_rpc_kerberos(ws.client, nfs_service)
+        assert nc.read("/u/jis/secret.txt") == b"jis private data"
+        assert server.kerberos_verifications == 1
+
+    def test_per_rpc_every_op_verified(self, world):
+        host, server, nfs_service, _ = make_server(
+            world, AuthMode.KERBEROS_RPC, hostname="fsk2"
+        )
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=1001)
+        nc.enable_per_rpc_kerberos(ws.client, nfs_service)
+        for _ in range(5):
+            nc.read("/u/jis/secret.txt")
+        assert server.kerberos_verifications == 5
+
+    def test_per_rpc_without_ap_request_rejected(self, world):
+        host, server, _, _ = make_server(
+            world, AuthMode.KERBEROS_RPC, hostname="fsk3"
+        )
+        ws = world.workstation()
+        nc = NfsClient(ws.host, host.address, uid_on_client=1001)
+        with pytest.raises(NfsClientError, match="access error"):
+            nc.read("/u/jis/secret.txt")
+
+
+class TestFullWorkstationLogin:
+    """The appendix's opening narrative, end to end."""
+
+    def test_login_mount_work_logout(self, world):
+        aws = world.athena_workstation()
+        home = aws.login("jis", "jis-pw")
+        assert home.home_path == "/u/jis"
+        home.nfs.create("/u/jis/.cshrc")
+        home.nfs.write("/u/jis/.cshrc", b"setenv ATHENA yes")
+        assert home.nfs.read("/u/jis/.cshrc") == b"setenv ATHENA yes"
+        assert "jis" in aws.passwd_file
+        aws.logout()
+        assert aws.current_user is None
+        assert len(world.nfs_server.credmap) == 0
+
+    def test_wrong_password_no_mount(self, world):
+        from repro.user.login import LoginError
+
+        aws = world.athena_workstation()
+        with pytest.raises(LoginError, match="Incorrect password"):
+            aws.login("jis", "wrong")
+        assert len(world.nfs_server.credmap) == 0
+
+    def test_next_user_cannot_see_previous_files(self, world):
+        aws = world.athena_workstation()
+        home = aws.login("jis", "jis-pw")
+        home.nfs.create("/u/jis/diary")
+        home.nfs.write("/u/jis/diary", b"private thoughts")
+        aws.logout()
+
+        home2 = aws.login("bcn", "bcn-pw")
+        with pytest.raises(NfsClientError):
+            home2.nfs.read("/u/jis/diary")
+        aws.logout()
+
+    def test_hesiod_missing_entry_aborts_login(self, world):
+        from repro.user.login import LoginError
+
+        world.realm.add_user("ghost", "pw")  # Kerberos yes, Hesiod no
+        aws = world.athena_workstation()
+        with pytest.raises(LoginError, match="Hesiod"):
+            aws.login("ghost", "pw")
+        # And no tickets are left behind by the failed login.
+        assert aws.session.username is None
+
+
+class TestRename:
+    def test_rename_within_home(self, world):
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED,
+                                                     hostname="fsr")
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(ws.client, mount_service)
+        nc.rename("/u/jis/secret.txt", "/u/jis/renamed.txt")
+        assert nc.read("/u/jis/renamed.txt") == b"jis private data"
+        with pytest.raises(NfsClientError):
+            nc.read("/u/jis/secret.txt")
+
+    def test_rename_cannot_steal_into_own_home(self, world):
+        """bcn cannot rename jis's file into bcn's home — the source
+        parent is unwritable (and untraversable) to bcn."""
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED,
+                                                     hostname="fsr2")
+        ws = world.workstation()
+        ws.client.kinit("bcn", "bcn-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=5)
+        nc.kerberos_mount(ws.client, mount_service)
+        with pytest.raises(NfsClientError):
+            nc.rename("/u/jis/secret.txt", "/u/bcn/stolen.txt")
+
+    def test_rename_target_collision(self, world):
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED,
+                                                     hostname="fsr3")
+        from repro.apps.nfs.fs import NfsCredential
+
+        server.fs.create("/u/jis/other", NfsCredential(uid=1001, gids=(100,)))
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(ws.client, mount_service)
+        with pytest.raises(NfsClientError, match="already exists"):
+            nc.rename("/u/jis/secret.txt", "/u/jis/other")
+
+    def test_rename_directory(self, world):
+        host, server, _, mount_service = make_server(world, AuthMode.MAPPED,
+                                                     hostname="fsr4")
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        nc = NfsClient(ws.host, host.address, uid_on_client=777)
+        nc.kerberos_mount(ws.client, mount_service)
+        nc.mkdir("/u/jis/old-dir")
+        nc.create("/u/jis/old-dir/f")
+        nc.rename("/u/jis/old-dir", "/u/jis/new-dir")
+        assert nc.readdir("/u/jis/new-dir") == ["f"]

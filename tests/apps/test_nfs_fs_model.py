@@ -1,0 +1,123 @@
+"""Model-based (stateful) testing of the NFS filesystem substrate.
+
+Hypothesis drives random sequences of filesystem operations against both
+the real :class:`FileSystem` and a trivially-correct dict model, as root
+(so permissions never interfere with the structural comparison; the
+permission logic has its own tests).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.apps.nfs.fs import FileSystem, FsError, NfsCredential
+
+ROOT = NfsCredential(uid=0)
+NAMES = ["alpha", "beta", "gamma", "delta"]
+
+
+class FileSystemMachine(RuleBasedStateMachine):
+    """The model: files maps path -> bytes, dirs is a set of paths."""
+
+    def __init__(self):
+        super().__init__()
+        self.fs = FileSystem()
+        self.files = {}
+        self.dirs = {"/"}
+
+    dirs_bundle = Bundle("dirs")
+    files_bundle = Bundle("files")
+
+    @initialize(target=dirs_bundle)
+    def seed_root(self):
+        return "/"
+
+    @initialize(target=files_bundle)
+    def seed_file(self):
+        return self.make_seed_file()
+
+    @rule(target=dirs_bundle, parent=dirs_bundle, name=st.sampled_from(NAMES))
+    def make_dir(self, parent, name):
+        path = (parent.rstrip("/") + "/" + name) if parent != "/" else "/" + name
+        if path in self.dirs or path in self.files:
+            with pytest.raises(FsError):
+                self.fs.mkdir(path, ROOT)
+            return parent  # no new dir; keep bundle non-empty
+        self.fs.mkdir(path, ROOT)
+        self.dirs.add(path)
+        return path
+
+    @rule(target=files_bundle, parent=dirs_bundle, name=st.sampled_from(NAMES))
+    def make_file(self, parent, name):
+        path = (parent.rstrip("/") + "/" + name) if parent != "/" else "/" + name
+        if path in self.dirs or path in self.files:
+            with pytest.raises(FsError):
+                self.fs.create(path, ROOT)
+            return list(self.files) [0] if self.files else self.make_seed_file()
+        self.fs.create(path, ROOT)
+        self.files[path] = b""
+        return path
+
+    def make_seed_file(self):
+        path = "/__seed"
+        if path not in self.files:
+            self.fs.create(path, ROOT)
+            self.files[path] = b""
+        return path
+
+    @rule(path=files_bundle, data=st.binary(max_size=64))
+    def write_file(self, path, data):
+        if path not in self.files:
+            return
+        self.fs.write(path, data, ROOT)
+        self.files[path] = data
+
+    @rule(path=files_bundle)
+    def read_file(self, path):
+        if path not in self.files:
+            with pytest.raises(FsError):
+                self.fs.read(path, ROOT)
+            return
+        assert self.fs.read(path, ROOT) == self.files[path]
+
+    @rule(path=files_bundle)
+    def remove_file(self, path):
+        if path not in self.files:
+            return
+        self.fs.remove(path, ROOT)
+        del self.files[path]
+
+    @rule(parent=dirs_bundle)
+    def list_dir(self, parent):
+        if parent not in self.dirs:
+            return
+        expected = set()
+        prefix = parent.rstrip("/") + "/"
+        if parent == "/":
+            prefix = "/"
+        for path in list(self.dirs) + list(self.files):
+            if path != "/" and path.startswith(prefix):
+                rest = path[len(prefix):]
+                if rest and "/" not in rest:
+                    expected.add(rest)
+        assert set(self.fs.listdir(parent, ROOT)) == expected
+
+    @invariant()
+    def all_model_files_exist(self):
+        for path in self.files:
+            assert self.fs.exists(path)
+        for path in self.dirs:
+            assert path == "/" or self.fs.exists(path)
+
+
+FileSystemMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestFileSystemModel = FileSystemMachine.TestCase

@@ -1,0 +1,116 @@
+"""Kerberized rlogin/rsh with .rhosts fallback (paper Section 7.1)."""
+
+import pytest
+
+from repro.apps.rlogin import RloginServer, rlogin, rsh
+
+from tests.apps.conftest import REALM
+
+
+@pytest.fixture
+def priam(world):
+    """The timesharing machine priam with its rlogin daemon."""
+    service, _ = world.realm.add_service("rcmd", "priam")
+    host = world.net.add_host("priam")
+    server = RloginServer(service, world.realm.srvtab_for(service), host)
+    server.add_account("jis")
+    server.add_account("bcn")
+    return service, host, server
+
+
+class TestKerberosPath:
+    def test_rsh_with_tickets(self, world, priam):
+        """Paper: a user with valid tickets can rlogin to another Athena
+        machine without .rhosts files."""
+        service, host, server = priam
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        output = rsh(ws.client, service, host.address, "ls")
+        assert "ls" in output
+        assert server.kerberos_logins == 1
+        assert server.rhosts_logins == 0
+
+    def test_identity_is_authenticated_not_claimed(self, world, priam):
+        service, host, server = priam
+        outputs = []
+        server.accounts["jis"] = lambda cmd: "ran as jis"
+        server.accounts["bcn"] = lambda cmd: "ran as bcn"
+        ws = world.workstation()
+        ws.client.kinit("bcn", "bcn-pw")
+        # bcn runs rsh; the account used is bcn's, no matter what they want.
+        assert rsh(ws.client, service, host.address, "w") == "ran as bcn"
+
+    def test_no_account_refused(self, world, priam):
+        service, host, server = priam
+        del server.accounts["jis"]
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        with pytest.raises(PermissionError):
+            rsh(ws.client, service, host.address, "ls")
+
+    def test_rlogin_mutual_auth(self, world, priam):
+        service, host, _ = priam
+        ws = world.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        channel = rlogin(ws.client, service, host.address, port=544)
+        assert channel.call(b"whoami").startswith(b"jis")
+
+
+class TestRhostsFallback:
+    def test_fallback_when_no_tickets(self, world, priam):
+        """Paper: if the Kerberos authentication fails, the programs fall
+        back on their usual methods of authorization."""
+        service, host, server = priam
+        ws = world.workstation()  # never ran kinit
+        server.add_rhosts_entry("jis", "jis", ws.host.address)
+        output = rsh(ws.client, service, host.address, "ls", local_user="jis")
+        assert server.rhosts_logins == 1
+        assert server.kerberos_logins == 0
+
+    def test_fallback_denied_without_rhosts_entry(self, world, priam):
+        service, host, _ = priam
+        ws = world.workstation()
+        with pytest.raises(PermissionError, match="Permission denied"):
+            rsh(ws.client, service, host.address, "ls", local_user="jis")
+
+    def test_rhosts_trusts_addresses_hence_spoofable(self, world, priam):
+        """The legacy path's flaw, stated in Section 1: it trusts "the
+        Internet address from which a connection has been established".
+        An attacker who can forge that address gets in with no proof."""
+        from repro.apps.rlogin import RSHD_LEGACY_PORT, RhostsReply, RhostsRequest
+        from repro.netsim import Datagram
+
+        service, host, server = priam
+        victim_ws = world.workstation()
+        server.add_rhosts_entry("jis", "jis", victim_ws.host.address)
+
+        forged = Datagram(
+            src=victim_ws.host.address,  # forged source!
+            src_port=0,
+            dst=host.address,
+            dst_port=RSHD_LEGACY_PORT,
+            payload=RhostsRequest(
+                claimed_user="jis", local_user="jis", command="evil"
+            ).to_bytes(),
+        )
+        reply = RhostsReply.from_bytes(world.net.inject(forged))
+        assert reply.ok  # the attack SUCCEEDS against .rhosts
+
+    def test_same_spoof_fails_against_kerberos(self, world, priam):
+        """And the identical spoof gains nothing against the Kerberized
+        path, which demands a ticket no forger can produce."""
+        from repro.apps.kerberized import OpenReply, OpenRequest, _Kind
+        from repro.netsim import Datagram
+
+        service, host, server = priam
+        victim_ws = world.workstation()
+        request = OpenRequest(ap_request=b"garbage", protection=0, mutual=False)
+        forged = Datagram(
+            src=victim_ws.host.address,
+            src_port=0,
+            dst=host.address,
+            dst_port=544,
+            payload=bytes([int(_Kind.OPEN)]) + request.to_bytes(),
+        )
+        reply = OpenReply.from_bytes(world.net.inject(forged))
+        assert not reply.ok

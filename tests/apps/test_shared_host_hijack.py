@@ -1,0 +1,140 @@
+"""The shared-timesharing-machine scenario (paper Section 8).
+
+*"if a user has been authenticated on a system that allows multiple
+users, another user with access to root might be able to find the
+information needed to use stolen tickets."*
+
+And the level-NONE description (Section 2.1): services may "assume that
+further messages from a given network address originate from the
+authenticated party" — an assumption that is *false* on multi-user
+machines.  These tests show exactly where each protection level draws
+the line for a local attacker who shares the victim's host (and thus
+its network address).
+"""
+
+import pytest
+
+from repro.apps.kerberized import (
+    CallReply,
+    CallRequest,
+    ChannelError,
+    KerberizedChannel,
+    Protection,
+    _Kind,
+)
+from repro.core.safe_priv import krb_mk_priv, krb_mk_safe
+
+from tests.apps.conftest import REALM
+
+PORT = 5100
+
+
+@pytest.fixture
+def echo(world):
+    from tests.apps.test_kerberized import EchoServer
+
+    service, _ = world.realm.add_service("echo", "echohost")
+    host = world.net.add_host("echohost")
+    server = EchoServer(service, world.realm.srvtab_for(service), host, PORT)
+    return service, host, server
+
+
+@pytest.fixture
+def victim_session(world, echo):
+    """jis authenticates from a shared timesharing machine."""
+    service, host, _ = echo
+    ws = world.workstation(hostname="shared-machine")
+    ws.client.kinit("jis", "jis-pw")
+    return ws
+
+
+def hijack_call(world, victim_ws, server_host, session_id, payload):
+    """The local attacker sends from the SAME machine (same address)."""
+    raw = victim_ws.host.rpc(
+        server_host.address,
+        PORT,
+        bytes([int(_Kind.CALL)])
+        + CallRequest(session_id=session_id, payload=payload).to_bytes(),
+    )
+    return CallReply.from_bytes(raw)
+
+
+class TestLocalAttacker:
+    def test_level_none_session_hijackable_from_same_host(
+        self, world, echo, victim_session
+    ):
+        """At protection NONE the address check is the only guard, and a
+        local attacker shares the address: the hijack *succeeds*.  This
+        is the documented cost of the cheapest level — exactly why the
+        paper offers three."""
+        service, host, server = echo
+        channel = KerberizedChannel(
+            victim_session.client, service, host.address, PORT,
+            protection=Protection.NONE,
+        )
+        reply = hijack_call(
+            world, victim_session, host, channel.session_id, b"as jis!"
+        )
+        assert reply.ok                      # the hijack worked...
+        assert reply.payload.startswith(b"jis:")   # ...as the victim
+
+    def test_safe_level_blocks_local_attacker(self, world, echo, victim_session):
+        """At SAFE, every message needs the session key's checksum; the
+        local attacker (who stole no keys, only shares the host) fails."""
+        service, host, server = echo
+        channel = KerberizedChannel(
+            victim_session.client, service, host.address, PORT,
+            protection=Protection.SAFE,
+        )
+        # Attacker forges a safe message with a made-up key.
+        from repro.crypto import KeyGenerator
+
+        fake_key = KeyGenerator(seed=b"local-attacker").session_key()
+        forged = krb_mk_safe(
+            b"as jis!", fake_key, victim_session.host.address,
+            victim_session.host.clock.now(),
+        )
+        reply = hijack_call(
+            world, victim_session, host, channel.session_id, forged.to_bytes()
+        )
+        assert not reply.ok
+        assert "rejected" in reply.text
+
+    def test_private_level_blocks_local_attacker(self, world, echo, victim_session):
+        service, host, server = echo
+        channel = KerberizedChannel(
+            victim_session.client, service, host.address, PORT,
+            protection=Protection.PRIVATE,
+        )
+        from repro.crypto import KeyGenerator
+
+        fake_key = KeyGenerator(seed=b"local-attacker2").session_key()
+        forged = krb_mk_priv(
+            b"as jis!", fake_key, victim_session.host.address,
+            victim_session.host.clock.now(),
+        )
+        reply = hijack_call(
+            world, victim_session, host, channel.session_id, forged.to_bytes()
+        )
+        assert not reply.ok
+
+    def test_root_thief_with_the_session_key_beats_safe_too(
+        self, world, echo, victim_session
+    ):
+        """The paper's full scenario: root on the shared machine can read
+        the victim's *ticket file* — session keys included — and then no
+        protection level helps until the tickets expire."""
+        service, host, server = echo
+        channel = KerberizedChannel(
+            victim_session.client, service, host.address, PORT,
+            protection=Protection.SAFE,
+        )
+        stolen_key = channel._session_key      # root reads process memory
+        forged = krb_mk_safe(
+            b"as jis!", stolen_key, victim_session.host.address,
+            victim_session.host.clock.now(),
+        )
+        reply = hijack_call(
+            world, victim_session, host, channel.session_id, forged.to_bytes()
+        )
+        assert reply.ok   # Section 8's accepted residual risk, again

@@ -1,0 +1,230 @@
+"""krb_mk_req / krb_rd_req — the complete Section 4.3 checklist (exp F6/F7)."""
+
+import pytest
+
+from repro.core import (
+    ErrorCode,
+    KerberosError,
+    Principal,
+    ReplayCache,
+    SrvTab,
+    Ticket,
+    krb_mk_rep,
+    krb_mk_req,
+    krb_rd_rep,
+    krb_rd_req,
+    seal_ticket,
+)
+from repro.core.replay import CLOCK_SKEW
+from repro.crypto import KeyGenerator
+from repro.database.admin_tools import ext_srvtab
+from repro.netsim import IPAddress
+
+REALM = "ATHENA.MIT.EDU"
+GEN = KeyGenerator(seed=b"applib-tests")
+SERVICE = Principal("rlogin", "priam", REALM)
+SERVICE_KEY = GEN.session_key()
+SESSION_KEY = GEN.session_key()
+CLIENT = Principal("jis", "", REALM)
+CLIENT_ADDR = IPAddress("18.72.0.100")
+NOW = 10_000.0
+
+
+def make_ticket_blob(**overrides):
+    values = dict(
+        server=SERVICE,
+        client=CLIENT,
+        address=CLIENT_ADDR.as_int,
+        timestamp=NOW,
+        life=8 * 3600.0,
+        session_key=SESSION_KEY.key_bytes,
+    )
+    values.update(overrides)
+    key = overrides.pop("seal_key", SERVICE_KEY)
+    values.pop("seal_key", None)
+    return seal_ticket(Ticket(**values), key)
+
+
+def make_request(ticket_blob=None, now=NOW, session_key=SESSION_KEY, **kw):
+    return krb_mk_req(
+        ticket_blob=ticket_blob if ticket_blob is not None else make_ticket_blob(),
+        session_key=session_key,
+        client=kw.pop("client", CLIENT),
+        client_address=kw.pop("client_address", CLIENT_ADDR),
+        now=now,
+        **kw,
+    )
+
+
+class TestHappyPath:
+    def test_rd_req_accepts_genuine(self):
+        ctx = krb_rd_req(make_request(), SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert ctx.client == CLIENT
+        assert ctx.session_key == SESSION_KEY
+        assert ctx.address == CLIENT_ADDR
+
+    def test_ticket_reusable_with_fresh_authenticators(self):
+        """"the ticket ... may be used multiple times" — only the
+        authenticator is single-use."""
+        cache = ReplayCache()
+        blob = make_ticket_blob()
+        for i in range(5):
+            req = make_request(ticket_blob=blob, now=NOW + i)
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW + i, cache)
+
+    def test_checksum_passed_through(self):
+        req = make_request(checksum=0xCAFE)
+        ctx = krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert ctx.checksum == 0xCAFE
+
+    def test_srvtab_lookup(self):
+        tab = SrvTab()
+        tab.install(SERVICE, 1, SERVICE_KEY)
+        ctx = krb_rd_req(make_request(kvno=1), SERVICE, tab, CLIENT_ADDR, NOW)
+        assert ctx.client == CLIENT
+
+    def test_srvtab_missing_version(self):
+        tab = SrvTab()
+        tab.install(SERVICE, 1, SERVICE_KEY)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(make_request(kvno=9), SERVICE, tab, CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_VERSION
+
+
+class TestRejections:
+    def test_wrong_service_key(self):
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(make_request(), SERVICE, GEN.session_key(), CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_MODIFIED
+
+    def test_ticket_for_other_service(self):
+        other = Principal("rlogin", "helen", REALM)
+        blob = make_ticket_blob(server=other)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(make_request(ticket_blob=blob), SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_MODIFIED
+
+    def test_expired_ticket(self):
+        late = NOW + 9 * 3600.0
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(make_request(now=late), SERVICE, SERVICE_KEY, CLIENT_ADDR, late)
+        assert err.value.code == ErrorCode.RD_AP_EXP
+
+    def test_ticket_from_the_future(self):
+        blob = make_ticket_blob(timestamp=NOW + 7200.0)
+        req = make_request(ticket_blob=blob)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_NYV
+
+    def test_authenticator_wrong_session_key(self):
+        """A stolen ticket without its session key is useless."""
+        req = make_request(session_key=GEN.session_key())
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_MODIFIED
+
+    def test_authenticator_names_wrong_client(self):
+        req = make_request(client=Principal("bcn", "", REALM))
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_PRINCIPAL
+
+    def test_authenticator_address_mismatch(self):
+        req = make_request(client_address=IPAddress("18.72.0.101"))
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_BADD
+
+    def test_packet_from_wrong_address(self):
+        """Request relayed from a different host than the ticket names."""
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(
+                make_request(), SERVICE, SERVICE_KEY, IPAddress("66.6.6.6"), NOW
+            )
+        assert err.value.code == ErrorCode.RD_AP_BADD
+
+    def test_stale_authenticator(self):
+        """Paper: if the time in the request is too far in the past, the
+        server treats the request as an attempt to replay."""
+        req = make_request(now=NOW)
+        late = NOW + CLOCK_SKEW + 1
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, late)
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_future_authenticator(self):
+        req = make_request(now=NOW + CLOCK_SKEW + 1)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_within_skew_accepted(self):
+        """"clocks are synchronized to within several minutes" — a few
+        minutes of drift must be tolerated."""
+        req = make_request(now=NOW + CLOCK_SKEW - 1)
+        krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+
+    def test_replay_rejected(self):
+        cache = ReplayCache()
+        req = make_request()
+        krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW, cache)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW + 1, cache)
+        assert err.value.code == ErrorCode.RD_AP_REPEAT
+
+    def test_no_cache_no_replay_protection(self):
+        """Without the (optional per the paper) cache, a fast replay gets
+        through — documenting exactly what the cache buys."""
+        req = make_request()
+        krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW + 1)  # accepted!
+
+
+class TestMutualAuth:
+    def test_round_trip(self):
+        req = make_request(mutual=True)
+        ctx = krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        reply = krb_mk_rep(ctx)
+        krb_rd_rep(reply, NOW, SESSION_KEY)
+
+    def test_fake_server_detected(self):
+        """A masquerading server cannot open the ticket, so it cannot
+        learn the session key, so its reply fails verification."""
+        req = make_request(mutual=True)
+        attacker_key = GEN.session_key()
+        from repro.core.messages import ApReply
+
+        fake_reply = ApReply.build(NOW, attacker_key)
+        with pytest.raises(KerberosError):
+            krb_rd_rep(fake_reply, NOW, SESSION_KEY)
+
+    def test_replayed_reply_for_other_timestamp_rejected(self):
+        req = make_request(mutual=True)
+        ctx = krb_rd_req(req, SERVICE, SERVICE_KEY, CLIENT_ADDR, NOW)
+        reply = krb_mk_rep(ctx)
+        with pytest.raises(KerberosError):
+            krb_rd_rep(reply, NOW + 5.0, SESSION_KEY)
+
+
+class TestSrvTabFile:
+    def test_from_ext_srvtab_bytes(self, tmp_path):
+        from repro.crypto import KeyGenerator
+        from repro.database.admin_tools import kdb_init, register_service
+
+        gen = KeyGenerator(seed=b"srvtab")
+        db = kdb_init(REALM, "mpw", gen)
+        service = Principal("pop", "mailhost", REALM)
+        key = register_service(db, service, gen)
+        tab = SrvTab.from_bytes(ext_srvtab(db, [service]))
+        assert tab.key_for(service, 1) == key
+        assert tab.services() == [str(service)]
+        assert len(tab) == 1
+
+    def test_latest_version_default(self):
+        tab = SrvTab()
+        k1, k2 = GEN.session_key(), GEN.session_key()
+        tab.install(SERVICE, 1, k1)
+        tab.install(SERVICE, 2, k2)
+        assert tab.key_for(SERVICE) == k2
+        assert tab.key_for(SERVICE, 1) == k1

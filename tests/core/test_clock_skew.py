@@ -1,0 +1,99 @@
+"""Clock synchronization scenarios (paper Section 4.3).
+
+*"It is assumed that clocks are synchronized to within several
+minutes."*  These tests are the support-desk reality of that sentence:
+what breaks, and how, when a workstation's clock drifts — and that
+fixing the clock fixes everything.
+"""
+
+import pytest
+
+from repro.core import (
+    ErrorCode,
+    KerberosError,
+    krb_rd_req,
+)
+from repro.core.replay import CLOCK_SKEW
+from repro.netsim import Network
+from repro.realm import Realm
+
+REALM = "ATHENA.MIT.EDU"
+
+
+@pytest.fixture
+def realm():
+    net = Network()
+    r = Realm(net, REALM)
+    r.add_user("jis", "jis-pw")
+    r.add_service("rlogin", "priam")
+    return r
+
+
+def service_of(realm):
+    from repro.principal import Principal
+
+    s = Principal("rlogin", "priam", REALM)
+    return s, realm.service_key(s)
+
+
+class TestSkewedWorkstation:
+    def test_small_skew_is_tolerated(self, realm):
+        """A couple of minutes of drift — the design target — works."""
+        ws = realm.workstation(clock_skew=2 * 60.0)
+        ws.client.kinit("jis", "jis-pw")
+        service, key = service_of(realm)
+        request, _, _ = ws.client.mk_req(service)
+        ctx = krb_rd_req(request, service, key, ws.host.address,
+                         realm.net.clock.now())
+        assert ctx.client.name == "jis"
+
+    def test_large_skew_breaks_tgs(self, realm):
+        """Beyond the window, the TGS treats the authenticator as a
+        replay attempt (RD_AP_TIME) — login appears to work, service
+        access fails."""
+        ws = realm.workstation(clock_skew=CLOCK_SKEW + 120.0)
+        ws.client.kinit("jis", "jis-pw")  # AS has no authenticator: works
+        service, _ = service_of(realm)
+        with pytest.raises(KerberosError) as err:
+            ws.client.get_credential(service)
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_large_negative_skew_breaks_tgs(self, realm):
+        ws = realm.workstation(clock_skew=-(CLOCK_SKEW + 120.0))
+        ws.client.kinit("jis", "jis-pw")
+        service, _ = service_of(realm)
+        with pytest.raises(KerberosError) as err:
+            ws.client.get_credential(service)
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_skewed_server_rejects_healthy_client(self, realm):
+        """The skew can be on the *server's* side too."""
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        service, key = service_of(realm)
+        request, _, _ = ws.client.mk_req(service)
+        skewed_server_now = realm.net.clock.now() + CLOCK_SKEW + 60.0
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, key, ws.host.address, skewed_server_now)
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_fixing_the_clock_fixes_everything(self, realm):
+        ws = realm.workstation(clock_skew=CLOCK_SKEW + 300.0)
+        ws.client.kinit("jis", "jis-pw")
+        service, _ = service_of(realm)
+        with pytest.raises(KerberosError):
+            ws.client.get_credential(service)
+        ws.host.clock.skew = 0.0  # ntpdate, 1988-style
+        assert ws.client.get_credential(service) is not None
+
+    def test_skewed_ticket_lifetime_interaction(self, realm):
+        """A fast workstation clock also shortens the *perceived* ticket
+        life: the client believes the TGT expires sooner than the realm
+        does.  (The cache uses the local clock for expiry checks.)"""
+        fast = realm.workstation(clock_skew=3 * 60.0)
+        fast.client.kinit("jis", "jis-pw")
+        tgt = fast.client.cache.tgt(REALM, now=fast.host.clock.now())
+        assert tgt is not None
+        remaining_local = tgt.remaining(fast.host.clock.now())
+        remaining_realm = tgt.remaining(realm.net.clock.now())
+        assert remaining_local < remaining_realm

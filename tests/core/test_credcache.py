@@ -1,0 +1,106 @@
+"""Credential cache tests (paper Sections 4.2 and 6.1)."""
+
+import pytest
+
+from repro.core import Credential, CredentialCache, Principal, tgs_principal
+from repro.crypto import KeyGenerator
+
+REALM = "ATHENA.MIT.EDU"
+GEN = KeyGenerator(seed=b"cc-tests")
+
+
+def cred(service, issue=0.0, life=8 * 3600.0):
+    return Credential(
+        service=service,
+        ticket=b"sealed",
+        session_key=GEN.session_key(),
+        issue_time=issue,
+        life=life,
+        kvno=1,
+    )
+
+
+def rlogin():
+    return Principal("rlogin", "priam", REALM)
+
+
+class TestStoreAndGet:
+    def test_get_stored(self):
+        cache = CredentialCache()
+        c = cred(rlogin())
+        cache.store(c)
+        assert cache.get(rlogin()) is c
+        assert rlogin() in cache
+
+    def test_get_missing(self):
+        assert CredentialCache().get(rlogin()) is None
+
+    def test_store_replaces(self):
+        cache = CredentialCache()
+        cache.store(cred(rlogin(), issue=0.0))
+        newer = cred(rlogin(), issue=100.0)
+        cache.store(newer)
+        assert cache.get(rlogin()) is newer
+        assert len(cache) == 1
+
+    def test_expired_not_returned(self):
+        """Section 6.1: after the lifetime passes, the application fails
+        and the user must kinit — the cache must not serve dead tickets."""
+        cache = CredentialCache()
+        cache.store(cred(rlogin(), issue=0.0, life=100.0))
+        assert cache.get(rlogin(), now=50.0) is not None
+        assert cache.get(rlogin(), now=100.0) is None
+
+    def test_get_without_now_skips_expiry_check(self):
+        cache = CredentialCache()
+        cache.store(cred(rlogin(), issue=0.0, life=1.0))
+        assert cache.get(rlogin()) is not None
+
+
+class TestTgtAccessors:
+    def test_tgt(self):
+        cache = CredentialCache()
+        cache.store(cred(tgs_principal(REALM)))
+        assert cache.tgt(REALM) is not None
+        assert cache.tgt("LCS.MIT.EDU") is None
+
+    def test_remote_tgt(self):
+        cache = CredentialCache()
+        cache.store(cred(tgs_principal(REALM, "LCS.MIT.EDU")))
+        assert cache.remote_tgt(REALM, "LCS.MIT.EDU") is not None
+        assert cache.remote_tgt(REALM, "CS.WASHINGTON.EDU") is None
+
+
+class TestUserOperations:
+    def test_klist_view_sorted(self):
+        cache = CredentialCache()
+        cache.store(cred(Principal("zephyr", "zhost", REALM)))
+        cache.store(cred(Principal("pop", "mailhost", REALM)))
+        names = [str(c.service) for c in cache.list()]
+        assert names == sorted(names)
+        assert len(names) == 2
+
+    def test_kdestroy_wipes_everything(self):
+        cache = CredentialCache(owner=Principal("jis", "", REALM))
+        cache.store(cred(rlogin()))
+        cache.store(cred(tgs_principal(REALM)))
+        assert cache.destroy() == 2
+        assert len(cache) == 0
+        assert cache.owner is None
+
+    def test_purge_expired(self):
+        cache = CredentialCache()
+        cache.store(cred(rlogin(), issue=0.0, life=10.0))
+        cache.store(cred(tgs_principal(REALM), issue=0.0, life=1000.0))
+        assert cache.purge_expired(now=500.0) == 1
+        assert len(cache) == 1
+
+
+class TestCredential:
+    def test_expiry_math(self):
+        c = cred(rlogin(), issue=100.0, life=50.0)
+        assert c.expires == 150.0
+        assert not c.expired(149.9)
+        assert c.expired(150.0)
+        assert c.remaining(120.0) == 30.0
+        assert c.remaining(500.0) == 0.0

@@ -1,0 +1,102 @@
+"""Service key rotation via key version numbers.
+
+Section 6.3 describes extracting a server's key into /etc/srvtab.  Keys
+get changed (compromise, policy), and the key-version machinery lets
+outstanding tickets — sealed under the *old* key — keep working until
+they expire, while new tickets use the new key.
+"""
+
+import pytest
+
+from repro.core import ErrorCode, KerberosError, ReplayCache, krb_rd_req
+from repro.netsim import Network
+from repro.realm import Realm
+
+REALM = "ATHENA.MIT.EDU"
+
+
+@pytest.fixture
+def world():
+    net = Network()
+    realm = Realm(net, REALM)
+    realm.add_user("jis", "jis-pw")
+    service, _ = realm.add_service("rlogin", "priam")
+    srvtab = realm.srvtab_for(service)
+    return net, realm, service, srvtab
+
+
+class TestRotation:
+    def test_old_ticket_survives_rotation(self, world):
+        """A ticket issued before the rotation still authenticates,
+        because the srvtab retains the old key under its version."""
+        net, realm, service, srvtab = world
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        request, cred, _ = ws.client.mk_req(service)
+        assert cred.kvno == 1
+
+        realm.rotate_service_key(service, srvtab)
+
+        ctx = krb_rd_req(request, service, srvtab, ws.host.address, net.clock.now())
+        assert ctx.client.name == "jis"
+
+    def test_new_tickets_use_new_key_version(self, world):
+        net, realm, service, srvtab = world
+        realm.rotate_service_key(service, srvtab)
+
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        request, cred, _ = ws.client.mk_req(service)
+        assert cred.kvno == 2
+        ctx = krb_rd_req(request, service, srvtab, ws.host.address, net.clock.now())
+        assert ctx.client.name == "jis"
+
+    def test_stale_srvtab_rejects_new_tickets(self, world):
+        """A server that never installed the new srvtab cannot serve
+        tickets sealed under the new key — the operational failure the
+        kvno field makes diagnosable."""
+        net, realm, service, srvtab = world
+        stale_srvtab = realm.srvtab_for(service)   # copy before rotation
+        realm.rotate_service_key(service)          # new key, not installed
+
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        request, cred, _ = ws.client.mk_req(service)
+        assert cred.kvno == 2
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, stale_srvtab, ws.host.address,
+                       net.clock.now())
+        assert err.value.code == ErrorCode.RD_AP_VERSION
+
+    def test_multiple_rotations(self, world):
+        net, realm, service, srvtab = world
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        creds = []
+        cache = ReplayCache()
+        for round_ in range(3):
+            request, cred, _ = ws.client.mk_req(service)
+            creds.append((request, cred))
+            realm.rotate_service_key(service, srvtab)
+            # Old ticket must be refetched for the next round to get the
+            # new kvno; drop the cache entry to force it.
+            ws.client.cache._creds.pop(str(service), None)
+        # All three generations of tickets still verify.
+        for request, cred in creds:
+            ctx = krb_rd_req(request, service, srvtab, ws.host.address,
+                             net.clock.now(), cache)
+            assert ctx.client.name == "jis"
+        assert [cred.kvno for _, cred in creds] == [1, 2, 3]
+
+    def test_rotation_invalidates_nothing_early(self, world):
+        """Rotation is not revocation: outstanding old-key tickets remain
+        valid until expiry (a limit worth knowing about)."""
+        net, realm, service, srvtab = world
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        request, _, _ = ws.client.mk_req(service)
+        realm.rotate_service_key(service, srvtab)
+        net.clock.advance(9 * 3600.0)   # now the ticket has expired
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, srvtab, ws.host.address, net.clock.now())
+        assert err.value.code == ErrorCode.RD_AP_EXP

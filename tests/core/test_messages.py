@@ -1,0 +1,174 @@
+"""Wire message and envelope tests."""
+
+import pytest
+
+from repro.core import (
+    ApReply,
+    ApRequest,
+    AsRequest,
+    ErrorCode,
+    ErrorReply,
+    KdcReply,
+    KdcReplyBody,
+    KerberosError,
+    MessageType,
+    Principal,
+    TgsRequest,
+    decode_message,
+    encode_message,
+    expect_reply,
+    tgs_principal,
+)
+from repro.crypto import KeyGenerator
+
+REALM = "ATHENA.MIT.EDU"
+GEN = KeyGenerator(seed=b"msg-tests")
+
+
+def as_request():
+    return AsRequest(
+        client=Principal("jis", "", REALM),
+        service=tgs_principal(REALM),
+        requested_life=28800.0,
+        timestamp=100.0,
+    )
+
+
+_BODY_SESSION_KEY = GEN.session_key().key_bytes
+
+
+def reply_body(ticket=b"sealed-ticket"):
+    return KdcReplyBody(
+        session_key=_BODY_SESSION_KEY,
+        server=tgs_principal(REALM),
+        issue_time=100.0,
+        life=28800.0,
+        kvno=1,
+        request_timestamp=100.0,
+        ticket=ticket,
+    )
+
+
+class TestEnvelope:
+    def test_round_trip_each_type(self):
+        key = GEN.session_key()
+        samples = [
+            (MessageType.AS_REQ, as_request()),
+            (MessageType.AS_REP, KdcReply.build(Principal("jis"), reply_body(), key)),
+            (
+                MessageType.TGS_REQ,
+                TgsRequest(
+                    service=Principal("rlogin", "priam", REALM),
+                    requested_life=3600.0,
+                    timestamp=5.0,
+                    tgt_realm=REALM,
+                    tgt=b"tgt-bytes",
+                    authenticator=b"auth-bytes",
+                ),
+            ),
+            (
+                MessageType.AP_REQ,
+                ApRequest(ticket=b"t", authenticator=b"a", mutual=True, kvno=1),
+            ),
+            (MessageType.AP_REP, ApReply.build(7.0, key)),
+            (MessageType.ERROR, ErrorReply(code=1, text="nope")),
+        ]
+        for mtype, message in samples:
+            decoded_type, decoded = decode_message(encode_message(mtype, message))
+            assert decoded_type == mtype
+            assert decoded == message
+
+    def test_type_mismatch_rejected_on_encode(self):
+        with pytest.raises(TypeError):
+            encode_message(MessageType.AS_REQ, ErrorReply(code=1, text="x"))
+
+    def test_unknown_type_byte(self):
+        with pytest.raises(KerberosError) as err:
+            decode_message(b"\xf0junk")
+        assert err.value.code == ErrorCode.KDC_GEN_ERR
+
+    def test_truncated_message(self):
+        wire = encode_message(MessageType.AS_REQ, as_request())
+        with pytest.raises(KerberosError):
+            decode_message(wire[:-3])
+
+    def test_trailing_garbage(self):
+        wire = encode_message(MessageType.AS_REQ, as_request())
+        with pytest.raises(KerberosError):
+            decode_message(wire + b"\x00")
+
+    def test_empty_message(self):
+        with pytest.raises(KerberosError):
+            decode_message(b"")
+
+
+class TestKdcReply:
+    def test_open_with_right_key(self):
+        key = GEN.session_key()
+        reply = KdcReply.build(Principal("jis"), reply_body(), key)
+        assert reply.open(key) == reply_body()
+
+    def test_open_with_wrong_key_is_badpw(self):
+        """The wrong-password experience of Section 4.2."""
+        reply = KdcReply.build(Principal("jis"), reply_body(), GEN.session_key())
+        with pytest.raises(KerberosError) as err:
+            reply.open(GEN.session_key())
+        assert err.value.code == ErrorCode.INTK_BADPW
+
+    def test_body_hidden_on_wire(self):
+        key = GEN.session_key()
+        reply = KdcReply.build(Principal("jis"), reply_body(b"TICKETBYTES"), key)
+        assert b"TICKETBYTES" not in reply.sealed_body
+
+
+class TestApReply:
+    def test_verify_accepts_genuine(self):
+        key = GEN.session_key()
+        ApReply.build(50.0, key).verify(50.0, key)
+
+    def test_verify_checks_timestamp_plus_one(self):
+        key = GEN.session_key()
+        with pytest.raises(KerberosError):
+            ApReply.build(50.0, key).verify(51.0, key)
+
+    def test_verify_rejects_wrong_key(self):
+        """A masquerading server cannot produce the Figure 7 proof."""
+        with pytest.raises(KerberosError):
+            ApReply.build(50.0, GEN.session_key()).verify(50.0, GEN.session_key())
+
+
+class TestErrorReply:
+    def test_raise_reconstructs_error(self):
+        reply = ErrorReply(code=int(ErrorCode.KDC_PR_UNKNOWN), text="who?")
+        with pytest.raises(KerberosError) as err:
+            reply.raise_()
+        assert err.value.code == ErrorCode.KDC_PR_UNKNOWN
+        assert "who?" in str(err.value)
+
+    def test_from_error_round_trip(self):
+        original = KerberosError(ErrorCode.RD_AP_TIME, "too skewed")
+        reply = ErrorReply.from_error(original)
+        with pytest.raises(KerberosError) as err:
+            reply.raise_()
+        assert err.value.code == original.code
+
+
+class TestExpectReply:
+    def test_returns_wanted_message(self):
+        wire = encode_message(MessageType.AS_REQ, as_request())
+        assert expect_reply(wire, MessageType.AS_REQ) == as_request()
+
+    def test_raises_carried_error(self):
+        wire = encode_message(
+            MessageType.ERROR,
+            ErrorReply(code=int(ErrorCode.KDC_PR_UNKNOWN), text="x"),
+        )
+        with pytest.raises(KerberosError) as err:
+            expect_reply(wire, MessageType.AS_REP)
+        assert err.value.code == ErrorCode.KDC_PR_UNKNOWN
+
+    def test_wrong_type_is_protocol_error(self):
+        wire = encode_message(MessageType.AS_REQ, as_request())
+        with pytest.raises(KerberosError) as err:
+            expect_reply(wire, MessageType.AS_REP)
+        assert err.value.code == ErrorCode.INTK_PROT

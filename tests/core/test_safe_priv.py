@@ -1,0 +1,115 @@
+"""Safe and private message tests (paper Section 2.1's protection levels)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ErrorCode,
+    KerberosError,
+    krb_mk_priv,
+    krb_mk_safe,
+    krb_rd_priv,
+    krb_rd_safe,
+)
+from repro.core.replay import CLOCK_SKEW
+from repro.crypto import KeyGenerator
+from repro.netsim import IPAddress
+
+GEN = KeyGenerator(seed=b"safepriv-tests")
+KEY = GEN.session_key()
+OTHER_KEY = GEN.session_key()
+SENDER = IPAddress("18.72.0.100")
+NOW = 1000.0
+
+
+class TestSafeMessages:
+    """"authentication of each message, but do not care whether the
+    content ... is disclosed"."""
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30)
+    def test_round_trip(self, data):
+        msg = krb_mk_safe(data, KEY, SENDER, NOW)
+        assert krb_rd_safe(msg, KEY, SENDER, NOW) == data
+
+    def test_content_is_cleartext(self):
+        msg = krb_mk_safe(b"PUBLIC ANNOUNCEMENT", KEY, SENDER, NOW)
+        assert b"PUBLIC ANNOUNCEMENT" in msg.to_bytes()
+
+    def test_tamper_detected(self):
+        msg = krb_mk_safe(b"transfer 10 dollars", KEY, SENDER, NOW)
+        forged = msg.replace(data=b"transfer 99 dollars")
+        with pytest.raises(KerberosError) as err:
+            krb_rd_safe(forged, KEY, SENDER, NOW)
+        assert err.value.code == ErrorCode.RD_AP_MODIFIED
+
+    def test_wrong_key_rejected(self):
+        msg = krb_mk_safe(b"data", KEY, SENDER, NOW)
+        with pytest.raises(KerberosError):
+            krb_rd_safe(msg, OTHER_KEY, SENDER, NOW)
+
+    def test_sender_spoof_rejected(self):
+        msg = krb_mk_safe(b"data", KEY, SENDER, NOW)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_safe(msg, KEY, IPAddress("66.6.6.6"), NOW)
+        assert err.value.code == ErrorCode.RD_AP_BADD
+
+    def test_stale_message_rejected(self):
+        msg = krb_mk_safe(b"data", KEY, SENDER, NOW)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_safe(msg, KEY, SENDER, NOW + CLOCK_SKEW + 1)
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_checksum_forgery_without_key_fails(self):
+        """An attacker can read and rewrite the cleartext, but cannot
+        compute the keyed checksum for the altered content."""
+        msg = krb_mk_safe(b"original", KEY, SENDER, NOW)
+        forged = krb_mk_safe(b"forged!!", OTHER_KEY, SENDER, NOW)
+        hybrid = forged.replace(checksum=msg.checksum)
+        with pytest.raises(KerberosError):
+            krb_rd_safe(hybrid, KEY, SENDER, NOW)
+
+
+class TestPrivateMessages:
+    """"each message is not only authenticated, but also encrypted"."""
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30)
+    def test_round_trip(self, data):
+        msg = krb_mk_priv(data, KEY, SENDER, NOW)
+        assert krb_rd_priv(msg, KEY, SENDER, NOW) == data
+
+    def test_content_is_hidden(self):
+        """Private messages carry passwords (Section 2.1) — the payload
+        must never appear on the wire."""
+        msg = krb_mk_priv(b"users-new-password", KEY, SENDER, NOW)
+        assert b"users-new-password" not in msg.to_bytes()
+
+    def test_wrong_key_rejected(self):
+        msg = krb_mk_priv(b"data", KEY, SENDER, NOW)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_priv(msg, OTHER_KEY, SENDER, NOW)
+        assert err.value.code == ErrorCode.RD_AP_MODIFIED
+
+    def test_tamper_detected(self):
+        msg = krb_mk_priv(b"data", KEY, SENDER, NOW)
+        sealed = bytearray(msg.sealed)
+        sealed[8] ^= 0x10
+        with pytest.raises(KerberosError):
+            krb_rd_priv(msg.replace(sealed=bytes(sealed)), KEY, SENDER, NOW)
+
+    def test_sender_spoof_rejected(self):
+        msg = krb_mk_priv(b"data", KEY, SENDER, NOW)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_priv(msg, KEY, IPAddress("66.6.6.6"), NOW)
+        assert err.value.code == ErrorCode.RD_AP_BADD
+
+    def test_stale_message_rejected(self):
+        msg = krb_mk_priv(b"data", KEY, SENDER, NOW)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_priv(msg, KEY, SENDER, NOW + CLOCK_SKEW + 1)
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_within_skew_accepted(self):
+        msg = krb_mk_priv(b"data", KEY, SENDER, NOW)
+        assert krb_rd_priv(msg, KEY, SENDER, NOW + CLOCK_SKEW - 1) == b"data"

@@ -1,0 +1,120 @@
+"""Golden wire-format tests: the byte-level protocol is frozen.
+
+A library whose wire format silently changes breaks every deployed peer.
+These tests pin SHA-256 digests of deterministically-constructed
+messages; any change to field order, widths, framing, DES, string-to-key,
+or the seal layout fails here first — deliberately.
+
+If a format change is ever *intended*, update the digests in the same
+commit and call it out loudly in the changelog.
+"""
+
+import hashlib
+
+from repro.core import (
+    ApRequest,
+    AsRequest,
+    MessageType,
+    Principal,
+    TgsRequest,
+    Ticket,
+    encode_message,
+    seal_ticket,
+    tgs_principal,
+)
+from repro.core.authenticator import build_authenticator
+from repro.crypto import KeyGenerator, string_to_key
+from repro.netsim import IPAddress
+
+GEN_SEED = b"golden"
+
+
+def fixtures():
+    gen = KeyGenerator(seed=GEN_SEED)
+    session_key = gen.session_key()
+    server_key = gen.session_key()
+    client = Principal("jis", "", "ATHENA.MIT.EDU")
+    service = Principal("rlogin", "priam", "ATHENA.MIT.EDU")
+    ticket_blob = seal_ticket(
+        Ticket(
+            server=service,
+            client=client,
+            address=IPAddress("18.72.0.100").as_int,
+            timestamp=1000.0,
+            life=28800.0,
+            session_key=session_key.key_bytes,
+        ),
+        server_key,
+    )
+    authenticator = build_authenticator(
+        client, IPAddress("18.72.0.100"), 1000.5, session_key, checksum=7
+    )
+    return client, service, session_key, ticket_blob, authenticator
+
+
+def digest(wire: bytes) -> str:
+    return hashlib.sha256(wire).hexdigest()
+
+
+class TestGoldenWireFormats:
+    def test_key_generator_stream_frozen(self):
+        gen = KeyGenerator(seed=GEN_SEED)
+        assert gen.session_key().key_bytes.hex() == "34294901d05e68a7"
+
+    def test_string_to_key_frozen(self):
+        assert string_to_key("golden-password").key_bytes.hex() == "8932310e0da71f07"
+
+    def test_as_request_frozen(self):
+        client, *_ = fixtures()
+        wire = encode_message(
+            MessageType.AS_REQ,
+            AsRequest(
+                client=client,
+                service=tgs_principal("ATHENA.MIT.EDU"),
+                requested_life=28800.0,
+                timestamp=1000.0,
+            ),
+        )
+        assert len(wire) == 92
+        assert digest(wire) == (
+            "4a8ad742b2c87fb0f8533fb6d6f18d51f8066c185f3351a75e281d2368f7b78c"
+        )
+
+    def test_ap_request_frozen(self):
+        _, _, _, ticket_blob, authenticator = fixtures()
+        wire = encode_message(
+            MessageType.AP_REQ,
+            ApRequest(
+                ticket=ticket_blob, authenticator=authenticator,
+                mutual=True, kvno=1,
+            ),
+        )
+        assert len(wire) == 198
+        assert digest(wire) == (
+            "4da50df834d88859689ab88f165957e9503d73ec5df879ad345e2d4fca29cda4"
+        )
+
+    def test_tgs_request_frozen(self):
+        _, service, _, ticket_blob, authenticator = fixtures()
+        wire = encode_message(
+            MessageType.TGS_REQ,
+            TgsRequest(
+                service=service,
+                requested_life=3600.0,
+                timestamp=1001.0,
+                tgt_realm="ATHENA.MIT.EDU",
+                tgt=ticket_blob,
+                authenticator=authenticator,
+            ),
+        )
+        assert len(wire) == 264
+        assert digest(wire) == (
+            "4a6254d804cf571f038a1f81c61189373c6bd4c1defe2c40cbf90f008dced5b0"
+        )
+
+    def test_sealed_ticket_size_stable(self):
+        """Tickets are always the same size regardless of the names'
+        entropy (fixed fields + padding to a DES block boundary); a size
+        change means a format change."""
+        *_, ticket_blob, _ = fixtures()
+        assert len(ticket_blob) == 120

@@ -1,0 +1,112 @@
+"""Checksum tests: DES-CBC MAC (kprop, Fig. 13) and quad_cksum (safe msgs)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import DesKey, cbc_mac, quad_cksum, verify_cbc_mac
+from repro.crypto.checksum import quad_cksum_key
+
+KEY = DesKey(bytes.fromhex("133457799BBCDFF1"))
+KEY2 = DesKey(bytes.fromhex("0E329232EA6D0D73"))
+
+
+class TestCbcMac:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=40)
+    def test_deterministic(self, data):
+        assert cbc_mac(KEY, data) == cbc_mac(KEY, data)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=40)
+    def test_verify_accepts_genuine(self, data):
+        assert verify_cbc_mac(KEY, data, cbc_mac(KEY, data))
+
+    def test_mac_is_one_block(self):
+        assert len(cbc_mac(KEY, b"db dump")) == 8
+
+    def test_key_dependence(self):
+        data = b"the kerberos database dump"
+        assert cbc_mac(KEY, data) != cbc_mac(KEY2, data)
+
+    def test_verify_rejects_wrong_key(self):
+        data = b"the kerberos database dump"
+        assert not verify_cbc_mac(KEY2, data, cbc_mac(KEY, data))
+
+    def test_verify_rejects_tampered_data(self):
+        data = bytearray(b"principal: jis key: ...")
+        mac = cbc_mac(KEY, bytes(data))
+        data[0] ^= 1
+        assert not verify_cbc_mac(KEY, bytes(data), mac)
+
+    def test_zero_padding_not_confusable(self):
+        """Messages differing only by trailing NULs must differ in MAC."""
+        assert cbc_mac(KEY, b"abc") != cbc_mac(KEY, b"abc\x00")
+        assert cbc_mac(KEY, b"") != cbc_mac(KEY, b"\x00" * 8)
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    @settings(max_examples=40)
+    def test_distinct_messages_distinct_macs(self, a, b):
+        if a != b:
+            assert cbc_mac(KEY, a) != cbc_mac(KEY, b)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            cbc_mac(KEY, "text")
+
+    def test_empty_message(self):
+        assert len(cbc_mac(KEY, b"")) == 8
+
+
+class TestQuadCksum:
+    SEED = KEY.key_bytes
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=40)
+    def test_deterministic_and_32bit(self, data):
+        c = quad_cksum(data, self.SEED)
+        assert c == quad_cksum(data, self.SEED)
+        assert 0 <= c < 2**32
+
+    def test_seed_dependence(self):
+        data = b"safe message body"
+        assert quad_cksum(data, KEY.key_bytes) != quad_cksum(data, KEY2.key_bytes)
+
+    def test_data_dependence(self):
+        assert quad_cksum(b"aaaa", self.SEED) != quad_cksum(b"aaab", self.SEED)
+
+    def test_length_sensitivity(self):
+        assert quad_cksum(b"", self.SEED) != quad_cksum(b"\x00\x00\x00\x00", self.SEED)
+
+    def test_short_seed_rejected(self):
+        with pytest.raises(ValueError):
+            quad_cksum(b"data", b"short")
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            quad_cksum("text", self.SEED)
+
+    def test_key_wrapper(self):
+        assert quad_cksum_key(KEY, b"x") == quad_cksum(b"x", KEY.key_bytes)
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=40)
+    def test_single_bit_flip_detected(self, data):
+        original = quad_cksum(data, self.SEED)
+        flipped = bytearray(data)
+        flipped[0] ^= 0x01
+        assert quad_cksum(bytes(flipped), self.SEED) != original
+
+    def test_faster_than_full_mac(self):
+        """The paper's point: quad_cksum trades strength for speed."""
+        import time
+
+        data = b"z" * 4096
+        t0 = time.perf_counter()
+        for _ in range(20):
+            quad_cksum(data, self.SEED)
+        quad_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(20):
+            cbc_mac(KEY, data)
+        mac_time = time.perf_counter() - t0
+        assert quad_time < mac_time

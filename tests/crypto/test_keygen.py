@@ -1,0 +1,80 @@
+"""Session key generation (paper Sections 2.1 and 6.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import DesKey, KeyGenerator, check_parity, is_weak_key
+
+
+class TestKeyGenerator:
+    def test_deterministic_from_seed(self):
+        a = KeyGenerator(seed=b"athena")
+        b = KeyGenerator(seed=b"athena")
+        assert [a.session_key() for _ in range(5)] == [
+            b.session_key() for _ in range(5)
+        ]
+
+    def test_different_seeds_diverge(self):
+        assert (
+            KeyGenerator(seed=b"athena").session_key()
+            != KeyGenerator(seed=b"lcs").session_key()
+        )
+
+    def test_stream_has_no_short_cycles(self):
+        gen = KeyGenerator(seed=b"cycle-check")
+        keys = [gen.session_key().key_bytes for _ in range(200)]
+        assert len(set(keys)) == 200
+
+    @given(st.binary(min_size=1, max_size=32))
+    @settings(max_examples=30)
+    def test_keys_always_valid(self, seed):
+        gen = KeyGenerator(seed=seed)
+        for _ in range(5):
+            k = gen.session_key()
+            assert isinstance(k, DesKey)
+            assert check_parity(k.key_bytes)
+            assert not is_weak_key(k.key_bytes)
+
+    def test_random_bytes_length(self):
+        gen = KeyGenerator(seed=b"rb")
+        for n in (0, 1, 7, 8, 9, 100):
+            assert len(gen.random_bytes(n)) == n
+
+    def test_random_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGenerator(seed=b"x").random_bytes(-1)
+
+    def test_random_bytes_advance_state(self):
+        gen = KeyGenerator(seed=b"rb2")
+        assert gen.random_bytes(16) != gen.random_bytes(16)
+
+    def test_random_u32_range(self):
+        gen = KeyGenerator(seed=b"u32")
+        values = [gen.random_u32() for _ in range(50)]
+        assert all(0 <= v < 2**32 for v in values)
+        assert len(set(values)) > 45  # essentially all distinct
+
+    def test_fork_is_independent(self):
+        base = KeyGenerator(seed=b"realm")
+        kdc1 = base.fork(b"slave-1")
+        kdc2 = base.fork(b"slave-2")
+        assert kdc1.session_key() != kdc2.session_key()
+
+    def test_fork_deterministic(self):
+        a = KeyGenerator(seed=b"realm").fork(b"slave-1")
+        b = KeyGenerator(seed=b"realm").fork(b"slave-1")
+        assert a.session_key() == b.session_key()
+
+    def test_seed_type_checked(self):
+        with pytest.raises(TypeError):
+            KeyGenerator(seed="string seed")
+
+    def test_default_seed_works(self):
+        assert isinstance(KeyGenerator().session_key(), DesKey)
+
+    def test_output_bits_balanced(self):
+        """Crude sanity check of the DRBG: ones density near 50%."""
+        gen = KeyGenerator(seed=b"balance")
+        data = gen.random_bytes(4096)
+        ones = sum(bin(b).count("1") for b in data)
+        assert 0.45 < ones / (8 * len(data)) < 0.55

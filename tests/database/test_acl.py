@@ -1,0 +1,79 @@
+"""Access control list tests (paper Section 5.1)."""
+
+import pytest
+
+from repro.database import AccessControlList
+from repro.database.acl import AclError
+from repro.principal import Principal
+
+REALM = "ATHENA.MIT.EDU"
+
+
+def admin(name="jis"):
+    return Principal(name, "admin", REALM)
+
+
+class TestMembership:
+    def test_add_and_check(self):
+        acl = AccessControlList()
+        acl.add(admin())
+        assert acl.check(admin())
+        assert admin() in acl
+
+    def test_absent_principal_denied(self):
+        acl = AccessControlList([admin("jis")])
+        assert not acl.check(admin("bcn"))
+
+    def test_null_instance_rejected(self):
+        """The paper's convention: NULL-instance names never appear."""
+        acl = AccessControlList()
+        with pytest.raises(AclError):
+            acl.add(Principal("jis", "", REALM))
+
+    def test_other_instances_allowed(self):
+        # The convention is about NULL instances; root etc. are permitted.
+        acl = AccessControlList()
+        acl.add(Principal("treese", "root", REALM))
+        assert acl.check(Principal("treese", "root", REALM))
+
+    def test_realm_matters(self):
+        acl = AccessControlList([admin()])
+        assert not acl.check(Principal("jis", "admin", "LCS.MIT.EDU"))
+
+    def test_remove(self):
+        acl = AccessControlList([admin()])
+        acl.remove(admin())
+        assert not acl.check(admin())
+        acl.remove(admin())  # idempotent
+
+    def test_len_and_entries(self):
+        acl = AccessControlList([admin("a"), admin("b")])
+        assert len(acl) == 2
+        assert acl.entries() == [f"a.admin@{REALM}", f"b.admin@{REALM}"]
+
+
+class TestFileFormat:
+    def test_text_round_trip(self):
+        acl = AccessControlList([admin("jis"), admin("bcn")])
+        parsed = AccessControlList.from_text(acl.to_text())
+        assert parsed.entries() == acl.entries()
+
+    def test_comments_and_blanks_ignored(self):
+        text = f"# administrators\n\njis.admin@{REALM}\n  \n"
+        acl = AccessControlList.from_text(text)
+        assert acl.check(admin("jis"))
+        assert len(acl) == 1
+
+    def test_default_realm_applied(self):
+        acl = AccessControlList.from_text("jis.admin\n", default_realm=REALM)
+        assert acl.check(admin("jis"))
+
+    def test_bad_line_reports_lineno(self):
+        with pytest.raises(AclError, match="line 2"):
+            AccessControlList.from_text(f"jis.admin@{REALM}\nplain-user\n")
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "kerberos.acl")
+        acl = AccessControlList([admin()])
+        acl.save(path)
+        assert AccessControlList.load(path).check(admin())

@@ -1,0 +1,118 @@
+"""Database administration program tests (paper Section 6.3)."""
+
+import pytest
+
+from repro.crypto import KeyGenerator, string_to_key
+from repro.database import AccessControlList, KerberosDatabase, MasterKey
+from repro.database.admin_tools import (
+    ext_srvtab,
+    kdb_init,
+    kdb_util_dump,
+    kdb_util_load,
+    parse_srvtab,
+    register_essential_admin,
+    register_service,
+)
+from repro.database.schema import ATTR_NO_TGT
+from repro.principal import Principal, kdbm_principal, tgs_principal
+
+REALM = "ATHENA.MIT.EDU"
+
+
+@pytest.fixture
+def keygen():
+    return KeyGenerator(seed=b"admin-tools")
+
+
+@pytest.fixture
+def db(keygen):
+    return kdb_init(REALM, "master-pw", keygen)
+
+
+class TestKdbInit:
+    def test_essential_principals_present(self, db):
+        assert db.exists(tgs_principal(REALM))
+        assert db.exists(kdbm_principal(REALM))
+
+    def test_kdbm_has_no_tgt_attribute(self, db):
+        record = db.get_record(kdbm_principal(REALM))
+        assert not record.tgt_allowed
+
+    def test_tgs_allows_tgt(self, db):
+        assert db.get_record(tgs_principal(REALM)).tgt_allowed
+
+    def test_master_key_from_password(self, keygen):
+        db = kdb_init(REALM, "pw", keygen)
+        assert db.master_key == MasterKey.from_password("pw")
+
+    def test_distinct_keys_for_essentials(self, db):
+        assert db.principal_key(tgs_principal(REALM)) != db.principal_key(
+            kdbm_principal(REALM)
+        )
+
+
+class TestAdminRegistration:
+    def test_admin_instance_created_and_listed(self, db):
+        acl = AccessControlList()
+        admin = register_essential_admin(db, acl, "jis", "admin-pw")
+        assert admin.instance == "admin"
+        assert db.exists(admin)
+        assert acl.check(admin)
+
+    def test_admin_key_is_from_password(self, db):
+        acl = AccessControlList()
+        admin = register_essential_admin(db, acl, "jis", "admin-pw")
+        assert db.principal_key(admin) == string_to_key("admin-pw")
+
+
+class TestServiceRegistration:
+    def test_random_key_returned_and_stored(self, db, keygen):
+        service = Principal("rlogin", "priam", REALM)
+        key = register_service(db, service, keygen)
+        assert db.principal_key(service) == key
+
+    def test_custom_max_life(self, db, keygen):
+        service = Principal("nfs", "fileserver", REALM)
+        register_service(db, service, keygen, max_life=3600.0)
+        assert db.get_record(service).max_life == 3600.0
+
+
+class TestDumpFile:
+    def test_backup_restore(self, db, keygen, tmp_path):
+        db.add_principal(Principal("jis", "", REALM), password="x", now=5.0)
+        path = str(tmp_path / "backup.kdb")
+        kdb_util_dump(db, path, now=10.0)
+        restored = kdb_init(REALM, "master-pw", KeyGenerator(seed=b"other"))
+        count = kdb_util_load(restored, path)
+        assert count == len(db.store)
+        assert restored.exists(Principal("jis", "", REALM))
+        # Keys round-trip exactly through the file.
+        assert restored.principal_key(
+            Principal("jis", "", REALM)
+        ) == db.principal_key(Principal("jis", "", REALM))
+
+
+class TestSrvtab:
+    def test_extract_and_parse(self, db, keygen):
+        services = [
+            Principal("rlogin", "priam", REALM),
+            Principal("pop", "mailhost", REALM),
+        ]
+        for s in services:
+            register_service(db, s, keygen)
+        rows = parse_srvtab(ext_srvtab(db, services))
+        assert [str(r[0]) for r in rows] == [str(s) for s in services]
+        for principal, version, key_bytes in rows:
+            assert version == 1
+            assert db.principal_key(principal).key_bytes == key_bytes
+
+    def test_key_version_tracks_changes(self, db, keygen):
+        service = Principal("rlogin", "priam", REALM)
+        register_service(db, service, keygen)
+        db.change_key(service, new_key=keygen.session_key())
+        (_, version, _) = parse_srvtab(ext_srvtab(db, [service]))[0]
+        assert version == 2
+
+    def test_not_a_srvtab(self):
+        with pytest.raises(ValueError):
+            parse_srvtab(b"garbage")

@@ -1,0 +1,233 @@
+"""Kerberos database library tests (paper Section 5)."""
+
+import pytest
+
+from repro.crypto import DesKey, KeyGenerator, string_to_key
+from repro.database import (
+    DatabaseError,
+    KerberosDatabase,
+    MasterKey,
+    MemoryStore,
+    NoSuchPrincipal,
+    PrincipalExists,
+    ReadOnlyDatabase,
+)
+from repro.database.schema import ATTR_DISABLED, ATTR_NO_TGT, DEFAULT_MAX_LIFE
+from repro.principal import Principal
+
+REALM = "ATHENA.MIT.EDU"
+
+
+@pytest.fixture
+def master():
+    return MasterKey.from_password("master-password")
+
+
+@pytest.fixture
+def db(master):
+    return KerberosDatabase(REALM, master)
+
+
+@pytest.fixture
+def keygen():
+    return KeyGenerator(seed=b"db-tests")
+
+
+def jis():
+    return Principal("jis", "", REALM)
+
+
+class TestRegistration:
+    def test_add_with_password(self, db):
+        record = db.add_principal(jis(), password="secret")
+        assert record.name == "jis"
+        assert db.principal_key(jis()) == string_to_key("secret")
+
+    def test_add_with_key(self, db, keygen):
+        key = keygen.session_key()
+        db.add_principal(Principal("rlogin", "priam", REALM), key=key)
+        assert db.principal_key(Principal("rlogin", "priam", REALM)) == key
+
+    def test_duplicate_rejected(self, db):
+        db.add_principal(jis(), password="a")
+        with pytest.raises(PrincipalExists):
+            db.add_principal(jis(), password="b")
+
+    def test_key_xor_password_required(self, db, keygen):
+        with pytest.raises(ValueError):
+            db.add_principal(jis())
+        with pytest.raises(ValueError):
+            db.add_principal(jis(), key=keygen.session_key(), password="x")
+
+    def test_default_expiration_years_out(self, db):
+        record = db.add_principal(jis(), password="x", now=1000.0)
+        assert record.expiration > 1000.0 + 4 * 365 * 24 * 3600
+
+    def test_km_reserved(self, db):
+        with pytest.raises(ValueError):
+            db.add_principal(Principal("K", "M", REALM), password="x")
+
+    def test_foreign_realm_rejected(self, db):
+        with pytest.raises(NoSuchPrincipal):
+            db.add_principal(Principal("bcn", "", "LCS.MIT.EDU"), password="x")
+
+    def test_empty_realm_treated_as_local(self, db):
+        db.add_principal(Principal("jis"), password="x")
+        assert db.exists(Principal("jis", "", REALM))
+
+    def test_default_max_life_is_8_hours(self, db):
+        record = db.add_principal(jis(), password="x")
+        assert record.max_life == DEFAULT_MAX_LIFE == 8 * 3600
+
+
+class TestLookup:
+    def test_missing_principal(self, db):
+        with pytest.raises(NoSuchPrincipal):
+            db.get_record(jis())
+
+    def test_exists(self, db):
+        assert not db.exists(jis())
+        db.add_principal(jis(), password="x")
+        assert db.exists(jis())
+
+    def test_keys_sealed_at_rest(self, db, master):
+        """The stored bytes must not contain the raw key (Section 5.3)."""
+        db.add_principal(jis(), password="secret")
+        raw_key = string_to_key("secret").key_bytes
+        stored = db.store.get("jis")
+        assert raw_key not in stored
+
+    def test_list_excludes_km(self, db):
+        db.add_principal(jis(), password="x")
+        assert db.list_principals() == ["jis"]
+        assert len(db) == 1
+
+    def test_instances_are_distinct_principals(self, db):
+        db.add_principal(Principal("treese", "", REALM), password="a")
+        db.add_principal(Principal("treese", "root", REALM), password="b")
+        assert db.principal_key(
+            Principal("treese", "", REALM)
+        ) != db.principal_key(Principal("treese", "root", REALM))
+
+
+class TestMutation:
+    def test_change_key_by_password(self, db):
+        db.add_principal(jis(), password="old")
+        updated = db.change_key(jis(), new_password="new", now=50.0)
+        assert updated.key_version == 2
+        assert db.principal_key(jis()) == string_to_key("new")
+
+    def test_change_key_audit_fields(self, db):
+        db.add_principal(jis(), password="old")
+        updated = db.change_key(
+            jis(), new_password="new", now=50.0, mod_by="jis.admin"
+        )
+        assert updated.mod_time == 50.0
+        assert updated.mod_by == "jis.admin"
+
+    def test_change_key_missing_principal(self, db):
+        with pytest.raises(NoSuchPrincipal):
+            db.change_key(jis(), new_password="x")
+
+    def test_set_attributes(self, db):
+        db.add_principal(jis(), password="x")
+        record = db.set_attributes(jis(), ATTR_DISABLED)
+        assert record.disabled
+        assert record.tgt_allowed
+
+    def test_attr_no_tgt(self, db):
+        db.add_principal(jis(), password="x")
+        record = db.set_attributes(jis(), ATTR_NO_TGT)
+        assert not record.tgt_allowed
+
+    def test_delete(self, db):
+        db.add_principal(jis(), password="x")
+        db.delete_principal(jis())
+        assert not db.exists(jis())
+        with pytest.raises(NoSuchPrincipal):
+            db.delete_principal(jis())
+
+
+class TestReadOnly:
+    def test_slave_rejects_all_mutations(self, db):
+        db.add_principal(jis(), password="x")
+        slave = db.replica()
+        slave.load_dump(db.dump())
+        with pytest.raises(ReadOnlyDatabase):
+            slave.add_principal(Principal("new", "", REALM), password="p")
+        with pytest.raises(ReadOnlyDatabase):
+            slave.change_key(jis(), new_password="p")
+        with pytest.raises(ReadOnlyDatabase):
+            slave.delete_principal(jis())
+        with pytest.raises(ReadOnlyDatabase):
+            slave.set_attributes(jis(), 0)
+
+    def test_slave_can_read(self, db):
+        db.add_principal(jis(), password="x")
+        slave = db.replica()
+        slave.load_dump(db.dump())
+        assert slave.principal_key(jis()) == db.principal_key(jis())
+
+
+class TestMasterKeyVerification:
+    def test_wrong_master_key_rejected_on_open(self, db):
+        db.add_principal(jis(), password="x")
+        with pytest.raises(DatabaseError):
+            KerberosDatabase(
+                REALM, MasterKey.from_password("wrong"), store=db.store
+            )
+
+    def test_right_master_key_accepted_on_open(self, db, master):
+        db.add_principal(jis(), password="x")
+        reopened = KerberosDatabase(REALM, master, store=db.store)
+        assert reopened.exists(jis())
+
+    def test_missing_km_record(self, master):
+        store = MemoryStore()
+        store.put("orphan", b"junk")
+        with pytest.raises(DatabaseError):
+            KerberosDatabase(REALM, master, store=store)
+
+
+class TestDumpLoad:
+    def test_round_trip(self, db):
+        db.add_principal(jis(), password="x")
+        db.add_principal(Principal("bcn", "", REALM), password="y")
+        slave = db.replica()
+        count = slave.load_dump(db.dump(now=123.0))
+        assert count == len(db.store)
+        assert slave.dump_time == 123.0
+        assert sorted(slave.list_principals()) == sorted(db.list_principals())
+
+    def test_dump_carries_no_cleartext_keys(self, db):
+        db.add_principal(jis(), password="hunter2")
+        assert string_to_key("hunter2").key_bytes not in db.dump()
+
+    def test_wrong_realm_dump_rejected(self, db, master):
+        other = KerberosDatabase("LCS.MIT.EDU", master)
+        with pytest.raises(DatabaseError):
+            other.replica().load_dump(db.dump())
+
+    def test_not_a_dump_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.replica().load_dump(b"random bytes here!")
+
+    def test_truncated_dump_rejected(self, db):
+        db.add_principal(jis(), password="x")
+        blob = db.dump()
+        with pytest.raises(DatabaseError):
+            db.replica().load_dump(blob[:-5])
+
+    def test_load_replaces_existing_contents(self, db):
+        db.add_principal(jis(), password="x")
+        slave = db.replica()
+        slave.load_dump(db.dump())
+        db.add_principal(Principal("bcn", "", REALM), password="y")
+        db.delete_principal(jis())
+        slave.load_dump(db.dump())
+        assert not slave.exists(jis())
+        assert slave.exists(Principal("bcn", "", REALM))
+
+    def test_empty_realm_name_rejected(self, master):
+        with pytest.raises(ValueError):
+            KerberosDatabase("", master)

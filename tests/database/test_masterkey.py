@@ -1,0 +1,95 @@
+"""Master database key tests (paper Section 5.3)."""
+
+import pytest
+
+from repro.crypto import DesKey, KeyGenerator
+from repro.database import MasterKey
+from repro.database.masterkey import MasterKeyError
+
+
+@pytest.fixture
+def master():
+    return MasterKey.from_password("the-master-password")
+
+
+@pytest.fixture
+def keygen():
+    return KeyGenerator(seed=b"mk-tests")
+
+
+class TestSealing:
+    def test_round_trip(self, master, keygen):
+        key = keygen.session_key()
+        assert master.unseal_key(master.seal_key(key)) == key
+
+    def test_sealed_form_hides_key(self, master, keygen):
+        key = keygen.session_key()
+        assert key.key_bytes not in master.seal_key(key)
+
+    def test_wrong_master_cannot_unseal(self, master, keygen):
+        sealed = master.seal_key(keygen.session_key())
+        other = MasterKey.from_password("different")
+        with pytest.raises(MasterKeyError):
+            other.unseal_key(sealed)
+
+    def test_corrupted_sealed_key_rejected(self, master, keygen):
+        sealed = bytearray(master.seal_key(keygen.session_key()))
+        sealed[4] ^= 0xFF
+        with pytest.raises(MasterKeyError):
+            master.unseal_key(bytes(sealed))
+
+    def test_deterministic_derivation(self):
+        assert MasterKey.from_password("pw") == MasterKey.from_password("pw")
+        assert MasterKey.from_password("pw") != MasterKey.from_password("pw2")
+
+
+class TestChecksum:
+    def test_verify_genuine(self, master):
+        data = b"the database dump"
+        assert master.verify_checksum(data, master.checksum(data))
+
+    def test_reject_tampered(self, master):
+        data = b"the database dump"
+        mac = master.checksum(data)
+        assert not master.verify_checksum(b"the database dUmp", mac)
+
+    def test_reject_wrong_key(self, master):
+        data = b"dump"
+        other = MasterKey.from_password("not-the-master")
+        assert not other.verify_checksum(data, master.checksum(data))
+
+
+class TestStash:
+    def test_stash_round_trip(self, master, tmp_path):
+        path = str(tmp_path / ".k")
+        master.stash(path)
+        assert MasterKey.load_stash(path) == master
+
+    def test_bad_stash_rejected(self, tmp_path):
+        path = tmp_path / ".k"
+        path.write_bytes(b"not a stash file at all")
+        with pytest.raises(MasterKeyError):
+            MasterKey.load_stash(str(path))
+
+    def test_truncated_stash_rejected(self, master, tmp_path):
+        path = tmp_path / ".k"
+        master.stash(str(path))
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(MasterKeyError):
+            MasterKey.load_stash(str(path))
+
+
+class TestHygiene:
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            MasterKey(b"raw bytes")
+
+    def test_repr_hides_key(self, master):
+        assert "sealed" in repr(master)
+        assert master.des_key.key_bytes.hex() not in repr(master)
+
+    def test_hashable(self, master):
+        assert len({master, MasterKey.from_password("the-master-password")}) == 1
+
+    def test_not_equal_to_other_types(self, master):
+        assert master != "a string"

@@ -1,0 +1,121 @@
+"""Robustness: every network-facing server survives hostile bytes.
+
+An open network delivers arbitrary datagrams to every port.  No server
+may crash, hang, or corrupt state on malformed input — each must answer
+with a protocol error (or drop) and keep serving legitimate clients.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.hesiod import HesiodServer
+from repro.apps.nfs import AuthMode, MountDaemon, NfsServer
+from repro.apps.pop import PopServer
+from repro.apps.register import RegisterServer
+from repro.apps.sms import SmsServer
+from repro.netsim import Network, NoSuchService
+from repro.principal import Principal
+from repro.realm import Realm
+
+REALM = "ATHENA.MIT.EDU"
+
+# Hand-picked nasty payloads plus a few structured-ish prefixes.
+NASTY = [
+    b"",
+    b"\x00",
+    b"\xff" * 3,
+    b"\x01",                       # bare message-type byte
+    b"\x01" + b"\x00" * 100,       # AS_REQ-shaped zeros
+    b"\x03" + b"\xff" * 50,        # TGS_REQ-shaped garbage
+    b"\x07" + b"A" * 1000,
+    bytes(range(256)),
+    b"\x01" + (2**31).to_bytes(4, "big") + b"x",   # absurd length prefix
+    b"%s%s%s%n",
+    "🔥💀".encode("utf-8"),
+]
+
+
+@pytest.fixture(scope="module")
+def world():
+    net = Network()
+    realm = Realm(net, REALM)
+    realm.add_user("jis", "jis-pw")
+    realm.add_admin("jis", "admin-pw")
+    service, _ = realm.add_service("pop", "mailhost")
+    nfs_service, _ = realm.add_service("nfs", "fs1")
+    mount_service, _ = realm.add_service("mountd", "fs1")
+
+    pop_host = net.add_host("mailhost")
+    PopServer(service, realm.srvtab_for(service), pop_host)
+
+    fs_host = net.add_host("fs1")
+    srvtab = realm.srvtab_for(nfs_service, mount_service)
+    nfs = NfsServer(fs_host, mode=AuthMode.MAPPED, service=nfs_service, srvtab=srvtab)
+    MountDaemon(nfs, mount_service, srvtab, fs_host)
+
+    hesiod_host = net.add_host("hesiod")
+    HesiodServer(hesiod_host)
+    sms_host = net.add_host("sms")
+    SmsServer(sms_host)
+    RegisterServer(realm.db, realm.master_host, sms_host.address)
+
+    attacker = net.add_host("attacker")
+    targets = [
+        (realm.master_host.address, 750),   # KDC
+        (realm.master_host.address, 751),   # KDBM
+        (realm.master_host.address, 261),   # register
+        (pop_host.address, 109),            # POP
+        (fs_host.address, 2049),            # NFS
+        (fs_host.address, 635),             # mountd
+    ]
+    return dict(net=net, realm=realm, attacker=attacker, targets=targets,
+                hesiod=hesiod_host, sms=sms_host)
+
+
+class TestNastyPayloads:
+    @pytest.mark.parametrize("payload", NASTY, ids=range(len(NASTY)))
+    def test_every_server_survives(self, world, payload):
+        attacker = world["attacker"]
+        for address, port in world["targets"]:
+            # Must not raise anything except clean transport errors; any
+            # reply bytes are acceptable, crashes are not.
+            try:
+                attacker.rpc(address, port, payload)
+            except NoSuchService:
+                pytest.fail(f"port {port} not bound")
+        # Hesiod and SMS parse strict WireStructs; they may raise decode
+        # errors at the handler boundary, which the simulated network
+        # surfaces to the caller — the *server* stays up either way.
+        for address in (world["hesiod"].address, world["sms"].address):
+            try:
+                attacker.rpc(address, 251 if address == world["hesiod"].address else 260, payload)
+            except Exception:
+                pass
+
+    def test_servers_still_work_after_the_barrage(self, world):
+        """After all that garbage, a legitimate login still succeeds."""
+        realm = world["realm"]
+        ws = realm.workstation()
+        assert ws.client.kinit("jis", "jis-pw") is not None
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_kdc_never_crashes_on_random_bytes(self, world, payload):
+        attacker = world["attacker"]
+        reply = attacker.rpc(world["targets"][0][0], 750, payload)
+        # The KDC always answers *something* (an error envelope).
+        assert isinstance(reply, bytes)
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_nfs_never_crashes_on_random_bytes(self, world, payload):
+        attacker = world["attacker"]
+        fs_target = [t for t in world["targets"] if t[1] == 2049][0]
+        reply = attacker.rpc(fs_target[0], 2049, payload)
+        assert isinstance(reply, bytes)
+
+    def test_kdc_error_counter_reflects_garbage(self, world):
+        realm = world["realm"]
+        before = realm.kdc.errors
+        world["attacker"].rpc(realm.master_host.address, 750, b"\x01junk")
+        assert realm.kdc.errors == before + 1

@@ -1,0 +1,67 @@
+"""IP address wire type tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim import IPAddress
+
+
+class TestParsing:
+    def test_dotted_quad(self):
+        assert IPAddress("18.72.0.5").as_int == (18 << 24) | (72 << 16) | 5
+
+    def test_round_trip_text(self):
+        assert str(IPAddress("128.95.1.4")) == "128.95.1.4"
+
+    def test_from_int(self):
+        assert str(IPAddress(0x12480005)) == "18.72.0.5"
+
+    def test_copy_constructor(self):
+        a = IPAddress("1.2.3.4")
+        assert IPAddress(a) == a
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", ""]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            IPAddress(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            IPAddress(2**32)
+        with pytest.raises(ValueError):
+            IPAddress(-1)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            IPAddress(1.5)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_int_text_round_trip(self, value):
+        assert IPAddress(str(IPAddress(value))).as_int == value
+
+
+class TestEquality:
+    def test_equal_addresses(self):
+        assert IPAddress("10.0.0.1") == IPAddress("10.0.0.1")
+
+    def test_compare_with_str_and_int(self):
+        a = IPAddress("10.0.0.1")
+        assert a == "10.0.0.1"
+        assert a == a.as_int
+        assert a != "10.0.0.2"
+
+    def test_compare_with_garbage(self):
+        assert IPAddress("10.0.0.1") != "not-an-address"
+        assert IPAddress("10.0.0.1") != [1, 2]
+
+    def test_hashable(self):
+        assert len({IPAddress("1.1.1.1"), IPAddress("1.1.1.1")}) == 1
+
+    def test_usable_as_dict_key(self):
+        d = {IPAddress("1.2.3.4"): "ws1"}
+        assert d[IPAddress("1.2.3.4")] == "ws1"
+
+    def test_repr(self):
+        assert repr(IPAddress("1.2.3.4")) == "IPAddress('1.2.3.4')"

@@ -1,0 +1,71 @@
+"""Protocol tracer tests."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.realm import Realm
+from repro.trace import ProtocolTracer, describe_payload
+
+REALM = "ATHENA.MIT.EDU"
+
+
+@pytest.fixture
+def world():
+    net = Network()
+    realm = Realm(net, REALM)
+    realm.add_user("jis", "jis-pw")
+    service, key = realm.add_service("rlogin", "priam")
+    return net, realm, service
+
+
+class TestTracer:
+    def test_figure9_trace_shape(self, world):
+        net, realm, service = world
+        tracer = ProtocolTracer(net)
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        ws.client.get_credential(service)
+        text = tracer.format()
+        # The trace reads like Figure 9.
+        assert "AS-REQ" in text
+        assert "AS-REP" in text
+        assert "TGS-REQ" in text
+        assert "TGS-REP" in text
+        assert len(tracer) == 4
+
+    def test_sealed_parts_stay_sealed(self, world):
+        """The tracer sees what any observer sees — descriptions name
+        sealed blobs by size only."""
+        net, realm, service = world
+        tracer = ProtocolTracer(net)
+        ws = realm.workstation()
+        tgt = ws.client.kinit("jis", "jis-pw")
+        assert "sealed" in tracer.format()
+        assert tgt.session_key.key_bytes.hex() not in tracer.format()
+
+    def test_error_replies_described(self, world):
+        net, realm, service = world
+        tracer = ProtocolTracer(net)
+        ws = realm.workstation()
+        from repro.core import KerberosError
+
+        with pytest.raises(KerberosError):
+            ws.client.kinit("nobody", "x")
+        assert "ERROR" in tracer.format()
+
+    def test_clear_and_detach(self, world):
+        net, realm, service = world
+        tracer = ProtocolTracer(net)
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        tracer.clear()
+        assert len(tracer) == 0
+        tracer.detach()
+        ws.client.get_credential(service)
+        assert len(tracer) == 0
+
+    def test_non_kerberos_ports_show_sizes(self):
+        assert describe_payload(b"hello", 109) == "[5 bytes]"
+
+    def test_undecodable_kerberos_payload(self):
+        assert "bytes" in describe_payload(b"\xff\xff", 750)

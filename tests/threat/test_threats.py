@@ -1,0 +1,279 @@
+"""Threat-model tests (paper Sections 1, 2, 4.3, 8) — experiment T1.
+
+Each class arms one attacker and verifies the paper's claim about it:
+defeated where the design defeats it, and honestly successful where the
+1988 design accepts residual risk.
+"""
+
+import pytest
+
+from repro.core import (
+    ErrorCode,
+    KerberosError,
+    Principal,
+    ReplayCache,
+    krb_rd_req,
+    tgs_principal,
+)
+from repro.crypto import string_to_key
+from repro.netsim import Network
+from repro.realm import Realm
+from repro.threat import (
+    Eavesdropper,
+    MasqueradingServer,
+    Replayer,
+    steal_credentials,
+    use_stolen_credential,
+)
+
+REALM = "ATHENA.MIT.EDU"
+
+
+@pytest.fixture
+def world():
+    net = Network()
+    realm = Realm(net, REALM)
+    realm.add_user("jis", "jis-pw")
+    service, key = realm.add_service("rlogin", "priam")
+    return dict(net=net, realm=realm, service=service, key=key)
+
+
+class TestEavesdropper:
+    """Section 1: someone watching the network should not be able to
+    obtain the information necessary to impersonate another user."""
+
+    def test_password_never_observed(self, world):
+        eve = Eavesdropper(world["net"])
+        ws = world["realm"].workstation()
+        ws.client.kinit("jis", "jis-pw")
+        ws.client.get_credential(world["service"])
+        assert not eve.saw_bytes(b"jis-pw")
+        assert not eve.saw_bytes(string_to_key("jis-pw").key_bytes)
+
+    def test_session_keys_never_observed(self, world):
+        eve = Eavesdropper(world["net"])
+        ws = world["realm"].workstation()
+        tgt = ws.client.kinit("jis", "jis-pw")
+        cred = ws.client.get_credential(world["service"])
+        assert not eve.saw_bytes(tgt.session_key.key_bytes)
+        assert not eve.saw_bytes(cred.session_key.key_bytes)
+
+    def test_names_do_travel_in_clear(self, world):
+        """The protocol hides proofs, not metadata: the eavesdropper does
+        learn who talks to which service."""
+        eve = Eavesdropper(world["net"])
+        ws = world["realm"].workstation()
+        ws.client.kinit("jis", "jis-pw")
+        assert eve.saw_bytes(b"jis")
+        assert eve.saw_bytes(b"krbtgt")
+
+    def test_strong_password_resists_dictionary(self, world):
+        eve = Eavesdropper(world["net"])
+        ws = world["realm"].workstation()
+        ws.client.kinit("jis", "jis-pw")
+        reply = eve.harvest_kdc_replies()[0]
+        guessed = eve.offline_password_guess(
+            reply, ["password", "athena", "12345", "letmein"]
+        )
+        assert guessed is None
+
+    def test_weak_password_falls_to_dictionary(self, world):
+        """The honest edge: AS replies are keyed by the password, so an
+        eavesdropper can test guesses offline.  (V5 preauth mitigates;
+        the 1988 design accepts this.)"""
+        world["realm"].add_user("weak", "password")
+        eve = Eavesdropper(world["net"])
+        ws = world["realm"].workstation()
+        ws.client.kinit("weak", "password")
+        reply = eve.harvest_kdc_replies()[0]
+        guessed = eve.offline_password_guess(
+            reply, ["123456", "qwerty", "password", "athena"]
+        )
+        assert guessed == "password"
+
+    def test_detach(self, world):
+        eve = Eavesdropper(world["net"])
+        eve.detach()
+        ws = world["realm"].workstation()
+        ws.client.kinit("jis", "jis-pw")
+        assert eve.captured == []
+
+
+class TestReplayer:
+    def test_replayed_service_request_rejected(self, world):
+        """Section 4.3: same ticket + same timestamp = discard."""
+        net, realm = world["net"], world["realm"]
+        service, key = world["service"], world["key"]
+        server_host = net.add_host("priam")
+        cache = ReplayCache()
+
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        request, _, _ = ws.client.mk_req(service)
+
+        # The genuine request is served...
+        ctx = krb_rd_req(request, service, key, ws.host.address,
+                         net.clock.now(), cache)
+        assert ctx.client.name == "jis"
+        # ...the byte-identical replay (even source-forged) is not.
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, key, ws.host.address,
+                       net.clock.now(), cache)
+        assert err.value.code == ErrorCode.RD_AP_REPEAT
+
+    def test_delayed_replay_rejected_by_time_window(self, world):
+        """A replay after the skew window fails even with no cache."""
+        net, realm = world["net"], world["realm"]
+        service, key = world["service"], world["key"]
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        request, _, _ = ws.client.mk_req(service)
+        net.clock.advance(10 * 60)  # attacker waits ten minutes
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, key, ws.host.address, net.clock.now())
+        assert err.value.code == ErrorCode.RD_AP_TIME
+
+    def test_fast_replay_without_cache_succeeds(self, world):
+        """What the (optional) cache buys: without it, an immediate
+        replay from the same address is accepted."""
+        net, realm = world["net"], world["realm"]
+        service, key = world["service"], world["key"]
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        request, _, _ = ws.client.mk_req(service)
+        krb_rd_req(request, service, key, ws.host.address, net.clock.now())
+        # No cache passed: the replay sails through.
+        krb_rd_req(request, service, key, ws.host.address, net.clock.now())
+
+    def test_replayer_capture_and_inject(self, world):
+        """The Replayer harness itself: captured KDC requests can be
+        re-injected; the KDC replies, but the reply is sealed in the
+        user's key, useless to the attacker."""
+        net, realm = world["net"], world["realm"]
+        replayer = Replayer(net, match=lambda d: d.dst_port == 750)
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        assert replayer.captured
+        reply_bytes = replayer.replay(0)
+        # The attacker got bytes back — but cannot decrypt them.
+        from repro.core.messages import MessageType, expect_reply
+
+        reply = expect_reply(reply_bytes, MessageType.AS_REP)
+        with pytest.raises(KerberosError):
+            reply.open(string_to_key("not-the-password"))
+
+    def test_replay_nothing_captured(self, world):
+        replayer = Replayer(world["net"], match=lambda d: False)
+        with pytest.raises(ValueError):
+            replayer.replay()
+
+
+class TestMasqueradingServer:
+    def test_mutual_auth_detects_fake(self, world):
+        """Section 1: "someone elsewhere on the network may be
+        masquerading as the given server" — Figure 7 is the counter."""
+        from repro.apps.kerberized import KerberizedChannel
+
+        net, realm = world["net"], world["realm"]
+        fake_host = net.add_host("fake-priam")
+        fake = MasqueradingServer(fake_host, 544)
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        with pytest.raises(KerberosError) as err:
+            KerberizedChannel(
+                ws.client, world["service"], fake_host.address, 544, mutual=True
+            )
+        assert err.value.code == ErrorCode.RD_AP_MODIFIED
+        assert fake.victims_contacted == 1
+
+    def test_without_mutual_auth_client_is_fooled_initially(self, world):
+        """Without the Figure 7 check the client cannot tell — which is
+        why mutual authentication exists.  The impostor still never
+        learns the session key, so it cannot read SAFE/PRIVATE traffic."""
+        from repro.apps.kerberized import KerberizedChannel
+
+        net, realm = world["net"], world["realm"]
+        fake_host = net.add_host("fake-priam")
+        fake = MasqueradingServer(fake_host, 544)
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        channel = KerberizedChannel(
+            ws.client, world["service"], fake_host.address, 544, mutual=False
+        )
+        assert channel.session_id == 1  # fooled
+        # But the ticket it harvested is sealed in the real service key.
+        cred = ws.client.cache.get(world["service"])
+        assert all(
+            cred.session_key.key_bytes not in blob
+            for blob in fake.stolen_payloads
+        )
+
+
+class TestStolenCredentials:
+    def test_stolen_tickets_fail_from_another_machine(self, world):
+        net, realm = world["net"], world["realm"]
+        service, key = world["service"], world["key"]
+        victim = realm.workstation()
+        victim.client.kinit("jis", "jis-pw")
+        victim.client.get_credential(service)
+
+        thief_host = net.add_host("thief")
+        loot = steal_credentials(victim.client)
+        service_cred = [s for s in loot if "rlogin" in str(s.credential.service)][0]
+        request = use_stolen_credential(service_cred, thief_host)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, key, thief_host.address, net.clock.now())
+        assert err.value.code == ErrorCode.RD_AP_BADD
+
+    def test_stolen_tickets_work_from_victims_machine_until_expiry(self, world):
+        """Section 8's accepted risk, demonstrated end to end."""
+        net, realm = world["net"], world["realm"]
+        service, key = world["service"], world["key"]
+        victim = realm.workstation()
+        victim.client.kinit("jis", "jis-pw", life=3600.0)
+        victim.client.get_credential(service, life=3600.0)
+
+        loot = steal_credentials(victim.client)
+        service_cred = [s for s in loot if "rlogin" in str(s.credential.service)][0]
+
+        # The thief is AT the victim's workstation (forgot to log out).
+        request = use_stolen_credential(service_cred, victim.host)
+        ctx = krb_rd_req(request, service, key, victim.host.address, net.clock.now())
+        assert ctx.client.name == "jis"  # the attack works...
+
+        # ...but only until the ticket expires.
+        net.clock.advance(2 * 3600.0)
+        request = use_stolen_credential(service_cred, victim.host)
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, key, victim.host.address, net.clock.now())
+        assert err.value.code == ErrorCode.RD_AP_EXP
+
+    def test_kdestroy_leaves_nothing_to_steal(self, world):
+        victim = world["realm"].workstation()
+        victim.client.kinit("jis", "jis-pw")
+        victim.client.kdestroy()
+        assert steal_credentials(victim.client) == []
+
+    def test_stolen_ticket_without_session_key_is_useless(self, world):
+        """A thief who captures only the *ticket* (off the wire) cannot
+        build an authenticator at all."""
+        from repro.core.applib import krb_mk_req
+        from repro.crypto import KeyGenerator
+
+        net, realm = world["net"], world["realm"]
+        service, key = world["service"], world["key"]
+        victim = realm.workstation()
+        victim.client.kinit("jis", "jis-pw")
+        cred = victim.client.get_credential(service)
+
+        guessed_key = KeyGenerator(seed=b"attacker-guess").session_key()
+        request = krb_mk_req(
+            ticket_blob=cred.ticket,
+            session_key=guessed_key,  # not the real session key
+            client=Principal("jis", "", REALM),
+            client_address=victim.host.address,
+            now=net.clock.now(),
+        )
+        with pytest.raises(KerberosError) as err:
+            krb_rd_req(request, service, key, victim.host.address, net.clock.now())
+        assert err.value.code == ErrorCode.RD_AP_MODIFIED

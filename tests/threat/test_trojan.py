@@ -1,0 +1,104 @@
+"""The Section 8 workstation-integrity open problem, demonstrated."""
+
+import pytest
+
+from repro.core import krb_rd_req
+from repro.netsim import Network
+from repro.principal import Principal
+from repro.realm import Realm
+from repro.threat import Smartcard, SmartcardLogin, TrojanedLoginSession
+
+REALM = "ATHENA.MIT.EDU"
+
+
+@pytest.fixture
+def world():
+    net = Network()
+    realm = Realm(net, REALM)
+    realm.add_user("jis", "jis-pw")
+    service, key = realm.add_service("rlogin", "priam")
+    return net, realm, service, key
+
+
+class TestTrojanedLogin:
+    def test_trojan_is_indistinguishable_to_the_user(self, world):
+        """The modified login program works perfectly — that is what
+        makes the problem hard."""
+        net, realm, service, key = world
+        ws = realm.workstation()
+        trojan = TrojanedLoginSession(ws.host, ws.client)
+        tgt = trojan.login("jis", "jis-pw")
+        assert tgt is not None
+        assert trojan.logged_in
+        # The session is fully functional.
+        request, _, _ = ws.client.mk_req(service)
+        ctx = krb_rd_req(request, service, key, ws.host.address, net.clock.now())
+        assert ctx.client.name == "jis"
+
+    def test_trojan_harvested_the_password(self, world):
+        """And nothing in the protocol prevented the harvest — Kerberos
+        authenticates users to services, not software to users."""
+        net, realm, service, key = world
+        ws = realm.workstation()
+        trojan = TrojanedLoginSession(ws.host, ws.client)
+        trojan.login("jis", "jis-pw")
+        assert trojan.harvested == [("jis", "jis-pw")]
+
+    def test_harvested_password_grants_full_impersonation(self, world):
+        """The stolen password works anywhere, forever (until changed) —
+        unlike a stolen ticket, which the lifetime bounds."""
+        net, realm, service, key = world
+        ws = realm.workstation()
+        trojan = TrojanedLoginSession(ws.host, ws.client)
+        trojan.login("jis", "jis-pw")
+        trojan.logout()
+
+        username, password = trojan.harvested[0]
+        attacker_ws = realm.workstation()
+        attacker_ws.client.kinit(username, password)   # complete takeover
+        request, _, _ = attacker_ws.client.mk_req(service)
+        ctx = krb_rd_req(request, service, key, attacker_ws.host.address,
+                         net.clock.now())
+        assert ctx.client.name == "jis"
+
+
+class TestSmartcardMitigation:
+    def test_smartcard_login_works(self, world):
+        net, realm, service, key = world
+        ws = realm.workstation()
+        card = Smartcard("jis-pw")
+        login = SmartcardLogin(ws.host, ws.client)
+        tgt = login.login("jis", card)
+        assert tgt is not None
+        # The session is as functional as a password login.
+        request, _, _ = ws.client.mk_req(service)
+        ctx = krb_rd_req(request, service, key, ws.host.address, net.clock.now())
+        assert ctx.client.name == "jis"
+
+    def test_workstation_never_sees_password_or_key(self, world):
+        """The paper's proposed fix: "the user's key never leave[s] a
+        system that the user knows can be trusted"."""
+        net, realm, service, key = world
+        ws = realm.workstation()
+        card = Smartcard("jis-pw")
+        login = SmartcardLogin(ws.host, ws.client)
+        tgt = login.login("jis", card)
+        # What the workstation holds after login: tickets and session
+        # keys — both expire.  The long-term key stays on the card.
+        from repro.crypto import string_to_key
+
+        user_key = string_to_key("jis-pw")
+        for cred in ws.client.klist():
+            assert cred.session_key != user_key
+
+    def test_card_rejects_wrong_reply(self, world):
+        """A card provisioned for one password cannot open a reply meant
+        for a different key (it is still doing real crypto)."""
+        net, realm, service, key = world
+        ws = realm.workstation()
+        wrong_card = Smartcard("not-jis-password")
+        login = SmartcardLogin(ws.host, ws.client)
+        from repro.core import KerberosError
+
+        with pytest.raises(KerberosError):
+            login.login("jis", wrong_card)
