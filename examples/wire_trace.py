@@ -1,9 +1,11 @@
-"""Figure 9, as seen on the wire.
+"""Figure 9, as seen on the wire — and as seen by the observability layer.
 
 Attaches a protocol tracer to the network and prints the annotated
 datagram trace of a complete login-and-use sequence — every cleartext
 field visible, every sealed blob opaque, exactly what an eavesdropper
-gets.
+gets.  Then prints the same run from the inside: the span tree
+correlated with the wire lines by request ID, and the metric counters
+the run left behind.
 
 Run:  python examples/wire_trace.py
 """
@@ -11,7 +13,7 @@ Run:  python examples/wire_trace.py
 from repro.apps.kerberized import KerberizedChannel, Protection
 from repro.netsim import Network
 from repro.realm import Realm
-from repro.trace import ProtocolTracer
+from repro.trace import ProtocolTracer, correlated_report
 from repro.apps.pop import PopClient, PopServer
 
 
@@ -28,15 +30,33 @@ def main() -> None:
     ws = realm.workstation()
 
     print("=== The trace of: kinit; read one mail message ===\n")
-    ws.client.kinit("jis", "jis-pw")
-    client = PopClient(ws.client, pop_service, pop_host.address)
-    client.retrieve(1)
-    client.quit()
+    with net.tracer.span("user.session", user="jis"):
+        ws.client.kinit("jis", "jis-pw")
+        client = PopClient(ws.client, pop_service, pop_host.address)
+        client.retrieve(1)
+        client.quit()
 
     print(tracer.format())
     print(f"\n{len(tracer)} datagrams total.")
     print("Note what is readable (names, realms, lifetimes) and what is")
     print("not (every ticket, authenticator, and mail body: 'sealed').")
+
+    print("\n=== The same run, correlated: spans + wire, by request ID ===\n")
+    print(correlated_report(tracer))
+
+    print("\n=== What the metrics registry recorded ===\n")
+    m = net.metrics
+    for line in (
+        f"datagrams on the wire:  {m.total('net.datagrams_total'):.0f}"
+        f"  ({m.total('net.bytes_total'):.0f} bytes)",
+        f"KDC requests:           AS={m.total('kdc.requests_total', kind='as'):.0f}"
+        f"  TGS={m.total('kdc.requests_total', kind='tgs'):.0f}"
+        f"  (all OK: {m.total('kdc.outcomes_total', code='OK'):.0f})",
+        f"replay checks:          fresh={m.total('replay.checks_total', result='fresh'):.0f}",
+        f"credential cache:       hit={m.total('credcache.lookups_total', result='hit'):.0f}"
+        f"  miss={m.total('credcache.lookups_total', result='miss'):.0f}",
+    ):
+        print("  " + line)
 
 
 if __name__ == "__main__":

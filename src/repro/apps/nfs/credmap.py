@@ -24,10 +24,11 @@ NFS access error when no valid mapping can be found."*
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.apps.nfs.fs import NfsCredential
 from repro.netsim import IPAddress
+from repro.obs import MetricsRegistry
 
 
 class UnmappedPolicy(enum.Enum):
@@ -36,11 +37,33 @@ class UnmappedPolicy(enum.Enum):
 
 
 class CredentialMap:
-    """⟨CLIENT-IP-ADDRESS, UID-ON-CLIENT⟩ → server credential."""
+    """⟨CLIENT-IP-ADDRESS, UID-ON-CLIENT⟩ → server credential.
 
-    def __init__(self) -> None:
+    Lookups count into ``credmap.lookups_total{result="hit"|"miss"}`` —
+    the per-transaction cost of the appendix's shipped design.  Without a
+    registry (standalone use in tests) a private one is created, keeping
+    the counters the single source of truth either way.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         self._map: Dict[Tuple[IPAddress, int], NfsCredential] = {}
-        self.lookups = 0
+        base = dict(labels or {})
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._hit = registry.counter(
+            "credmap.lookups_total", {**base, "result": "hit"}
+        )
+        self._miss = registry.counter(
+            "credmap.lookups_total", {**base, "result": "miss"}
+        )
+
+    @property
+    def lookups(self) -> int:
+        """Total per-transaction lookups, hit or miss."""
+        return int(self._hit.value + self._miss.value)
 
     # -- the new system call's operations -------------------------------------
 
@@ -80,8 +103,9 @@ class CredentialMap:
         transaction".  Note: per the appendix, "all information in the
         client-generated credential except the UID-ON-CLIENT is
         discarded" — the GIDs the client claims are never consulted."""
-        self.lookups += 1
-        return self._map.get((IPAddress(client_addr), int(uid_on_client)))
+        cred = self._map.get((IPAddress(client_addr), int(uid_on_client)))
+        (self._miss if cred is None else self._hit).inc()
+        return cred
 
     def __len__(self) -> int:
         return len(self._map)

@@ -77,17 +77,49 @@ class NfsServer:
         self.fs = fs if fs is not None else FileSystem()
         self.mode = mode
         self.unmapped_policy = unmapped_policy
-        self.credmap = CredentialMap()
+        # Counters for the appendix benchmark — all in the network's
+        # registry, labelled by server host and auth mode so the three
+        # designs can be compared from one snapshot.
+        self.metrics = host.network.metrics
+        self._labels = {"server": host.name, "mode": mode.value}
+        self.credmap = CredentialMap(
+            metrics=self.metrics, labels={"server": host.name}
+        )
         self.passwd = passwd if passwd is not None else PasswdMap()
         # KERBEROS_RPC mode needs the service identity and key.
         self.service = service
         self.srvtab = srvtab
-        self.replay_cache = ReplayCache()
-        # Counters for the appendix benchmark.
-        self.ops = Counter()
-        self.access_errors = 0
-        self.kerberos_verifications = 0
+        self.replay_cache = ReplayCache(
+            metrics=self.metrics,
+            labels={"server": host.name, "service": "nfs"},
+        )
+        self.metrics.counter("nfs.access_errors_total", self._labels)
+        self.metrics.counter("nfs.kerberos_verifications_total", self._labels)
         host.bind(port, self._handle)
+
+    # -- registry-backed views of the classic counters --------------------------
+
+    @property
+    def ops(self) -> Counter:
+        """Per-op request counts, as the familiar Counter shape."""
+        out: Counter = Counter()
+        for inst in self.metrics.instruments("nfs.rpc_total"):
+            labels = inst.labels_dict
+            if labels.get("server") == self.host.name and inst.value:
+                out[labels["op"]] += int(inst.value)
+        return out
+
+    @property
+    def access_errors(self) -> int:
+        return int(self.metrics.total(
+            "nfs.access_errors_total", **self._labels
+        ))
+
+    @property
+    def kerberos_verifications(self) -> int:
+        return int(self.metrics.total(
+            "nfs.kerberos_verifications_total", **self._labels
+        ))
 
     # -- credential resolution: the heart of the appendix ----------------------
 
@@ -132,7 +164,9 @@ class NfsServer:
             )
         except (KerberosError, DecodeError):
             return None
-        self.kerberos_verifications += 1
+        self.metrics.counter(
+            "nfs.kerberos_verifications_total", self._labels
+        ).inc()
         return self.passwd.credential_for(context.client.name)
 
     # -- request handling ------------------------------------------------------------
@@ -145,11 +179,15 @@ class NfsServer:
             return NfsReply(
                 ok=False, data=b"", names=[], text="malformed NFS request"
             ).to_bytes()
-        self.ops[op.name] += 1
+        self.metrics.counter(
+            "nfs.rpc_total", {**self._labels, "op": op.name}
+        ).inc()
 
         cred = self._resolve_credential(request, datagram)
         if cred is None:
-            self.access_errors += 1
+            self.metrics.counter(
+                "nfs.access_errors_total", self._labels
+            ).inc()
             return NfsReply(
                 ok=False, data=b"", names=[], text="NFS access error"
             ).to_bytes()
@@ -157,7 +195,9 @@ class NfsServer:
         try:
             return self._apply(op, request, cred).to_bytes()
         except FsError as exc:
-            self.access_errors += 1
+            self.metrics.counter(
+                "nfs.access_errors_total", self._labels
+            ).inc()
             return NfsReply(ok=False, data=b"", names=[], text=str(exc)).to_bytes()
 
     def _apply(self, op: NfsOp, request: NfsRequest, cred: NfsCredential) -> NfsReply:

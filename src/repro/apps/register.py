@@ -24,10 +24,8 @@ from repro.crypto import string_to_key
 from repro.database.db import KerberosDatabase, PrincipalExists
 from repro.encode import DecodeError, WireStruct, field
 from repro.netsim import Host, IPAddress
+from repro.netsim.ports import REGISTER_PORT
 from repro.principal import Principal, PrincipalError
-
-#: Port of the registration service.
-REGISTER_PORT = 261
 
 
 class RegisterBody(WireStruct):

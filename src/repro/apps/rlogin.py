@@ -28,7 +28,7 @@ from repro.core.client import KerberosClient
 from repro.core.errors import KerberosError
 from repro.encode import WireStruct, field
 from repro.netsim import Host, IPAddress, NetworkError
-from repro.netsim.ports import KLOGIN_PORT, KSHELL_PORT
+from repro.netsim.ports import KLOGIN_PORT, KSHELL_PORT, RSHD_PORT
 from repro.principal import Principal
 
 
@@ -47,7 +47,7 @@ class RhostsReply(WireStruct):
     FIELDS = (field("ok", "bool"), field("output", "string"))
 
 #: Port for the legacy .rhosts-based fallback protocol.
-RSHD_LEGACY_PORT = 514
+RSHD_LEGACY_PORT = RSHD_PORT
 
 
 class RloginServer(KerberizedServer):

@@ -40,6 +40,7 @@ from repro.core.authenticator import build_authenticator
 from repro.database.schema import DEFAULT_MAX_LIFE
 from repro.netsim import Host, IPAddress, Unreachable
 from repro.netsim.ports import KERBEROS_PORT
+from repro.obs import LATENCY_BUCKETS
 from repro.principal import Principal, tgs_principal
 
 
@@ -65,7 +66,12 @@ class KerberosClient:
         self.realm = realm
         self.port = port
         self.default_life = default_life
-        self.cache = CredentialCache()
+        # Observability rides on the network the workstation is plugged
+        # into; exchange spans nest under whatever span the caller has
+        # open, threading one request ID through AS→TGS→AP.
+        self.metrics = host.network.metrics
+        self.tracer = host.network.tracer
+        self.cache = CredentialCache(metrics=self.metrics)
         # realm -> list of KDC addresses; the local realm's entry is the
         # master-plus-slaves list for failover.
         self._directory: Dict[str, List[IPAddress]] = {
@@ -163,6 +169,22 @@ class KerberosClient:
         """The raw AS exchange, for the TGS (kinit) or for the KDBM
         (kpasswd/kadmin, which 'must use the authentication service
         itself', Section 5.1).  The resulting credential is cached."""
+        with self.tracer.span(
+            "client.as_exchange", client=str(client), service=str(service)
+        ) as span:
+            cred = self._as_exchange(client, password, service, life)
+        self.metrics.histogram(
+            "client.exchange_seconds", LATENCY_BUCKETS, {"type": "as"}
+        ).observe(span.duration)
+        return cred
+
+    def _as_exchange(
+        self,
+        client: Principal,
+        password: str,
+        service: Principal,
+        life: Optional[float],
+    ) -> Credential:
         now = self.host.clock.now()
         request = AsRequest(
             client=client,
@@ -276,7 +298,24 @@ class KerberosClient:
         life: Optional[float],
     ) -> Credential:
         """One Figure-8 exchange against the TGS of ``kdc_realm``."""
+        with self.tracer.span(
+            "client.tgs_exchange",
+            service=str(service),
+            kdc_realm=kdc_realm,
+        ) as span:
+            cred = self._tgs_exchange_inner(kdc_realm, tgt, service, life)
+        self.metrics.histogram(
+            "client.exchange_seconds", LATENCY_BUCKETS, {"type": "tgs"}
+        ).observe(span.duration)
+        return cred
 
+    def _tgs_exchange_inner(
+        self,
+        kdc_realm: str,
+        tgt: Credential,
+        service: Principal,
+        life: Optional[float],
+    ) -> Credential:
         def build_request() -> bytes:
             # Fresh timestamp and authenticator per attempt (see _ask_kdc).
             now = self._auth_now()
@@ -327,17 +366,18 @@ class KerberosClient:
         ticket first if needed.  Returns (request, credential, the
         authenticator timestamp — needed to verify a mutual reply)."""
         cred = self.get_credential(service)
-        now = self._auth_now()
-        request = krb_mk_req(
-            ticket_blob=cred.ticket,
-            session_key=cred.session_key,
-            client=self.cache.owner,
-            client_address=self.host.address,
-            now=now,
-            mutual=mutual,
-            kvno=cred.kvno,
-            checksum=checksum,
-        )
+        with self.tracer.span("client.ap_request", service=str(service)):
+            now = self._auth_now()
+            request = krb_mk_req(
+                ticket_blob=cred.ticket,
+                session_key=cred.session_key,
+                client=self.cache.owner,
+                client_address=self.host.address,
+                now=now,
+                mutual=mutual,
+                kvno=cred.kvno,
+                checksum=checksum,
+            )
         return request, cred, now
 
     def rd_rep(

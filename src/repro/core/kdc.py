@@ -47,6 +47,7 @@ from repro.database.db import KerberosDatabase, NoSuchPrincipal
 from repro.database.schema import PrincipalRecord
 from repro.netsim import Host, IPAddress
 from repro.netsim.ports import KERBEROS_PORT
+from repro.obs import LIFETIME_BUCKETS
 from repro.principal import Principal, tgs_principal
 
 #: db name under which the key for *accepting* TGTs issued by a remote
@@ -76,30 +77,83 @@ class KerberosServer:
         self.host = host
         self.keygen = keygen
         self.skew = skew
-        self.replay_cache = ReplayCache(window=skew)
-        # Service counters for the benchmarks (Figure 10 / Section 9).
-        self.as_requests = 0
-        self.tgs_requests = 0
-        self.errors = 0
+        # Metrics and tracing (Figure 10 / Section 9) live in the
+        # network's registry; this server's series carry a `server` label
+        # so master and slave load can be told apart.
+        self.metrics = host.network.metrics
+        self.tracer = host.network.tracer
+        self._labels = {"server": host.name}
+        self.replay_cache = ReplayCache(
+            window=skew, metrics=self.metrics, labels=self._labels
+        )
+        for kind in ("as", "tgs"):
+            self.metrics.counter(
+                "kdc.requests_total", {**self._labels, "kind": kind}
+            )
+            self.metrics.counter(
+                "kdc.outcomes_total",
+                {**self._labels, "kind": kind, "code": "OK"},
+            )
         host.bind(port, self._handle)
+
+    # -- registry-backed views of the classic counters -------------------------
+
+    @property
+    def as_requests(self) -> int:
+        return int(self.metrics.total(
+            "kdc.requests_total", kind="as", **self._labels
+        ))
+
+    @property
+    def tgs_requests(self) -> int:
+        return int(self.metrics.total(
+            "kdc.requests_total", kind="tgs", **self._labels
+        ))
+
+    @property
+    def errors(self) -> int:
+        """Requests answered with an error reply (any kind, any code)."""
+        all_outcomes = self.metrics.total(
+            "kdc.outcomes_total", **self._labels
+        )
+        ok = self.metrics.total(
+            "kdc.outcomes_total", code="OK", **self._labels
+        )
+        return int(all_outcomes - ok)
+
+    def _outcome(self, kind: str, code: str) -> None:
+        self.metrics.counter(
+            "kdc.outcomes_total", {**self._labels, "kind": kind, "code": code}
+        ).inc()
 
     # -- dispatch -------------------------------------------------------------
 
     def _handle(self, datagram) -> bytes:
+        kind = "other"
         try:
             mtype, message = decode_message(datagram.payload)
             if mtype in (MessageType.AS_REQ, MessageType.PREAUTH_AS_REQ):
-                self.as_requests += 1
-                return self._handle_as(message, datagram)
-            if mtype == MessageType.TGS_REQ:
-                self.tgs_requests += 1
-                return self._handle_tgs(message, datagram)
-            raise KerberosError(
-                ErrorCode.KDC_GEN_ERR,
-                f"KDC does not handle {mtype.name} messages",
-            )
+                kind = "as"
+            elif mtype == MessageType.TGS_REQ:
+                kind = "tgs"
+            if kind != "other":
+                self.metrics.counter(
+                    "kdc.requests_total", {**self._labels, "kind": kind}
+                ).inc()
+            with self.tracer.span(f"kdc.{kind}", server=self.host.name):
+                if kind == "as":
+                    reply = self._handle_as(message, datagram)
+                elif kind == "tgs":
+                    reply = self._handle_tgs(message, datagram)
+                else:
+                    raise KerberosError(
+                        ErrorCode.KDC_GEN_ERR,
+                        f"KDC does not handle {mtype.name} messages",
+                    )
+            self._outcome(kind, "OK")
+            return reply
         except KerberosError as err:
-            self.errors += 1
+            self._outcome(kind, err.code.name)
             return encode_message(MessageType.ERROR, ErrorReply.from_error(err))
 
     # -- shared pieces -----------------------------------------------------------
@@ -138,9 +192,15 @@ class KerberosServer:
         address: IPAddress,
         life: float,
         now: float,
+        kind: str = "as",
     ):
         """Build and seal a ticket; returns (ticket_blob, session_key, kvno,
         canonical ticket server)."""
+        self.metrics.histogram(
+            "kdc.ticket_life_seconds",
+            LIFETIME_BUCKETS,
+            {**self._labels, "kind": kind},
+        ).observe(life)
         session_key = self.keygen.session_key()
         ticket_server = self._canonical_ticket_server(service)
         ticket = Ticket(
@@ -211,6 +271,7 @@ class KerberosServer:
             address=datagram.src,
             life=life,
             now=now,
+            kind="as",
         )
         body = KdcReplyBody(
             session_key=session_key.key_bytes,
@@ -300,6 +361,7 @@ class KerberosServer:
             address=datagram.src,
             life=life,
             now=now,
+            kind="tgs",
         )
         body = KdcReplyBody(
             session_key=session_key.key_bytes,

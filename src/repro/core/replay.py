@@ -8,12 +8,17 @@ already received can be discarded."*
 The cache remembers (client, address, timestamp) triples for as long as
 their timestamps remain inside the acceptance window; older entries are
 purged as time advances, bounding memory at (window x request rate).
+
+When a :class:`repro.obs.MetricsRegistry` is supplied, the cache records
+``replay.checks_total{result="fresh"|"replay"}`` and
+``replay.evictions_total`` — the signals replay-attack analyses hinge
+on (Dua et al., arXiv:1304.3550).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Set, Tuple
+from typing import Deque, Mapping, Optional, Set, Tuple
 
 from repro.netsim.clock import MINUTE
 
@@ -27,12 +32,31 @@ _Entry = Tuple[str, int, float]
 class ReplayCache:
     """Remembers recently seen authenticators for one server."""
 
-    def __init__(self, window: float = CLOCK_SKEW) -> None:
+    def __init__(
+        self,
+        window: float = CLOCK_SKEW,
+        metrics=None,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.window = float(window)
         self._seen: Set[_Entry] = set()
         self._order: Deque[Tuple[float, _Entry]] = deque()
+        if metrics is not None:
+            base = dict(labels or {})
+            self._fresh = metrics.counter(
+                "replay.checks_total", {**base, "result": "fresh"}
+            )
+            self._replayed = metrics.counter(
+                "replay.checks_total", {**base, "result": "replay"}
+            )
+            self._evictions = metrics.counter(
+                "replay.evictions_total", base
+            )
+            self._size = metrics.gauge("replay.entries", base)
+        else:
+            self._fresh = self._replayed = self._evictions = self._size = None
 
     def seen_before(self, client: str, address: int, timestamp: float) -> bool:
         """Has this exact (client, addr, timestamp) already been presented?"""
@@ -54,16 +78,26 @@ class ReplayCache:
         """Combined operation: True if fresh (and now recorded), False if
         this is a replay."""
         if self.seen_before(client, address, timestamp):
+            if self._replayed is not None:
+                self._replayed.inc()
             return False
         self.remember(client, address, timestamp, now)
+        if self._fresh is not None:
+            self._fresh.inc()
+            self._size.set(len(self._seen))
         return True
 
     def purge(self, now: float) -> None:
         """Drop entries whose timestamps have fallen out of the window."""
         cutoff = now - self.window
+        evicted = 0
         while self._order and self._order[0][0] < cutoff:
             _, entry = self._order.popleft()
             self._seen.discard(entry)
+            evicted += 1
+        if evicted and self._evictions is not None:
+            self._evictions.inc(evicted)
+            self._size.set(len(self._seen))
 
     def __len__(self) -> int:
         return len(self._seen)

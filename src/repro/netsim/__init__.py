@@ -42,9 +42,12 @@ from repro.netsim.ports import (
     MOUNTD_PORT,
     NFS_PORT,
     POP_PORT,
+    REGISTER_PORT,
+    RSHD_PORT,
     ZEPHYR_PORT,
     HESIOD_PORT,
     SMS_PORT,
+    port_name,
 )
 
 __all__ = [
@@ -65,7 +68,10 @@ __all__ = [
     "MOUNTD_PORT",
     "NFS_PORT",
     "POP_PORT",
+    "REGISTER_PORT",
+    "RSHD_PORT",
     "ZEPHYR_PORT",
     "HESIOD_PORT",
     "SMS_PORT",
+    "port_name",
 ]

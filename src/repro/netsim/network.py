@@ -12,18 +12,21 @@ The model matches what the 1988 implementation assumed of UDP/IP:
   cost simulated latency.
 
 Traffic statistics are kept per destination port so the benchmarks can
-report message counts per service, e.g. KDC load at Athena scale.
+report message counts per service, e.g. KDC load at Athena scale.  They
+live in the network's :class:`repro.obs.MetricsRegistry` (``net.metrics``,
+the single source of truth for every instrumented layer); the legacy
+``net.stats["port:750"]``-style mapping is a read-only view over it.
 """
 
 from __future__ import annotations
 
 import random
-from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.netsim.address import IPAddress
 from repro.netsim.clock import HostClock, SimClock
+from repro.obs import MetricsRegistry, Tracer
 
 
 class NetworkError(Exception):
@@ -93,8 +96,17 @@ class Host:
             raise ValueError(f"port {port} already bound on {self.name}")
         self._services[port] = handler
 
-    def unbind(self, port: int) -> None:
-        self._services.pop(port, None)
+    def rebind(self, port: int, handler: Handler) -> Optional[Handler]:
+        """Replace whatever listens on ``port`` (service restart, e.g. the
+        Figure 10/11 failover drills).  Returns the displaced handler, or
+        None if the port was free."""
+        previous = self._services.get(port)
+        self._services[port] = handler
+        return previous
+
+    def unbind(self, port: int) -> bool:
+        """Stop the service on ``port``; True if a handler was removed."""
+        return self._services.pop(port, None) is not None
 
     def handler_for(self, port: int) -> Optional[Handler]:
         return self._services.get(port)
@@ -110,6 +122,34 @@ class Host:
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"
         return f"Host({self.name!r}, {self.address}, {state})"
+
+
+class NetworkStats:
+    """Counter-style view over the registry's ``net.*`` series.
+
+    Preserves the original mapping API (``stats["messages"]``,
+    ``stats["bytes"]``, ``stats["port:750"]``) while the registry stays
+    the single source of truth.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._metrics = metrics
+
+    def __getitem__(self, key: str) -> int:
+        if key == "messages":
+            return int(self._metrics.total("net.datagrams_total"))
+        if key == "bytes":
+            return int(self._metrics.total("net.bytes_total"))
+        if key.startswith("port:"):
+            return int(
+                self._metrics.total("net.datagrams_total", port=key[5:])
+            )
+        return 0
+
+    get = __getitem__
+
+    def clear(self) -> None:
+        self._metrics.reset(prefix="net.")
 
 
 class Network:
@@ -133,7 +173,11 @@ class Network:
         self._taps: List[Tap] = []
         self._interceptors: List[Interceptor] = []
         self._next_octet = 1
-        self.stats: Counter = Counter()
+        #: The realm-wide observability pair: every instrumented layer
+        #: (KDC, caches, propagation, NFS ...) records here.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.clock)
+        self.stats = NetworkStats(self.metrics)
 
     # -- topology -----------------------------------------------------------
 
@@ -259,17 +303,25 @@ class Network:
         if self.latency:
             self.clock.advance(self.latency)
         if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.metrics.counter(
+                "net.drops_total", {"reason": "loss"}
+            ).inc()
             return None
         for tap in self._taps:
             tap(datagram)
         for interceptor in self._interceptors:
             result = interceptor(datagram)
             if result is None:
+                self.metrics.counter(
+                    "net.drops_total", {"reason": "intercepted"}
+                ).inc()
                 return None
             datagram = result
-        self.stats["messages"] += 1
-        self.stats["bytes"] += len(datagram.payload)
-        self.stats[f"port:{datagram.dst_port}"] += 1
+        port = {"port": datagram.dst_port}
+        self.metrics.counter("net.datagrams_total", port).inc()
+        self.metrics.counter("net.bytes_total", port).inc(
+            len(datagram.payload)
+        )
         return datagram
 
     def _deliver(self, datagram: Datagram) -> Optional[bytes]:
@@ -289,4 +341,6 @@ class Network:
         return handler(datagram)
 
     def reset_stats(self) -> None:
+        """Zero the ``net.*`` traffic series (other metric families keep
+        counting; they were never part of the traffic stats)."""
         self.stats.clear()

@@ -26,3 +26,29 @@ MOUNTD_PORT = 635
 HESIOD_PORT = 251
 #: Service Management System.
 SMS_PORT = 260
+#: Legacy (pre-Kerberos) rsh daemon, "shell" in /etc/services.
+RSHD_PORT = 514
+#: The sign-up service (paper Section 7.1's register program).
+REGISTER_PORT = 261
+
+#: Service names by port, for human-readable traces.
+PORT_NAMES = {
+    KERBEROS_PORT: "kerberos",
+    KDBM_PORT: "kdbm",
+    KPROP_PORT: "kprop",
+    KLOGIN_PORT: "klogin",
+    KSHELL_PORT: "kshell",
+    POP_PORT: "pop",
+    ZEPHYR_PORT: "zephyr",
+    NFS_PORT: "nfs",
+    MOUNTD_PORT: "mountd",
+    HESIOD_PORT: "hesiod",
+    SMS_PORT: "sms",
+    RSHD_PORT: "rshd",
+    REGISTER_PORT: "register",
+}
+
+
+def port_name(port: int) -> str:
+    """The /etc/services-style name for ``port`` (the number if unknown)."""
+    return PORT_NAMES.get(port, str(port))

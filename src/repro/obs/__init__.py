@@ -1,0 +1,62 @@
+"""repro.obs — realm-wide metrics and structured tracing.
+
+The observability layer for the reproduction: a dependency-free metrics
+registry (:class:`MetricsRegistry` — counters, gauges, histograms keyed
+by name + label tuples) and a span tracer (:class:`Tracer`) that threads
+one request ID through a full AS→TGS→AP exchange on the simulated
+clock.  Exporters render Prometheus-style text, ``BENCH_*.json``
+snapshot artifacts, and indented span trees correlated with
+:class:`repro.trace.ProtocolTracer` output.
+
+Every :class:`repro.netsim.network.Network` owns one registry and one
+tracer (``net.metrics`` / ``net.tracer``); the instrumented layers —
+netsim, the KDC, the replay and credential caches, kprop/kpropd, the
+NFS server — all record into them.  See ``docs/OBSERVABILITY.md`` for
+the metric and span schema.
+
+Smoke test: ``python -m repro.obs.selfcheck``.
+"""
+
+from repro.obs.export import (
+    format_span_tree,
+    render_prometheus,
+    write_json_snapshot,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    labels_key,
+)
+from repro.obs.tracing import Span, Tracer, TracingError
+
+#: Simulated-seconds latency buckets for client exchanges and KDC work
+#: (one network hop is milliseconds; a propagation round can take longer).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0,
+)
+
+#: Ticket-lifetime buckets in seconds: 5 min up to the paper's 8-hour
+#: maximum ("currently 8 hours") and a generous tail.
+LIFETIME_BUCKETS = (
+    300.0, 1800.0, 3600.0, 7200.0, 14400.0, 21600.0, 28800.0, 86400.0,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "LIFETIME_BUCKETS",
+    "MetricsError",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "TracingError",
+    "format_span_tree",
+    "labels_key",
+    "render_prometheus",
+    "write_json_snapshot",
+]

@@ -1,0 +1,157 @@
+"""Exporters: Prometheus-style text, JSON snapshots, span trees.
+
+Everything here renders from plain data (a registry snapshot dict, a
+list of spans), so the output is deterministic whenever the inputs are —
+which they are, under the seeded simulated clock.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Dotted registry names become underscore Prometheus names."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The classic exposition format: ``# TYPE`` headers, one sample per
+    line, histograms expanded to ``_bucket``/``_sum``/``_count``."""
+    snap = registry.snapshot()
+    lines: List[str] = []
+    typed = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {_prom_name(name)} {kind}")
+            typed.add(name)
+
+    for entry in snap["counters"]:
+        header(entry["name"], "counter")
+        lines.append(
+            f"{_prom_name(entry['name'])}{_prom_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snap["gauges"]:
+        header(entry["name"], "gauge")
+        lines.append(
+            f"{_prom_name(entry['name'])}{_prom_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snap["histograms"]:
+        name = entry["name"]
+        header(name, "histogram")
+        base = _prom_name(name)
+        for le, count in entry["buckets"]:
+            lines.append(
+                f"{base}_bucket"
+                f"{_prom_labels(entry['labels'], {'le': _format_value(le)})} "
+                f"{count}"
+            )
+        lines.append(
+            f"{base}_bucket{_prom_labels(entry['labels'], {'le': '+Inf'})} "
+            f"{entry['count']}"
+        )
+        lines.append(
+            f"{base}_sum{_prom_labels(entry['labels'])} "
+            f"{_format_value(entry['sum'])}"
+        )
+        lines.append(
+            f"{base}_count{_prom_labels(entry['labels'])} {entry['count']}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _format_value(value: float) -> str:
+    """Integers render without a trailing .0 so counters read naturally."""
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+# -- JSON snapshots (the BENCH_*.json artifact format) -------------------------
+
+def write_json_snapshot(
+    registry: MetricsRegistry,
+    path,
+    now: float,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Write the registry snapshot as a ``BENCH_*.json``-compatible
+    artifact: sorted keys, stamped with the *simulated* clock only.
+
+    Returns the dict that was written.  ``extra`` lets a benchmark attach
+    its own summary numbers alongside the metric series.
+    """
+    snap = registry.snapshot(now=now)
+    if extra:
+        snap["bench"] = extra
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snap, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return snap
+
+
+# -- span formatting -----------------------------------------------------------
+
+def format_span_tree(
+    tracer: Tracer, request_id: Optional[str] = None
+) -> str:
+    """An indented, one-line-per-span rendering of recorded traces.
+
+    Each line carries the request ID, so output can be correlated with
+    :class:`repro.trace.ProtocolTracer` lines (which tag datagrams with
+    the request ID active when they crossed the wire).
+    """
+    spans = (
+        tracer.by_request(request_id)
+        if request_id is not None
+        else list(tracer.spans)
+    )
+    by_parent: dict = {}
+    ids = {s.span_id for s in spans}
+    roots: List[Span] = []
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in ids:
+            roots.append(span)
+        else:
+            by_parent.setdefault(span.parent_id, []).append(span)
+
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(span.attrs.items())
+        )
+        end = f"{span.end:.3f}" if span.finished else "open"
+        lines.append(
+            f"{span.request_id}  {indent}{span.name} "
+            f"[{span.start:.3f} -> {end}, {span.duration * 1000:.3f}ms]"
+            + (f"  {attrs}" if attrs else "")
+        )
+        for child in by_parent.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

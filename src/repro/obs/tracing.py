@@ -1,0 +1,170 @@
+"""Span-based structured tracing over the simulated clock.
+
+A *span* is one timed operation (an AS exchange, a KDC handler run, a
+propagation round); spans nest, and every span belongs to a *trace*
+identified by a request ID.  Because the simulation is synchronous, the
+tracer keeps a single stack of open spans: whatever is open when a new
+span starts becomes its parent, which threads one request ID through a
+full AS→TGS→AP flow — including the KDC's server-side handler spans,
+which run inside the client's RPC on the same stack.
+
+Request IDs are drawn from a deterministic counter (never a random or
+wall-clock source), so traces are reproducible run-to-run under the
+seeded :class:`repro.netsim.clock.SimClock`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class TracingError(Exception):
+    """Span misuse: unbalanced start/end."""
+
+
+class Span:
+    """One timed operation; part of a trace identified by request_id."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "request_id",
+        "start", "end", "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        request_id: str,
+        start: float,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.request_id = request_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from start to end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        state = f"{self.duration:.6f}s" if self.finished else "open"
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"rid={self.request_id}, {state})"
+        )
+
+
+class Tracer:
+    """Records spans against a clock exposing ``now() -> float``.
+
+    The clock is duck-typed so the module stays dependency-free; in the
+    simulation it is the network's :class:`SimClock`.
+    """
+
+    def __init__(self, clock) -> None:
+        self.clock = clock
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._span_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def start_span(self, name: str, **attrs: object) -> Span:
+        """Open a span; it becomes a child of the currently open span, or
+        the root of a fresh trace (new request ID) if none is open."""
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            request_id = parent.request_id
+            parent_id: Optional[int] = parent.span_id
+        else:
+            request_id = f"req-{next(self._request_ids):06d}"
+            parent_id = None
+        span = Span(
+            name=name,
+            span_id=next(self._span_ids),
+            parent_id=parent_id,
+            request_id=request_id,
+            start=self.clock.now(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close ``span``, which must be the innermost open span."""
+        if not self._stack or self._stack[-1] is not span:
+            raise TracingError(
+                f"cannot end {span!r}: it is not the innermost open span"
+            )
+        self._stack.pop()
+        span.end = self.clock.now()
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """``with tracer.span("client.as_exchange", client=...) as span:``
+
+        On an exception the span still ends, with an ``error`` attribute
+        recording the exception type and message.
+        """
+        span = self.start_span(name, **attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs.setdefault(
+                "error", f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        finally:
+            self.end_span(span)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_request_id(self) -> Optional[str]:
+        """The request ID of the innermost open span, if any — what a
+        network tap records against each datagram for correlation."""
+        return self._stack[-1].request_id if self._stack else None
+
+    def by_request(self, request_id: str) -> List[Span]:
+        """Every span of one trace, in start order."""
+        return [s for s in self.spans if s.request_id == request_id]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def request_ids(self) -> List[str]:
+        """Distinct request IDs, in first-seen order."""
+        seen: List[str] = []
+        for span in self.spans:
+            if span.request_id not in seen:
+                seen.append(span.request_id)
+        return seen
+
+    def clear(self) -> None:
+        """Forget recorded spans.  Open spans stay open (the stack is the
+        live call structure and must stay balanced)."""
+        self.spans = list(self._stack)

@@ -32,6 +32,7 @@ from repro.database.db import KerberosDatabase
 from repro.database.schema import DEFAULT_MAX_LIFE
 from repro.kdbm.server import KdbmServer
 from repro.netsim import Host, IPAddress, Network
+from repro.netsim.ports import KPROP_PORT
 from repro.principal import Principal
 from repro.replication.kprop import Kprop
 from repro.replication.kpropd import Kpropd
@@ -211,7 +212,7 @@ class Realm:
         site.kdc.db = promoted_db
         site.db = promoted_db
         # The write-side services move to the new master.
-        site.host.unbind(754)  # kpropd retires; this host now sends dumps
+        site.host.unbind(KPROP_PORT)  # kpropd retires; this host now sends dumps
         self.db = promoted_db
         self.master_host = site.host
         self.kdc = site.kdc

@@ -15,6 +15,7 @@ from repro.database.db import KerberosDatabase
 from repro.netsim import Host, IPAddress, NetworkError
 from repro.netsim.clock import HOUR
 from repro.netsim.ports import KPROP_PORT
+from repro.obs import LATENCY_BUCKETS
 from repro.replication.messages import PropReply, PropTransfer
 
 
@@ -49,6 +50,8 @@ class Kprop:
         self.port = port
         self.slaves: List[IPAddress] = [IPAddress(a) for a in slave_addresses]
         self.history: List[PropagationResult] = []
+        self.metrics = host.network.metrics
+        self.tracer = host.network.tracer
 
     def add_slave(self, address) -> None:
         self.slaves.append(IPAddress(address))
@@ -57,12 +60,25 @@ class Kprop:
         """One round: dump, checksum under the master key, send to each
         slave, collect outcomes.  A dead slave does not block the others
         (it simply misses this round and catches up on the next)."""
+        with self.tracer.span(
+            "kprop.round", master=self.host.name, slaves=len(self.slaves)
+        ) as span:
+            result = self._propagate_inner()
+        self.metrics.histogram(
+            "kprop.round_seconds", LATENCY_BUCKETS,
+            {"master": self.host.name},
+        ).observe(span.duration)
+        return result
+
+    def _propagate_inner(self) -> PropagationResult:
         now = self.host.clock.now()
         dump = self.db.dump(now=now)
         transfer = PropTransfer(
             checksum=self.db.master_key.checksum(dump),
             dump=dump,
         ).to_bytes()
+        labels = {"master": self.host.name}
+        self.metrics.counter("kprop.rounds_total", labels).inc()
 
         result = PropagationResult(time=now, attempted=len(self.slaves), succeeded=0)
         for address in self.slaves:
@@ -71,11 +87,24 @@ class Kprop:
                 reply = PropReply.from_bytes(raw)
             except NetworkError as exc:
                 result.failures[str(address)] = f"unreachable: {exc}"
+                self.metrics.counter(
+                    "kprop.transfers_total",
+                    {**labels, "result": "unreachable"},
+                ).inc()
                 continue
+            self.metrics.counter("kprop.bytes_total", labels).inc(
+                len(transfer)
+            )
             if reply.ok:
                 result.succeeded += 1
+                self.metrics.counter(
+                    "kprop.transfers_total", {**labels, "result": "ok"}
+                ).inc()
             else:
                 result.failures[str(address)] = reply.text
+                self.metrics.counter(
+                    "kprop.transfers_total", {**labels, "result": "rejected"}
+                ).inc()
         self.history.append(result)
         return result
 

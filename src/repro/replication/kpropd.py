@@ -31,13 +31,32 @@ class Kpropd:
             raise ValueError("kpropd feeds a read-only slave database copy")
         self.db = database
         self.host = host
-        self.updates_applied = 0
-        self.updates_rejected = 0
         self.last_update_time: Optional[float] = None
         self.rejection_log: List[str] = []
+        self.metrics = host.network.metrics
+        self._labels = {"slave": host.name}
+        for result in ("applied", "rejected"):
+            self.metrics.counter(
+                "kpropd.updates_total", {**self._labels, "result": result}
+            )
         host.bind(port, self._handle)
 
+    @property
+    def updates_applied(self) -> int:
+        return int(self.metrics.total(
+            "kpropd.updates_total", result="applied", **self._labels
+        ))
+
+    @property
+    def updates_rejected(self) -> int:
+        return int(self.metrics.total(
+            "kpropd.updates_total", result="rejected", **self._labels
+        ))
+
     def _handle(self, datagram) -> bytes:
+        self.metrics.counter("kpropd.bytes_total", self._labels).inc(
+            len(datagram.payload)
+        )
         try:
             transfer = PropTransfer.from_bytes(datagram.payload)
         except DecodeError as exc:
@@ -56,14 +75,18 @@ class Kpropd:
         except DatabaseError as exc:
             return self._reject(f"dump rejected: {exc}")
 
-        self.updates_applied += 1
+        self.metrics.counter(
+            "kpropd.updates_total", {**self._labels, "result": "applied"}
+        ).inc()
         self.last_update_time = self.host.clock.now()
         return PropReply(
             ok=True, records=records, text=f"loaded {records} records"
         ).to_bytes()
 
     def _reject(self, reason: str) -> bytes:
-        self.updates_rejected += 1
+        self.metrics.counter(
+            "kpropd.updates_total", {**self._labels, "result": "rejected"}
+        ).inc()
         self.rejection_log.append(reason)
         return PropReply(ok=False, records=0, text=reason).to_bytes()
 

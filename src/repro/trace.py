@@ -8,10 +8,17 @@ sealed, like they would for any observer).
     tracer = ProtocolTracer(net)
     ... run protocol ...
     print(tracer.format())
+
+When spans are open on the network's :class:`repro.obs.Tracer`, each
+datagram is also tagged with the active request ID, so trace lines can
+be correlated with the structured span tree (``rid=req-000001`` on the
+line matches ``Span.request_id``); :func:`correlated_report` renders
+both views merged.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.errors import KerberosError
@@ -25,66 +32,74 @@ from repro.core.messages import (
     TgsRequest,
     decode_message,
 )
-from repro.netsim.network import Datagram, Network
-from repro.netsim.ports import (
-    HESIOD_PORT,
-    KDBM_PORT,
-    KERBEROS_PORT,
-    KPROP_PORT,
-    MOUNTD_PORT,
-    NFS_PORT,
-    POP_PORT,
-    SMS_PORT,
-    ZEPHYR_PORT,
-)
-
-_PORT_NAMES = {
-    KERBEROS_PORT: "kerberos",
-    KDBM_PORT: "kdbm",
-    KPROP_PORT: "kprop",
-    POP_PORT: "pop",
-    ZEPHYR_PORT: "zephyr",
-    NFS_PORT: "nfs",
-    MOUNTD_PORT: "mountd",
-    HESIOD_PORT: "hesiod",
-    SMS_PORT: "sms",
-    543: "klogin",
-    544: "kshell",
-    514: "rshd",
-    261: "register",
-}
+from repro.netsim.network import Datagram, EPHEMERAL_PORT, Network
+from repro.netsim.ports import KERBEROS_PORT, port_name
+from repro.obs import format_span_tree
 
 
-def describe_payload(payload: bytes, dst_port: int) -> str:
-    """Best-effort one-line description of a datagram's contents."""
-    if dst_port in (KERBEROS_PORT, 0):
-        try:
-            mtype, message = decode_message(payload)
-        except KerberosError:
-            return f"[{len(payload)} bytes]"
-        if isinstance(message, AsRequest):
-            return (f"AS-REQ  client={message.client} "
-                    f"service={message.service} life={message.requested_life:.0f}s")
-        if isinstance(message, PreauthAsRequest):
-            return (f"AS-REQ* client={message.client} "
-                    f"service={message.service} "
-                    f"preauth=[{len(message.preauth)}B sealed]")
-        if isinstance(message, TgsRequest):
-            return (f"TGS-REQ service={message.service} "
-                    f"tgt_realm={message.tgt_realm} "
-                    f"tgt=[{len(message.tgt)}B sealed] "
-                    f"authenticator=[{len(message.authenticator)}B sealed]")
-        if isinstance(message, KdcReply):
-            kind = "AS-REP " if mtype == MessageType.AS_REP else "TGS-REP"
-            return (f"{kind} client={message.client} "
-                    f"body=[{len(message.sealed_body)}B sealed]")
-        if isinstance(message, ApRequest):
-            return (f"AP-REQ  ticket=[{len(message.ticket)}B sealed] "
-                    f"mutual={message.mutual} kvno={message.kvno}")
-        if isinstance(message, ErrorReply):
-            return f"ERROR   code={message.code} {message.text!r}"
-        return f"{mtype.name} [{len(payload)} bytes]"
-    return f"[{len(payload)} bytes]"
+def describe_payload(
+    payload: bytes, dst_port: int, src_port: Optional[int] = None
+) -> str:
+    """Best-effort one-line description of a datagram's contents.
+
+    Kerberos decoding is attempted when *either* end of the datagram is
+    the Kerberos port — KDC replies travel back to the client's
+    ephemeral port, so the destination alone does not identify them.
+    When the source port is unknown (older callers), any datagram headed
+    to an ephemeral port is still tried, as before.
+    """
+    kerberos_ish = KERBEROS_PORT in (dst_port, src_port) or (
+        src_port is None and dst_port == EPHEMERAL_PORT
+    )
+    if not kerberos_ish:
+        return f"[{len(payload)} bytes]"
+    try:
+        mtype, message = decode_message(payload)
+    except KerberosError:
+        return f"[{len(payload)} bytes]"
+    if isinstance(message, AsRequest):
+        return (f"AS-REQ  client={message.client} "
+                f"service={message.service} life={message.requested_life:.0f}s")
+    if isinstance(message, PreauthAsRequest):
+        return (f"AS-REQ* client={message.client} "
+                f"service={message.service} "
+                f"preauth=[{len(message.preauth)}B sealed]")
+    if isinstance(message, TgsRequest):
+        return (f"TGS-REQ service={message.service} "
+                f"tgt_realm={message.tgt_realm} "
+                f"tgt=[{len(message.tgt)}B sealed] "
+                f"authenticator=[{len(message.authenticator)}B sealed]")
+    if isinstance(message, KdcReply):
+        kind = "AS-REP " if mtype == MessageType.AS_REP else "TGS-REP"
+        return (f"{kind} client={message.client} "
+                f"body=[{len(message.sealed_body)}B sealed]")
+    if isinstance(message, ApRequest):
+        return (f"AP-REQ  ticket=[{len(message.ticket)}B sealed] "
+                f"mutual={message.mutual} kvno={message.kvno}")
+    if isinstance(message, ErrorReply):
+        return f"ERROR   code={message.code} {message.text!r}"
+    return f"{mtype.name} [{len(payload)} bytes]"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed datagram, structured for correlation."""
+
+    time: float
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    description: str
+    request_id: Optional[str]
+
+    def format(self) -> str:
+        rid = f"  rid={self.request_id}" if self.request_id else ""
+        return (
+            f"{self.time:>10.3f}  {self.src:>15} -> "
+            f"{self.dst:<15} {port_name(self.dst_port):<9} "
+            f"{self.description}{rid}"
+        )
 
 
 class ProtocolTracer:
@@ -92,19 +107,32 @@ class ProtocolTracer:
 
     def __init__(self, net: Network) -> None:
         self.net = net
-        self.lines: List[str] = []
+        self.records: List[TraceRecord] = []
         self._tap = self._on_datagram
         net.add_tap(self._tap)
 
     def _on_datagram(self, datagram: Datagram) -> None:
-        t = self.net.clock.now()
-        port = datagram.dst_port
-        service = _PORT_NAMES.get(port, str(port))
-        description = describe_payload(datagram.payload, port)
-        self.lines.append(
-            f"{t:>10.3f}  {str(datagram.src):>15} -> "
-            f"{str(datagram.dst):<15} {service:<9} {description}"
+        self.records.append(
+            TraceRecord(
+                time=self.net.clock.now(),
+                src=str(datagram.src),
+                src_port=datagram.src_port,
+                dst=str(datagram.dst),
+                dst_port=datagram.dst_port,
+                description=describe_payload(
+                    datagram.payload, datagram.dst_port, datagram.src_port
+                ),
+                request_id=self.net.tracer.current_request_id,
+            )
         )
+
+    @property
+    def lines(self) -> List[str]:
+        return [record.format() for record in self.records]
+
+    def for_request(self, request_id: str) -> List[TraceRecord]:
+        """The datagrams that crossed the wire under one request ID."""
+        return [r for r in self.records if r.request_id == request_id]
 
     def detach(self) -> None:
         self.net.remove_tap(self._tap)
@@ -113,7 +141,28 @@ class ProtocolTracer:
         return "\n".join(self.lines)
 
     def clear(self) -> None:
-        self.lines.clear()
+        self.records.clear()
 
     def __len__(self) -> int:
-        return len(self.lines)
+        return len(self.records)
+
+
+def correlated_report(tracer: ProtocolTracer) -> str:
+    """Span tree plus wire trace, grouped by request ID.
+
+    For each trace recorded by the network's span tracer: the span tree,
+    then the datagrams tagged with that request ID.  Datagrams that
+    crossed the wire outside any span are listed at the end.
+    """
+    spans = tracer.net.tracer
+    sections: List[str] = []
+    for rid in spans.request_ids():
+        sections.append(format_span_tree(spans, request_id=rid))
+        wire = tracer.for_request(rid)
+        if wire:
+            sections.append("\n".join("    " + r.format() for r in wire))
+    orphans = [r for r in tracer.records if r.request_id is None]
+    if orphans:
+        sections.append("(no active span)")
+        sections.append("\n".join("    " + r.format() for r in orphans))
+    return "\n".join(sections)

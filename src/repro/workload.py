@@ -20,7 +20,11 @@ from repro.realm import Realm, Workstation
 
 @dataclass
 class WorkloadStats:
-    """What a driven workload did, for the benchmark tables."""
+    """What a driven workload did, for the benchmark tables.
+
+    Populated from the network's metrics registry (the single source of
+    truth); the fields are a snapshot-delta over one driver run.
+    """
 
     logins: int = 0
     service_uses: int = 0
@@ -90,19 +94,44 @@ class AthenaWorkload:
             chosen.append(self.services[index])
         return chosen
 
+    # -- registry plumbing -----------------------------------------------------
+
+    def _counter(self, event: str):
+        return self.realm.net.metrics.counter(
+            "workload.events_total", {"event": event}
+        )
+
+    def _collect(self, baseline: dict) -> WorkloadStats:
+        """Build the stats view from registry deltas over one run."""
+        return WorkloadStats(
+            logins=int(self._counter("login").value - baseline["login"]),
+            service_uses=int(
+                self._counter("service_use").value - baseline["service_use"]
+            ),
+            failures=int(
+                self._counter("failure").value - baseline["failure"]
+            ),
+            kdc_messages=self.realm.net.stats["port:750"],
+        )
+
+    def _baseline(self) -> dict:
+        self.realm.net.reset_stats()
+        return {
+            event: self._counter(event).value
+            for event in ("login", "service_use", "failure")
+        }
+
     # -- drivers --------------------------------------------------------------
 
     def login_storm(self, stations: List[Workstation]) -> WorkloadStats:
         """Everyone arrives at once — 9 AM in a cluster."""
-        stats = WorkloadStats()
-        self.realm.net.reset_stats()
+        baseline = self._baseline()
         for ws in stations:
             username, password = self.random_user()
             ws.client.kdestroy()
             ws.client.kinit(username, password)
-            stats.logins += 1
-        stats.kdc_messages = self.realm.net.stats["port:750"]
-        return stats
+            self._counter("login").inc()
+        return self._collect(baseline)
 
     def session_traffic(
         self,
@@ -112,19 +141,17 @@ class AthenaWorkload:
     ) -> WorkloadStats:
         """Each logged-in station touches its working set repeatedly —
         the pattern that makes ticket caching pay."""
-        stats = WorkloadStats()
-        self.realm.net.reset_stats()
+        baseline = self._baseline()
         for ws in stations:
             services = self.pick_services(working_set)
             for _ in range(uses_per_session):
                 service = self.rng.choice(services)
                 try:
                     ws.client.mk_req(service)
-                    stats.service_uses += 1
+                    self._counter("service_use").inc()
                 except Exception:
-                    stats.failures += 1
-        stats.kdc_messages = self.realm.net.stats["port:750"]
-        return stats
+                    self._counter("failure").inc()
+        return self._collect(baseline)
 
     def busy_hour(
         self,
@@ -133,17 +160,15 @@ class AthenaWorkload:
     ) -> WorkloadStats:
         """login storm + session traffic, combined accounting."""
         stations = self.workstations(n_stations)
-        self.realm.net.reset_stats()
-        total = WorkloadStats()
+        baseline = self._baseline()
         for ws in stations:
             username, password = self.random_user()
             ws.client.kdestroy()
             ws.client.kinit(username, password)
-            total.logins += 1
+            self._counter("login").inc()
             services = self.pick_services(3)
             for _ in range(uses_per_session):
                 service = self.rng.choice(services)
                 ws.client.mk_req(service)
-                total.service_uses += 1
-        total.kdc_messages = self.realm.net.stats["port:750"]
-        return total
+                self._counter("service_use").inc()
+        return self._collect(baseline)

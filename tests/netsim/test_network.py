@@ -125,9 +125,24 @@ class TestRpc:
 
     def test_unbind(self, net, pair):
         client, server = pair
-        server.unbind(100)
+        assert server.unbind(100) is True
         with pytest.raises(NoSuchService):
             client.rpc(server.address, 100, b"x")
+
+    def test_unbind_free_port_reports_false(self, pair):
+        _, server = pair
+        assert server.unbind(42) is False
+
+    def test_rebind_replaces_handler(self, net, pair):
+        client, server = pair
+        displaced = server.rebind(100, lambda d: d.payload.lower())
+        assert displaced is echo_upper
+        assert client.rpc(server.address, 100, b"MiXeD") == b"mixed"
+
+    def test_rebind_free_port_returns_none(self, net, pair):
+        client, server = pair
+        assert server.rebind(200, echo_upper) is None
+        assert client.rpc(server.address, 200, b"x") == b"X"
 
     def test_one_way_send_no_error_when_down(self, net, pair):
         client, server = pair
@@ -269,3 +284,19 @@ class TestStats:
         client, server = pair
         client.rpc(server.address, 100, b"x")
         assert net.stats["port:0"] == 1  # ephemeral reply port
+
+    def test_stats_backed_by_registry(self, net, pair):
+        """The classic stats view and the metrics registry agree — the
+        registry is the single source of truth."""
+        client, server = pair
+        client.rpc(server.address, 100, b"abcd")
+        assert net.metrics.total("net.datagrams_total") == net.stats["messages"]
+        assert net.metrics.total("net.bytes_total") == net.stats["bytes"]
+        assert net.metrics.total("net.datagrams_total", port="100") == 1
+
+    def test_drops_counted_by_reason(self, net, pair):
+        client, server = pair
+        net.add_interceptor(lambda d: None)
+        with pytest.raises(Unreachable):
+            client.rpc(server.address, 100, b"x")
+        assert net.metrics.total("net.drops_total", reason="intercepted") == 1

@@ -69,3 +69,47 @@ class TestTracer:
 
     def test_undecodable_kerberos_payload(self):
         assert "bytes" in describe_payload(b"\xff\xff", 750)
+
+
+class TestPayloadDirections:
+    """Decoding triggers when *either* end is the Kerberos port."""
+
+    @pytest.fixture
+    def as_reply(self, world):
+        net, realm, service = world
+        captured = []
+        net.add_tap(captured.append)
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        net.remove_tap(captured.append)
+        # Second datagram: the KDC's reply, 750 -> ephemeral.
+        return captured[1]
+
+    def test_reply_decoded_with_source_port(self, as_reply):
+        assert as_reply.src_port == 750
+        described = describe_payload(
+            as_reply.payload, as_reply.dst_port, as_reply.src_port
+        )
+        assert described.startswith("AS-REP")
+
+    def test_reply_decoded_without_source_port_legacy(self, as_reply):
+        # Older callers pass only the destination; replies to the
+        # ephemeral port are still tried.
+        assert describe_payload(
+            as_reply.payload, as_reply.dst_port
+        ).startswith("AS-REP")
+
+    def test_known_src_port_suppresses_non_kerberos_guess(self):
+        # With both ports known and neither the KDC's, no decode attempt.
+        assert describe_payload(b"hello", 0, 109) == "[5 bytes]"
+
+    def test_request_ids_on_trace_records(self, world):
+        net, realm, service = world
+        tracer = ProtocolTracer(net)
+        ws = realm.workstation()
+        with net.tracer.span("login"):
+            ws.client.kinit("jis", "jis-pw")
+        assert all(
+            r.request_id == "req-000001" for r in tracer.records
+        )
+        assert "rid=req-000001" in tracer.format()

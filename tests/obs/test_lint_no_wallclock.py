@@ -1,0 +1,93 @@
+"""Determinism lint: no module under src/repro/ may read the wall clock.
+
+All timing flows from the seeded :class:`SimClock`; a stray
+``time.time()`` would silently break run-to-run reproducibility of
+snapshots and traces.  A simple AST walk keeps that invariant honest.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Wall-clock (or otherwise ambient-time) callables, by attribute name
+#: on the ``time``/``datetime`` modules.
+FORBIDDEN_TIME_ATTRS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "localtime", "gmtime",
+}
+FORBIDDEN_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+def _violations(path: Path) -> list:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    imported_time_names = set()
+    for node in ast.walk(tree):
+        # from time import time / perf_counter ...
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in FORBIDDEN_TIME_ATTRS:
+                    imported_time_names.add(alias.asname or alias.name)
+                    found.append(
+                        (node.lineno, f"from time import {alias.name}")
+                    )
+        if isinstance(node, ast.Call):
+            func = node.func
+            # time.time(), time.monotonic(), ...
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in FORBIDDEN_TIME_ATTRS
+            ):
+                found.append((node.lineno, f"time.{func.attr}()"))
+            # datetime.now(), date.today(), ...
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("datetime", "date")
+                and func.attr in FORBIDDEN_DATETIME_ATTRS
+            ):
+                found.append(
+                    (node.lineno, f"{func.value.id}.{func.attr}()")
+                )
+            # Bare call to an imported wall-clock name.
+            if (
+                isinstance(func, ast.Name)
+                and func.id in imported_time_names
+            ):
+                found.append((node.lineno, f"{func.id}()"))
+    return found
+
+
+def test_no_wall_clock_reads_under_src_repro():
+    modules = sorted(SRC.rglob("*.py"))
+    assert modules, f"no modules found under {SRC}"
+    bad = {}
+    for path in modules:
+        violations = _violations(path)
+        if violations:
+            bad[str(path.relative_to(SRC.parent))] = violations
+    assert not bad, (
+        "wall-clock reads found (use the simulated clock instead):\n"
+        + "\n".join(
+            f"  {mod}:{line}: {what}"
+            for mod, calls in bad.items()
+            for line, what in calls
+        )
+    )
+
+
+def test_lint_catches_a_violation(tmp_path):
+    """The walk itself works — it flags a planted offender."""
+    planted = tmp_path / "offender.py"
+    planted.write_text(
+        "import time\n"
+        "from time import perf_counter\n"
+        "def f():\n"
+        "    return time.time() + perf_counter()\n"
+    )
+    violations = _violations(planted)
+    assert ("time.time()" in {w for _, w in violations})
+    assert any("perf_counter" in w for _, w in violations)
