@@ -7,7 +7,8 @@ justified rejecting it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import random
+from typing import Callable, List, Optional, Tuple
 
 from repro.apps.nfs.protocol import (
     MountOp,
@@ -18,7 +19,8 @@ from repro.apps.nfs.protocol import (
     NfsRequest,
 )
 from repro.core.client import KerberosClient
-from repro.netsim import Host, IPAddress
+from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
+from repro.netsim import Host, IPAddress, Unreachable
 from repro.netsim.ports import MOUNTD_PORT, NFS_PORT
 from repro.principal import Principal
 
@@ -38,6 +40,7 @@ class NfsClient:
         gids: Optional[List[int]] = None,
         nfs_port: int = NFS_PORT,
         mountd_port: int = MOUNTD_PORT,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.server_address = IPAddress(server_address)
@@ -45,9 +48,39 @@ class NfsClient:
         self.gids = list(gids) if gids else []
         self.nfs_port = nfs_port
         self.mountd_port = mountd_port
+        #: None keeps the legacy single-attempt behaviour; a policy adds
+        #: retransmission (requests are rebuilt per attempt, so any
+        #: embedded authenticator is fresh and replay-cache-safe).
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(f"nfs:{host.name}")
         # Per-RPC Kerberos mode state (the rejected design).
         self._per_rpc_krb: Optional[KerberosClient] = None
         self._per_rpc_service: Optional[Principal] = None
+
+    def _rpc_with_retries(
+        self, port: int, build_payload: Callable[[], bytes], op: str
+    ) -> bytes:
+        """One send-and-wait exchange under the retry policy; the payload
+        is rebuilt fresh for every attempt."""
+        if self.retry_policy is None:
+            return self.host.rpc(self.server_address, port, build_payload())
+        try:
+            raw, _, _ = run_with_failover(
+                self.retry_policy,
+                self.host.clock,
+                [self.server_address],
+                lambda address: self.host.rpc(address, port, build_payload()),
+                rng=self._retry_rng,
+                metrics=self.host.network.metrics,
+                op=op,
+                retry_on=(Unreachable,),
+            )
+        except RetryExhausted as exc:
+            raise Unreachable(
+                f"{op} at {self.server_address}:{port} unreachable after "
+                f"{exc.attempts} attempt(s): {exc.last_error}"
+            ) from exc
+        return raw
 
     # -- mount-time Kerberos (the shipped hybrid) --------------------------
 
@@ -55,16 +88,23 @@ class NfsClient:
         self, krb: KerberosClient, mount_service: Principal
     ) -> str:
         """Send the Kerberos authentication mapping request: an
-        authenticator with our UID-ON-CLIENT sealed inside it."""
-        ap_request, _, _ = krb.mk_req(
-            mount_service, checksum=self.uid_on_client
-        )
-        request = MountRequest(
-            op=int(MountOp.MAP),
-            ap_request=ap_request.to_bytes(),
-            uid_on_client=0,
-        )
-        reply = self._mountd(request)
+        authenticator with our UID-ON-CLIENT sealed inside it.  Each
+        retransmission carries a *fresh* authenticator — mountd keeps a
+        replay cache, so a verbatim resend after a lost reply would be
+        rejected."""
+
+        def build() -> bytes:
+            ap_request, _, _ = krb.mk_req(
+                mount_service, checksum=self.uid_on_client
+            )
+            return MountRequest(
+                op=int(MountOp.MAP),
+                ap_request=ap_request.to_bytes(),
+                uid_on_client=0,
+            ).to_bytes()
+
+        raw = self._rpc_with_retries(self.mountd_port, build, op="mountd")
+        reply = MountReply.from_bytes(raw)
         if not reply.ok:
             raise NfsClientError(f"mount failed: {reply.text}")
         return reply.text
@@ -91,8 +131,8 @@ class NfsClient:
         return reply.text
 
     def _mountd(self, request: MountRequest) -> MountReply:
-        raw = self.host.rpc(
-            self.server_address, self.mountd_port, request.to_bytes()
+        raw = self._rpc_with_retries(
+            self.mountd_port, request.to_bytes, op="mountd"
         )
         return MountReply.from_bytes(raw)
 
@@ -114,22 +154,27 @@ class NfsClient:
         data: bytes = b"",
         mode: int = 0,
     ) -> NfsReply:
-        ap_bytes = b""
-        if self._per_rpc_krb is not None:
-            # The cost the authors balked at: fresh authenticator per op,
-            # full ticket + authenticator decryption on the server.
-            ap_request, _, _ = self._per_rpc_krb.mk_req(self._per_rpc_service)
-            ap_bytes = ap_request.to_bytes()
-        request = NfsRequest(
-            op=int(op),
-            path=path,
-            data=data,
-            mode=mode,
-            claimed_uid=self.uid_on_client,
-            claimed_gids=self.gids,
-            ap_request=ap_bytes,
-        )
-        raw = self.host.rpc(self.server_address, self.nfs_port, request.to_bytes())
+        def build() -> bytes:
+            ap_bytes = b""
+            if self._per_rpc_krb is not None:
+                # The cost the authors balked at: fresh authenticator per
+                # op, full ticket + authenticator decryption on the server
+                # (and rebuilt per retransmission for replay safety).
+                ap_request, _, _ = self._per_rpc_krb.mk_req(
+                    self._per_rpc_service
+                )
+                ap_bytes = ap_request.to_bytes()
+            return NfsRequest(
+                op=int(op),
+                path=path,
+                data=data,
+                mode=mode,
+                claimed_uid=self.uid_on_client,
+                claimed_gids=self.gids,
+                ap_request=ap_bytes,
+            ).to_bytes()
+
+        raw = self._rpc_with_retries(self.nfs_port, build, op="nfs")
         reply = NfsReply.from_bytes(raw)
         if not reply.ok:
             raise NfsClientError(reply.text)

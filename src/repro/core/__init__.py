@@ -47,6 +47,7 @@ from repro.core.messages import (
     expect_reply,
 )
 from repro.core.replay import CLOCK_SKEW, ReplayCache
+from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
 from repro.core.applib import (
     AuthContext,
     SrvTab,
@@ -88,6 +89,9 @@ __all__ = [
     "Principal",
     "PrincipalError",
     "ReplayCache",
+    "RetryExhausted",
+    "RetryPolicy",
+    "run_with_failover",
     "SafeMessage",
     "PrivMessage",
     "SrvTab",

@@ -19,6 +19,7 @@ one of the slave machines".
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto import DesKey, string_to_key
@@ -37,6 +38,7 @@ from repro.core.messages import (
     expect_reply,
 )
 from repro.core.authenticator import build_authenticator
+from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
 from repro.database.schema import DEFAULT_MAX_LIFE
 from repro.netsim import Host, IPAddress, Unreachable
 from repro.netsim.ports import KERBEROS_PORT
@@ -56,12 +58,20 @@ class KerberosClient:
         default_life: float = DEFAULT_MAX_LIFE,
         port: int = KERBEROS_PORT,
         retries: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not kdc_addresses:
             raise ValueError("at least one KDC address is required")
         if retries < 1:
             raise ValueError("retries must be at least 1")
         self.retries = retries
+        #: Explicit policy wins; otherwise the legacy shape (``retries``
+        #: immediate passes over the KDC list) is rebuilt per realm in
+        #: :meth:`_ask_kdc`.
+        self.retry_policy = retry_policy
+        # Deterministic backoff jitter: seeded from the workstation name
+        # (str seeds hash stably), never from ambient entropy.
+        self._retry_rng = random.Random(f"retry:{host.name}")
         self.host = host
         self.realm = realm
         self.port = port
@@ -105,7 +115,7 @@ class KerberosClient:
 
     # -- KDC transport with failover (Figure 10) -----------------------------
 
-    def _ask_kdc(self, realm: str, build_payload) -> bytes:
+    def _ask_kdc(self, realm: str, build_payload, op: str = "kdc") -> bytes:
         """Send a request to one of the realm's KDCs, with UDP-style
         retransmission and failover (Figure 10).
 
@@ -115,6 +125,10 @@ class KerberosClient:
         the reply was lost the KDC has already recorded the old
         timestamp in its replay cache and would reject a verbatim
         resend.
+
+        The endpoint list is master-first; when the answer finally comes
+        from a different KDC than the primary, that is a failover and is
+        counted in ``kdc.failovers_total``.
         """
         addresses = self._directory.get(realm)
         if not addresses:
@@ -122,19 +136,33 @@ class KerberosClient:
                 ErrorCode.KDC_NO_CROSS_REALM,
                 f"no known KDC for realm {realm}",
             )
-        last_error: Optional[Exception] = None
-        attempts = 0
-        for _ in range(self.retries):
-            for address in addresses:
-                attempts += 1
-                try:
-                    return self.host.rpc(address, self.port, build_payload())
-                except Unreachable as exc:
-                    last_error = exc
-        raise Unreachable(
-            f"no KDC for {realm} reachable ({attempts} attempts): "
-            f"{last_error}"
-        )
+        policy = self.retry_policy
+        if policy is None:
+            # Legacy shape: `retries` immediate passes over the KDC list.
+            policy = RetryPolicy(max_attempts=self.retries * len(addresses))
+        try:
+            raw, answered_by, _ = run_with_failover(
+                policy,
+                self.host.clock,
+                addresses,
+                lambda address: self.host.rpc(
+                    address, self.port, build_payload()
+                ),
+                rng=self._retry_rng,
+                metrics=self.metrics,
+                op=op,
+                retry_on=(Unreachable,),
+            )
+        except RetryExhausted as exc:
+            raise Unreachable(
+                f"no KDC for {realm} reachable ({exc.attempts} attempts): "
+                f"{exc.last_error}"
+            ) from exc
+        if answered_by != addresses[0]:
+            self.metrics.counter(
+                "kdc.failovers_total", {"realm": realm}
+            ).inc()
+        return raw
 
     # -- Figure 5: the initial ticket --------------------------------------------
 
@@ -193,7 +221,7 @@ class KerberosClient:
             timestamp=now,
         )
         wire = encode_message(MessageType.AS_REQ, request)
-        raw = self._ask_kdc(self.realm, lambda: wire)
+        raw = self._ask_kdc(self.realm, lambda: wire, op="as")
         try:
             reply = expect_reply(raw, MessageType.AS_REP)
         except KerberosError as exc:
@@ -211,7 +239,7 @@ class KerberosClient:
             preauth_wire = encode_message(
                 MessageType.PREAUTH_AS_REQ, preauth_request
             )
-            raw = self._ask_kdc(self.realm, lambda: preauth_wire)
+            raw = self._ask_kdc(self.realm, lambda: preauth_wire, op="as")
             reply = expect_reply(raw, MessageType.AS_REP)
 
         # "The password is converted to a DES key and used to decrypt the
@@ -338,7 +366,7 @@ class KerberosClient:
             )
             return encode_message(MessageType.TGS_REQ, request)
 
-        raw = self._ask_kdc(kdc_realm, build_request)
+        raw = self._ask_kdc(kdc_realm, build_request, op="tgs")
         reply = expect_reply(raw, MessageType.TGS_REP)
         # "the reply is encrypted in the session key that was part of the
         # ticket-granting ticket" — the password plays no part.

@@ -19,8 +19,14 @@ Components:
   kadmin programs (Figure 12).
 """
 
-from repro.kdbm.client import KdbmClient
+from repro.kdbm.client import KdbmClient, KdbmTimeout
 from repro.kdbm.messages import AdminOperation
 from repro.kdbm.server import KdbmLogEntry, KdbmServer
 
-__all__ = ["AdminOperation", "KdbmClient", "KdbmLogEntry", "KdbmServer"]
+__all__ = [
+    "AdminOperation",
+    "KdbmClient",
+    "KdbmLogEntry",
+    "KdbmServer",
+    "KdbmTimeout",
+]

@@ -13,12 +13,14 @@ The kpasswd and kadmin programs both work this way:
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from repro.core.applib import krb_mk_req
 from repro.core.client import KerberosClient
 from repro.core.credcache import Credential
 from repro.core.errors import ErrorCode, KerberosError
+from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
 from repro.core.safe_priv import PrivMessage, krb_mk_priv, krb_rd_priv
 from repro.kdbm.messages import (
     AdminOperation,
@@ -26,9 +28,27 @@ from repro.kdbm.messages import (
     AdminRequestBody,
     KdbmRequest,
 )
-from repro.netsim import IPAddress
+from repro.netsim import IPAddress, Unreachable
 from repro.netsim.ports import KDBM_PORT
 from repro.principal import Principal, kdbm_principal
+
+
+class KdbmTimeout(KerberosError, Unreachable):
+    """The KDBM did not answer within the retry policy.
+
+    Distinct from the protocol-level "dropped the request" empty reply
+    (which means the server *received* us and refused to authenticate):
+    a timeout means the master is unreachable — admin writes cannot fail
+    over to slaves, whose database copies are read-only (Figure 11), so
+    the only honest outcome is this typed error with the attempt count.
+    Also an :class:`~repro.netsim.network.Unreachable`, because that is
+    what it is at the transport level (callers that handled the old
+    generic failure keep working).
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(ErrorCode.KDBM_ERROR, message)
+        self.attempts = attempts
 
 
 class KdbmClient:
@@ -39,10 +59,15 @@ class KdbmClient:
         kerberos_client: KerberosClient,
         master_address,
         port: int = KDBM_PORT,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.krb = kerberos_client
         self.master_address = IPAddress(master_address)
         self.port = port
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self._retry_rng = random.Random(f"kdbm:{kerberos_client.host.name}")
 
     def _kdbm_credential(
         self, principal: Principal, password: str
@@ -56,23 +81,49 @@ class KdbmClient:
     def _roundtrip(
         self, cred: Credential, client: Principal, body: AdminRequestBody
     ) -> AdminReplyBody:
-        now = self.krb._auth_now()
-        ap_request = krb_mk_req(
-            ticket_blob=cred.ticket,
-            session_key=cred.session_key,
-            client=client,
-            client_address=self.krb.host.address,
-            now=now,
-            kvno=cred.kvno,
-        )
-        private = krb_mk_priv(
-            body.to_bytes(), cred.session_key, self.krb.host.address, now
-        )
-        request = KdbmRequest(
-            ap_request=ap_request.to_bytes(),
-            private_body=private.to_bytes(),
-        )
-        raw = self.krb.host.rpc(self.master_address, self.port, request.to_bytes())
+        def attempt(address) -> bytes:
+            # Fresh authenticator and private seal per attempt: if only
+            # the reply was lost, the KDBM has already recorded the old
+            # timestamp in its replay cache.
+            now = self.krb._auth_now()
+            ap_request = krb_mk_req(
+                ticket_blob=cred.ticket,
+                session_key=cred.session_key,
+                client=client,
+                client_address=self.krb.host.address,
+                now=now,
+                kvno=cred.kvno,
+            )
+            private = krb_mk_priv(
+                body.to_bytes(), cred.session_key, self.krb.host.address, now
+            )
+            request = KdbmRequest(
+                ap_request=ap_request.to_bytes(),
+                private_body=private.to_bytes(),
+            )
+            return self.krb.host.rpc(address, self.port, request.to_bytes())
+
+        try:
+            # One endpoint only: the KDBM is master-only (Section 5) —
+            # no slave can take the write, so "failover" here is just
+            # retransmission against the same machine.
+            raw, _, _ = run_with_failover(
+                self.retry_policy,
+                self.krb.host.clock,
+                [self.master_address],
+                attempt,
+                rng=self._retry_rng,
+                metrics=self.krb.metrics,
+                op="kdbm",
+                retry_on=(Unreachable,),
+            )
+        except RetryExhausted as exc:
+            raise KdbmTimeout(
+                f"KDBM at {self.master_address} did not answer after "
+                f"{exc.attempts} attempt(s) — master down or partitioned; "
+                "admin writes cannot fail over to read-only slaves",
+                attempts=exc.attempts,
+            ) from exc
         if not raw:
             raise KerberosError(
                 ErrorCode.KDBM_ERROR,

@@ -25,6 +25,17 @@ protocol built on datagrams.
 
 from repro.netsim.address import IPAddress
 from repro.netsim.clock import HostClock, SimClock
+from repro.netsim.faults import (
+    Duplicate,
+    FaultError,
+    FaultPlane,
+    FaultRule,
+    Jitter,
+    Loss,
+    Match,
+    Partition,
+    Reorder,
+)
 from repro.netsim.network import (
     Datagram,
     Host,
@@ -52,12 +63,21 @@ from repro.netsim.ports import (
 
 __all__ = [
     "Datagram",
+    "Duplicate",
+    "FaultError",
+    "FaultPlane",
+    "FaultRule",
     "Host",
     "HostClock",
     "IPAddress",
+    "Jitter",
+    "Loss",
+    "Match",
     "Network",
     "NetworkError",
     "NoSuchService",
+    "Partition",
+    "Reorder",
     "SimClock",
     "Unreachable",
     "KDBM_PORT",

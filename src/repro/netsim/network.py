@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netsim.address import IPAddress
 from repro.netsim.clock import HostClock, SimClock
+from repro.netsim.faults import FaultPlane, Loss, Partition, Verdict
 from repro.obs import MetricsRegistry, Tracer
 
 
@@ -166,7 +167,6 @@ class Network:
             raise ValueError(f"loss_rate {loss_rate} outside [0, 1)")
         self.clock = clock if clock is not None else SimClock()
         self.latency = float(latency)
-        self.loss_rate = float(loss_rate)
         self._rng = random.Random(seed)
         self._hosts_by_name: Dict[str, Host] = {}
         self._hosts_by_addr: Dict[IPAddress, Host] = {}
@@ -178,6 +178,32 @@ class Network:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.clock)
         self.stats = NetworkStats(self.metrics)
+        #: The fault-injection plane (loss, duplication, reordering,
+        #: jitter, partitions), sharing the network's seeded RNG so
+        #: chaos runs are reproducible.
+        self.faults = FaultPlane(self._rng, self.metrics)
+        # Back-compat: the historical realm-wide loss knob is now one
+        # Loss rule kept at the front of the plane.
+        self._loss_shim: Optional[Loss] = None
+        if loss_rate:
+            self._loss_shim = self.faults.add(Loss(loss_rate))
+
+    @property
+    def loss_rate(self) -> float:
+        """Realm-wide loss probability (compatibility shim over a
+        :class:`~repro.netsim.faults.Loss` rule on every link)."""
+        return self._loss_shim.rate if self._loss_shim is not None else 0.0
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss_rate {rate} outside [0, 1)")
+        if self._loss_shim is not None:
+            self.faults.remove(self._loss_shim)
+            self._loss_shim = None
+        if rate:
+            self._loss_shim = self.faults.insert(0, Loss(rate))
 
     # -- topology -----------------------------------------------------------
 
@@ -231,6 +257,56 @@ class Network:
     def set_up(self, name: str) -> None:
         self.host(name).up = True
 
+    # -- fault-plane conveniences ---------------------------------------------
+
+    def _resolve_addr(self, host_or_address) -> IPAddress:
+        """A host name, Host, or address → its IPAddress."""
+        if isinstance(host_or_address, Host):
+            return host_or_address.address
+        if isinstance(host_or_address, str) and host_or_address in self._hosts_by_name:
+            return self._hosts_by_name[host_or_address].address
+        return IPAddress(host_or_address)
+
+    def partition(self, group_a, group_b=None) -> Partition:
+        """Cut ``group_a`` (host names or addresses) off from ``group_b``
+        — or, with ``group_b=None``, from every other host.  Returns the
+        installed rule; pass it to :meth:`heal` (or call ``heal()`` with
+        no argument to lift every partition)."""
+        a = [self._resolve_addr(h) for h in group_a]
+        b = (
+            [self._resolve_addr(h) for h in group_b]
+            if group_b is not None
+            else None
+        )
+        return self.faults.add(Partition(a, b))
+
+    def heal(self, rule: Optional[Partition] = None) -> None:
+        """Lift one partition, or all of them."""
+        if rule is not None:
+            self.faults.remove(rule)
+            return
+        for installed in self.faults.rules("partition"):
+            self.faults.remove(installed)
+
+    def crash_host(self, name: str, downtime: Optional[float] = None) -> None:
+        """Crash a machine (it drops off the network, losing in-flight
+        requests).  With ``downtime`` given, a restart is scheduled on
+        the simulated clock — the Figure 10/11 master-reboot drill."""
+        self.set_down(name)
+        self.metrics.counter("faults.injected_total", {"kind": "crash"}).inc()
+        if downtime is not None:
+            if downtime <= 0:
+                raise ValueError(f"downtime must be positive, got {downtime}")
+            self.clock.call_at(
+                self.clock.now() + downtime, lambda: self.restart_host(name)
+            )
+
+    def restart_host(self, name: str) -> None:
+        """Bring a crashed machine back (its bound services survive —
+        daemons restart from init)."""
+        self.set_up(name)
+        self.metrics.counter("faults.injected_total", {"kind": "restart"}).inc()
+
     # -- attackers ------------------------------------------------------------
 
     def add_tap(self, tap: Tap) -> None:
@@ -269,7 +345,7 @@ class Network:
         final = self._transit(reply)
         if final is None:
             raise Unreachable(f"reply from {request.dst}:{port} was lost")
-        return final.payload
+        return final[0].payload
 
     def send(self, src: Host, dst, port: int, payload: bytes) -> None:
         """One-way datagram; silently lost on failure, like UDP."""
@@ -298,13 +374,19 @@ class Network:
 
     # -- internals --------------------------------------------------------------
 
-    def _transit(self, datagram: Datagram) -> Optional[Datagram]:
-        """One hop across the wire: latency, loss, taps, interceptors."""
+    def _transit(
+        self, datagram: Datagram, to_service: bool = False
+    ) -> Optional[Tuple[Datagram, Verdict]]:
+        """One hop across the wire: latency, faults, taps, interceptors.
+
+        Returns the (possibly rewritten) datagram plus the fault plane's
+        verdict, or None if the hop dropped or held the packet."""
         if self.latency:
             self.clock.advance(self.latency)
-        if self.loss_rate and self._rng.random() < self.loss_rate:
+        verdict = self.faults.inspect(datagram, to_service=to_service)
+        if verdict.drop_reason is not None:
             self.metrics.counter(
-                "net.drops_total", {"reason": "loss"}
+                "net.drops_total", {"reason": verdict.drop_reason}
             ).inc()
             return None
         for tap in self._taps:
@@ -322,13 +404,16 @@ class Network:
         self.metrics.counter("net.bytes_total", port).inc(
             len(datagram.payload)
         )
-        return datagram
-
-    def _deliver(self, datagram: Datagram) -> Optional[bytes]:
-        datagram_after = self._transit(datagram)
-        if datagram_after is None:
+        if verdict.extra_delay:
+            self.clock.advance(verdict.extra_delay)
+        if verdict.hold:
+            # Parked in a reorder rule; it will arrive late (after a
+            # successor) or never — to the sender, silence either way.
             return None
-        datagram = datagram_after
+        return datagram, verdict
+
+    def _handle_at_destination(self, datagram: Datagram) -> Optional[bytes]:
+        """Hand a datagram that survived transit to its bound service."""
         host = self._hosts_by_addr.get(datagram.dst)
         if host is None or not host.up:
             raise Unreachable(f"host {datagram.dst} is unreachable")
@@ -339,6 +424,34 @@ class Network:
                 f"{datagram.dst_port}"
             )
         return handler(datagram)
+
+    def _deliver(self, datagram: Datagram) -> Optional[bytes]:
+        result = self._transit(datagram, to_service=True)
+        if result is None:
+            return None
+        datagram, verdict = result
+        reply = self._handle_at_destination(datagram)
+        if verdict.duplicate:
+            # The wire delivered a second copy; the handler runs again
+            # and its reply goes nowhere (the caller keeps the first).
+            self.metrics.counter(
+                "net.duplicates_total", {"port": datagram.dst_port}
+            ).inc()
+            try:
+                self._handle_at_destination(datagram)
+            except NetworkError:
+                pass
+        for held in verdict.release:
+            # A reordered predecessor finally arrives — long after its
+            # sender stopped listening, so its reply is discarded too.
+            self.metrics.counter(
+                "net.reordered_total", {"port": held.dst_port}
+            ).inc()
+            try:
+                self._handle_at_destination(held)
+            except NetworkError:
+                pass
+        return reply
 
     def reset_stats(self) -> None:
         """Zero the ``net.*`` traffic series (other metric families keep

@@ -113,14 +113,32 @@ class Realm:
         """Master first, then slaves — the client failover list."""
         return [self.master_host.address] + [s.host.address for s in self.slaves]
 
-    def workstation(self, hostname: Optional[str] = None, clock_skew: float = 0.0) -> Workstation:
-        """A public workstation with the client library configured."""
+    def workstation(
+        self,
+        hostname: Optional[str] = None,
+        clock_skew: float = 0.0,
+        retry_policy=None,
+    ) -> Workstation:
+        """A public workstation with the client library configured.  The
+        KDC list is master-first with every slave behind it, so the
+        client fails over exactly as Figure 10 prescribes; pass a
+        :class:`repro.core.retry.RetryPolicy` to shape retransmission
+        (deadline, backoff) under injected faults."""
         if hostname is None:
             self._ws_count += 1
             hostname = f"ws{self._ws_count}"
         host = self.net.add_host(hostname, clock_skew=clock_skew)
-        client = KerberosClient(host, self.name, self.kdc_addresses())
+        client = KerberosClient(
+            host, self.name, self.kdc_addresses(), retry_policy=retry_policy
+        )
         return Workstation(host=host, client=client)
+
+    def partition_master(self):
+        """Cut the master off from everyone (Figure 10's "the master
+        machine is down" as seen from the network).  Slaves keep
+        answering AS/TGS requests; admin writes fail until
+        :meth:`repro.netsim.network.Network.heal`."""
+        return self.net.partition([self.master_host.name])
 
     # -- registration (the administrator's ongoing job) ----------------------------
 

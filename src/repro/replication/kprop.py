@@ -8,9 +8,11 @@ paper's stated cadence ("The master database is dumped every hour").
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
 from repro.database.db import KerberosDatabase
 from repro.netsim import Host, IPAddress, NetworkError
 from repro.netsim.clock import HOUR
@@ -42,6 +44,7 @@ class Kprop:
         host: Host,
         slave_addresses,
         port: int = KPROP_PORT,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if database.readonly:
             raise ValueError("kprop runs on the master, against the master database")
@@ -52,6 +55,15 @@ class Kprop:
         self.history: List[PropagationResult] = []
         self.metrics = host.network.metrics
         self.tracer = host.network.tracer
+        #: One attempt per slave per round by default (the historical
+        #: behaviour: a missed slave simply catches up next hour); a
+        #: policy adds per-transfer retransmission on lossy links.
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=1)
+        )
+        self._retry_rng = random.Random(f"kprop:{host.name}")
 
     def add_slave(self, address) -> None:
         self.slaves.append(IPAddress(address))
@@ -83,10 +95,19 @@ class Kprop:
         result = PropagationResult(time=now, attempted=len(self.slaves), succeeded=0)
         for address in self.slaves:
             try:
-                raw = self.host.rpc(address, self.port, transfer)
+                raw, _, _ = run_with_failover(
+                    self.retry_policy,
+                    self.host.clock,
+                    [address],
+                    lambda addr: self.host.rpc(addr, self.port, transfer),
+                    rng=self._retry_rng,
+                    metrics=self.metrics,
+                    op="kprop",
+                    retry_on=(NetworkError,),
+                )
                 reply = PropReply.from_bytes(raw)
-            except NetworkError as exc:
-                result.failures[str(address)] = f"unreachable: {exc}"
+            except RetryExhausted as exc:
+                result.failures[str(address)] = f"unreachable: {exc.last_error}"
                 self.metrics.counter(
                     "kprop.transfers_total",
                     {**labels, "result": "unreachable"},

@@ -1,8 +1,14 @@
-"""Determinism lint: no module under src/repro/ may read the wall clock.
+"""Determinism lint: no module under src/repro/ may read the wall clock
+or draw from the process-global RNG.
 
 All timing flows from the seeded :class:`SimClock`; a stray
 ``time.time()`` would silently break run-to-run reproducibility of
-snapshots and traces.  A simple AST walk keeps that invariant honest.
+snapshots and traces.  Likewise all randomness — including the fault
+plane (``netsim/faults.py``) and retry backoff jitter
+(``core/retry.py``) — must come from explicitly seeded
+``random.Random`` instances; a call through the module-global RNG
+(``random.random()``, ``random.randint()``, ...) would make chaos runs
+unrepeatable.  A simple AST walk keeps both invariants honest.
 """
 
 import ast
@@ -17,6 +23,13 @@ FORBIDDEN_TIME_ATTRS = {
     "perf_counter", "perf_counter_ns", "localtime", "gmtime",
 }
 FORBIDDEN_DATETIME_ATTRS = {"now", "utcnow", "today"}
+#: Draws on the module-global RNG (``random.Random(seed)`` instances are
+#: fine — the *global* state is the ambient dependency).
+FORBIDDEN_RANDOM_ATTRS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "getrandbits", "randbytes", "seed",
+}
 
 
 def _violations(path: Path) -> list:
@@ -31,6 +44,13 @@ def _violations(path: Path) -> list:
                     imported_time_names.add(alias.asname or alias.name)
                     found.append(
                         (node.lineno, f"from time import {alias.name}")
+                    )
+        # from random import random / randint ... (global-RNG draws)
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name in FORBIDDEN_RANDOM_ATTRS:
+                    found.append(
+                        (node.lineno, f"from random import {alias.name}")
                     )
         if isinstance(node, ast.Call):
             func = node.func
@@ -52,6 +72,14 @@ def _violations(path: Path) -> list:
                 found.append(
                     (node.lineno, f"{func.value.id}.{func.attr}()")
                 )
+            # random.random(), random.randint(), ... on the global RNG.
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in FORBIDDEN_RANDOM_ATTRS
+            ):
+                found.append((node.lineno, f"random.{func.attr}()"))
             # Bare call to an imported wall-clock name.
             if (
                 isinstance(func, ast.Name)
@@ -79,6 +107,14 @@ def test_no_wall_clock_reads_under_src_repro():
     )
 
 
+def test_lint_covers_the_resilience_modules():
+    """The fault plane and retry policy — the modules whose determinism
+    the chaos suite depends on — are inside the linted tree."""
+    modules = {str(p.relative_to(SRC)) for p in SRC.rglob("*.py")}
+    assert "core/retry.py" in modules
+    assert "netsim/faults.py" in modules
+
+
 def test_lint_catches_a_violation(tmp_path):
     """The walk itself works — it flags a planted offender."""
     planted = tmp_path / "offender.py"
@@ -91,3 +127,20 @@ def test_lint_catches_a_violation(tmp_path):
     violations = _violations(planted)
     assert ("time.time()" in {w for _, w in violations})
     assert any("perf_counter" in w for _, w in violations)
+
+
+def test_lint_catches_global_rng(tmp_path):
+    """Global-RNG draws are flagged; seeded Random instances are not."""
+    planted = tmp_path / "rng_offender.py"
+    planted.write_text(
+        "import random\n"
+        "from random import randint\n"
+        "ok = random.Random(7)\n"
+        "def f():\n"
+        "    ok.random()\n"            # seeded instance: fine
+        "    return random.random()\n"  # global RNG: flagged
+    )
+    violations = {w for _, w in _violations(planted)}
+    assert "random.random()" in violations
+    assert "from random import randint" in violations
+    assert not any("Random" in w for w in violations)
