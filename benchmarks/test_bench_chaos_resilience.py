@@ -16,10 +16,9 @@ from pathlib import Path
 from repro.core import RetryPolicy
 from repro.netsim import Duplicate, Loss, Match, Network, Unreachable
 from repro.netsim.ports import KERBEROS_PORT
-from repro.obs import write_json_snapshot
 from repro.realm import Realm
 
-from benchmarks.bench_util import REALM
+from benchmarks.bench_util import REALM, write_bench_artifact
 
 METRICS_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_CHAOS_METRICS.json"
 
@@ -101,9 +100,10 @@ def test_bench_chaos_login_sweep(benchmark):
     efforts = [row["attempts_per_login"] for row in rows]
     assert efforts == sorted(efforts)
 
-    write_json_snapshot(
+    write_bench_artifact(
         last_net.metrics,
         METRICS_ARTIFACT,
         now=last_net.clock.now(),
+        seed=1988,
         extra={"experiment": "CH", "sweep": rows},
     )

@@ -18,11 +18,10 @@ and the AS-exchange latency histogram, all off the simulated clock.
 from pathlib import Path
 
 from repro.netsim import Network
-from repro.obs import write_json_snapshot
 from repro.realm import Realm
 from repro.workload import AthenaWorkload
 
-from benchmarks.bench_util import REALM
+from benchmarks.bench_util import REALM, write_bench_artifact
 
 METRICS_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_SEC9_METRICS.json"
 
@@ -65,12 +64,13 @@ def test_bench_sec9_busy_hour(benchmark):
     # Shape: caching means fewer KDC exchanges than service uses.
     assert stats.kdc_messages < stats.service_uses
 
-    # Export the registry as the run's metrics artifact.
+    # Export the registry as the run's metrics artifact (with history).
     net = realm.net
-    snap = write_json_snapshot(
+    snap = write_bench_artifact(
         net.metrics,
         METRICS_ARTIFACT,
         now=net.clock.now(),
+        seed=b"sec9",
         extra={
             "experiment": "S9",
             "logins": stats.logins,

@@ -234,6 +234,11 @@ class KerberosServer:
         client_record = self._lookup_client(request.client, now)
         service_record = self._lookup_service(request.service, now)
 
+        # Single-pass: the client key is needed to seal the reply in every
+        # successful exchange, so unseal it once up front and reuse it for
+        # preauth verification instead of unsealing per use.
+        client_key = self.db.master_key.unseal_key(client_record.sealed_key)
+
         # Preauthentication (extension, see PreauthAsRequest): principals
         # flagged require-preauth get no reply without proof of their key.
         if client_record.requires_preauth:
@@ -247,11 +252,8 @@ class KerberosServer:
                     ErrorCode.KDC_PREAUTH_FAILED,
                     "preauthentication timestamp outside the skew window",
                 )
-            client_key_for_preauth = self.db.master_key.unseal_key(
-                client_record.sealed_key
-            )
             if not verify_preauth(
-                request.preauth, client_key_for_preauth, request.timestamp
+                request.preauth, client_key, request.timestamp
             ):
                 raise KerberosError(
                     ErrorCode.KDC_PREAUTH_FAILED,
@@ -284,7 +286,6 @@ class KerberosServer:
             request_timestamp=request.timestamp,
             ticket=ticket_blob,
         )
-        client_key = self.db.master_key.unseal_key(client_record.sealed_key)
         reply = KdcReply.build(client, body, client_key)
         return encode_message(MessageType.AS_REP, reply)
 

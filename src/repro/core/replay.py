@@ -63,25 +63,35 @@ class ReplayCache:
         return (client, address, timestamp) in self._seen
 
     def remember(self, client: str, address: int, timestamp: float, now: float) -> None:
-        """Record a fresh authenticator and purge entries that have aged
-        out of the window (their timestamps are no longer acceptable, so
-        remembering them is pointless)."""
-        self.purge(now)
+        """Record a fresh authenticator (idempotent for direct callers)."""
         entry = (client, address, timestamp)
         if entry not in self._seen:
-            self._seen.add(entry)
-            self._order.append((timestamp, entry))
+            self._store(entry, timestamp, now)
+
+    def _store(self, entry: _Entry, timestamp: float, now: float) -> None:
+        """Insert an entry the caller has already proven absent.
+
+        Purging is amortized: entries are only swept when the *oldest*
+        one has actually aged out of the window, so the steady-state
+        insert is a set add + deque append rather than a scan.
+        """
+        if self._order and self._order[0][0] < now - self.window:
+            self.purge(now)
+        self._seen.add(entry)
+        self._order.append((timestamp, entry))
 
     def check_and_store(
         self, client: str, address: int, timestamp: float, now: float
     ) -> bool:
         """Combined operation: True if fresh (and now recorded), False if
-        this is a replay."""
-        if self.seen_before(client, address, timestamp):
+        this is a replay.  This is the KDC/server hot path: one set
+        lookup decides, and the store skips the redundant re-check."""
+        entry = (client, address, timestamp)
+        if entry in self._seen:
             if self._replayed is not None:
                 self._replayed.inc()
             return False
-        self.remember(client, address, timestamp, now)
+        self._store(entry, timestamp, now)
         if self._fresh is not None:
             self._fresh.inc()
             self._size.set(len(self._seen))

@@ -56,7 +56,9 @@ class Ticket(WireStruct):
 
     @property
     def key(self) -> DesKey:
-        return DesKey(self.session_key, allow_weak=True)
+        # Schedule-cached: servers touch .key several times per request
+        # (authenticator unseal, mutual-auth reply, safe messages).
+        return DesKey.from_bytes(self.session_key, allow_weak=True)
 
     @property
     def client_address(self) -> IPAddress:

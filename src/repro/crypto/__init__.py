@@ -21,7 +21,13 @@ This package is that library:
   database propagation, Figure 13) and the fast quadratic checksum used
   for safe messages;
 * :mod:`repro.crypto.keygen` — session-key generation ("Kerberos also
-  generates temporary private keys, called session keys").
+  generates temporary private keys, called session keys");
+* :mod:`repro.crypto.keycache` — process-wide key-schedule cache behind
+  ``DesKey.from_bytes`` and ``string_to_key`` (metrics:
+  ``crypto.keyschedule_total{result}``);
+* :mod:`repro.crypto.reference` — the pre-optimization byte-path mode
+  kernels, kept as the correctness oracle and the benchmarks' same-run
+  "before" baseline.
 
 As the paper notes, the encryption library is "an independent module, and
 may be replaced" — nothing above this package touches DES internals; all
@@ -51,6 +57,7 @@ from repro.crypto.modes import (
 from repro.crypto.string2key import string_to_key
 from repro.crypto.checksum import cbc_mac, quad_cksum, verify_cbc_mac
 from repro.crypto.keygen import KeyGenerator
+from repro.crypto import keycache
 
 __all__ = [
     "BLOCK_SIZE",
@@ -67,6 +74,7 @@ __all__ = [
     "ecb_encrypt",
     "fix_parity",
     "is_weak_key",
+    "keycache",
     "pcbc_decrypt",
     "pcbc_encrypt",
     "quad_cksum",

@@ -19,8 +19,15 @@ The implementation follows the standard exactly:
 For speed in pure Python the permutations are compiled to per-byte lookup
 tables (:mod:`repro.crypto.bits`) and the P permutation is folded into
 the S-boxes ("SP boxes"), a standard implementation technique that does
-not change the function computed.  Correctness is pinned by published
-test vectors in ``tests/crypto/test_des.py``.
+not change the function computed.  On top of that, the block function
+used on the hot path (:func:`crypt_int`) pairs adjacent lookup tables
+(two E bytes per probe, two SP boxes per probe) and unrolls the sixteen
+Feistel rounds, roughly halving the Python-level work per block.  The
+straightforward per-round kernel is kept as :func:`crypt_int_ref` — the
+correctness oracle the property tests pin ``crypt_int`` against, and the
+"before" baseline of ``benchmarks/test_bench_perf_hotpath.py``.
+Correctness is pinned by published test vectors in
+``tests/crypto/test_des.py``.
 """
 
 from __future__ import annotations
@@ -287,7 +294,14 @@ def _feistel(right: int, subkey: int) -> int:
     )
 
 
-def _crypt_block_int(block: int, subkeys) -> int:
+def crypt_int_ref(block: int, subkeys) -> int:
+    """The straightforward per-round block function (reference kernel).
+
+    Computes exactly the same permutation as :func:`crypt_int`; kept as
+    the oracle for the kernel-equivalence property tests and as the
+    benchmark baseline.  Pass ``key._enc_subkeys`` to encrypt,
+    ``key._dec_subkeys`` to decrypt.
+    """
     b = apply_permutation(_IP_C, block)
     left = (b >> 32) & 0xFFFFFFFF
     right = b & 0xFFFFFFFF
@@ -295,6 +309,147 @@ def _crypt_block_int(block: int, subkeys) -> int:
         left, right = right, left ^ _feistel(right, subkey)
     # Final swap is built into taking (R16, L16).
     return apply_permutation(_FP_C, (right << 32) | left)
+
+
+# --------------------------------------------------------------------------
+# The hot-path kernel: paired SP tables + unrolled rounds.
+#
+# One table folding beyond the per-byte compiled permutations:
+# ``_SP01``..``_SP67`` merge adjacent SP boxes so one probe consumes
+# 12 bits of E(R) xor K (four lookups per round instead of eight).  The
+# E expansion stays on the per-byte tables: pairing it to 16-bit probes
+# was measured *slower* here — the 65536-entry tables (several MB of
+# tuple slots plus int objects) overflow a desktop-class L2 and turn
+# every probe into a cache miss, while the byte tables plus the four
+# 4096-entry SP pairs stay resident.
+#
+# The 16 rounds are written out explicitly, alternating the two
+# half-block variables so the (L, R) swap costs nothing.  All of this is
+# just loop/call/memory-overhead removal — the function computed is
+# pinned bit-exact against crypt_int_ref by
+# tests/crypto/test_perf_kernels.py.
+# --------------------------------------------------------------------------
+
+def _pair6(a, b) -> Tuple[int, ...]:
+    """Merge two 6-bit-indexed SP tables into one 12-bit-indexed table."""
+    return tuple(a[i >> 6] | b[i & 0x3F] for i in range(4096))
+
+
+_IP_B = _IP_C[0]   # eight per-byte tables for the initial permutation
+_FP_B = _FP_C[0]   # ... and the final permutation
+_E_B = _E_C[0]     # four per-byte tables for the E expansion
+_SP01 = _pair6(_SP[0], _SP[1])
+_SP23 = _pair6(_SP[2], _SP[3])
+_SP45 = _pair6(_SP[4], _SP[5])
+_SP67 = _pair6(_SP[6], _SP[7])
+
+
+def crypt_int(
+    block: int,
+    subkeys,
+    _ip=_IP_B,
+    _fp=_FP_B,
+    _e=_E_B,
+    _sp01=_SP01,
+    _sp23=_SP23,
+    _sp45=_SP45,
+    _sp67=_SP67,
+) -> int:
+    """One DES block operation on a 64-bit int (the hot-path kernel).
+
+    Pass ``key._enc_subkeys`` to encrypt, ``key._dec_subkeys`` to
+    decrypt.  The trailing parameters exist only to bind the lookup
+    tables as locals; never pass them.
+    """
+    ip0, ip1, ip2, ip3, ip4, ip5, ip6, ip7 = _ip
+    e0, e1, e2, e3 = _e
+    k0, k1, k2, k3, k4, k5, k6, k7, k8, k9, k10, k11, k12, k13, k14, k15 = \
+        subkeys
+    b = (
+        ip0[(block >> 56) & 255] | ip1[(block >> 48) & 255]
+        | ip2[(block >> 40) & 255] | ip3[(block >> 32) & 255]
+        | ip4[(block >> 24) & 255] | ip5[(block >> 16) & 255]
+        | ip6[(block >> 8) & 255] | ip7[block & 255]
+    )
+    x = (b >> 32) & 0xFFFFFFFF     # L on even rounds (see crypt_int_ref)
+    y = b & 0xFFFFFFFF             # R on even rounds
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k0
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k1
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k2
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k3
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k4
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k5
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k6
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k7
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k8
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k9
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k10
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k11
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k12
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k13
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[y >> 24] | e1[(y >> 16) & 255]
+         | e2[(y >> 8) & 255] | e3[y & 255]) ^ k14
+    x ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (e0[x >> 24] | e1[(x >> 16) & 255]
+         | e2[(x >> 8) & 255] | e3[x & 255]) ^ k15
+    y ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    # Pre-output is (R16, L16); after 16 alternations x is L16, y is R16.
+    out = (y << 32) | x
+    fp0, fp1, fp2, fp3, fp4, fp5, fp6, fp7 = _fp
+    return (
+        fp0[(out >> 56) & 255] | fp1[(out >> 48) & 255]
+        | fp2[(out >> 40) & 255] | fp3[(out >> 32) & 255]
+        | fp4[(out >> 24) & 255] | fp5[(out >> 16) & 255]
+        | fp6[(out >> 8) & 255] | fp7[out & 255]
+    )
+
+
+#: Resolved lazily by DesKey.from_bytes (keycache imports this module).
+_from_bytes_cached = None
 
 
 class DesKey:
@@ -308,9 +463,26 @@ class DesKey:
     demonstrate why they are rejected elsewhere).  Parity is *normalized*
     rather than rejected, matching the historical library: key bytes have
     their parity bit fixed up on entry.
+
+    Constructing a ``DesKey`` runs the full 16-round key schedule.  Hot
+    paths that repeatedly rebuild keys from the same 8 bytes (ticket
+    session keys, principal keys unsealed per request) should use
+    :meth:`from_bytes`, which consults the process-wide schedule cache
+    in :mod:`repro.crypto.keycache`.
     """
 
     __slots__ = ("_key", "_enc_subkeys", "_dec_subkeys")
+
+    @classmethod
+    def from_bytes(cls, key: bytes, allow_weak: bool = False) -> "DesKey":
+        """Cached constructor: like ``DesKey(key, allow_weak)`` but the
+        derived key schedule is reused across calls (LRU, see
+        :mod:`repro.crypto.keycache`)."""
+        global _from_bytes_cached
+        if _from_bytes_cached is None:
+            from repro.crypto.keycache import des_key_from_bytes
+            _from_bytes_cached = des_key_from_bytes
+        return _from_bytes_cached(key, allow_weak)
 
     def __init__(self, key: bytes, allow_weak: bool = False) -> None:
         if not isinstance(key, (bytes, bytearray)):
@@ -331,22 +503,22 @@ class DesKey:
     def encrypt_block(self, block: bytes) -> bytes:
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
-        out = _crypt_block_int(bytes_to_int(block), self._enc_subkeys)
+        out = crypt_int(bytes_to_int(block), self._enc_subkeys)
         return int_to_bytes(out, BLOCK_SIZE)
 
     def decrypt_block(self, block: bytes) -> bytes:
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
-        out = _crypt_block_int(bytes_to_int(block), self._dec_subkeys)
+        out = crypt_int(bytes_to_int(block), self._dec_subkeys)
         return int_to_bytes(out, BLOCK_SIZE)
 
     # Integer-block variants used by the block modes (avoids bytes<->int
     # conversion churn in inner loops).
     def encrypt_block_int(self, block: int) -> int:
-        return _crypt_block_int(block, self._enc_subkeys)
+        return crypt_int(block, self._enc_subkeys)
 
     def decrypt_block_int(self, block: int) -> int:
-        return _crypt_block_int(block, self._dec_subkeys)
+        return crypt_int(block, self._dec_subkeys)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DesKey):

@@ -17,14 +17,24 @@ ciphertext block garbles every later plaintext block — including the
 trailer — so tampering anywhere in the message is detected.  With CBC the
 trailer survives mid-message corruption, which is exactly the weakness
 the paper's PCBC extension exists to close (benchmarked in exp C1).
+
+Performance note: the mode kernels work in the 64-bit *int* domain
+end-to-end.  A whole message is converted bytes→ints with one
+``struct.unpack`` call, chained/encrypted as Python ints via
+:func:`repro.crypto.des.crypt_int`, and converted back with one
+``struct.pack`` — no per-block ``bytes`` slicing or int round trips.
+The original byte-path kernels live on as the A/B baseline in
+:mod:`repro.crypto.reference`, and the property suite in
+``tests/crypto/test_perf_kernels.py`` pins the two bit-exact.
 """
 
 from __future__ import annotations
 
 import enum
+import struct
 
-from repro.crypto.bits import bytes_to_int, int_to_bytes
-from repro.crypto.des import BLOCK_SIZE, DesKey
+from repro.crypto.bits import bytes_to_int
+from repro.crypto.des import BLOCK_SIZE, DesKey, crypt_int
 
 _MASK64 = (1 << 64) - 1
 
@@ -49,17 +59,25 @@ class Mode(enum.Enum):
     PCBC = "pcbc"
 
 
-def _require_blocks(data: bytes, what: str) -> None:
-    if len(data) % BLOCK_SIZE != 0:
-        raise ValueError(
-            f"{what} length {len(data)} is not a multiple of {BLOCK_SIZE}"
-        )
-
-
 def _require_iv(iv: bytes) -> int:
     if len(iv) != BLOCK_SIZE:
         raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
     return bytes_to_int(iv)
+
+
+def _unpack_blocks(data: bytes, what: str) -> tuple:
+    """Whole-message bytes → tuple of big-endian u64 (one C call)."""
+    n, rem = divmod(len(data), BLOCK_SIZE)
+    if rem != 0:
+        raise ValueError(
+            f"{what} length {len(data)} is not a multiple of {BLOCK_SIZE}"
+        )
+    return struct.unpack(f">{n}Q", data)
+
+
+def _pack_blocks(blocks: list) -> bytes:
+    """Tuple/list of u64 → whole-message bytes (one C call)."""
+    return struct.pack(f">{len(blocks)}Q", *blocks)
 
 
 # --------------------------------------------------------------------------
@@ -69,42 +87,40 @@ def _require_iv(iv: bytes) -> int:
 
 def ecb_encrypt(key: DesKey, data: bytes) -> bytes:
     """Electronic codebook: each block independently encrypted."""
-    _require_blocks(data, "plaintext")
-    out = bytearray()
-    for i in range(0, len(data), BLOCK_SIZE):
-        out += key.encrypt_block(data[i : i + BLOCK_SIZE])
-    return bytes(out)
+    blocks = _unpack_blocks(data, "plaintext")
+    subkeys = key._enc_subkeys
+    return _pack_blocks([crypt_int(b, subkeys) for b in blocks])
 
 
 def ecb_decrypt(key: DesKey, data: bytes) -> bytes:
-    _require_blocks(data, "ciphertext")
-    out = bytearray()
-    for i in range(0, len(data), BLOCK_SIZE):
-        out += key.decrypt_block(data[i : i + BLOCK_SIZE])
-    return bytes(out)
+    blocks = _unpack_blocks(data, "ciphertext")
+    subkeys = key._dec_subkeys
+    return _pack_blocks([crypt_int(b, subkeys) for b in blocks])
 
 
 def cbc_encrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
     """Cipher block chaining: C_i = E(P_i xor C_{i-1}), C_0 = IV."""
-    _require_blocks(data, "plaintext")
     prev = _require_iv(iv)
-    out = bytearray()
-    for i in range(0, len(data), BLOCK_SIZE):
-        block = bytes_to_int(data[i : i + BLOCK_SIZE])
-        prev = key.encrypt_block_int(block ^ prev)
-        out += int_to_bytes(prev, BLOCK_SIZE)
-    return bytes(out)
+    blocks = _unpack_blocks(data, "plaintext")
+    subkeys = key._enc_subkeys
+    out = []
+    append = out.append
+    for block in blocks:
+        prev = crypt_int(block ^ prev, subkeys)
+        append(prev)
+    return _pack_blocks(out)
 
 
 def cbc_decrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
-    _require_blocks(data, "ciphertext")
     prev = _require_iv(iv)
-    out = bytearray()
-    for i in range(0, len(data), BLOCK_SIZE):
-        block = bytes_to_int(data[i : i + BLOCK_SIZE])
-        out += int_to_bytes(key.decrypt_block_int(block) ^ prev, BLOCK_SIZE)
+    blocks = _unpack_blocks(data, "ciphertext")
+    subkeys = key._dec_subkeys
+    out = []
+    append = out.append
+    for block in blocks:
+        append(crypt_int(block, subkeys) ^ prev)
         prev = block
-    return bytes(out)
+    return _pack_blocks(out)
 
 
 def pcbc_encrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
@@ -115,29 +131,34 @@ def pcbc_encrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
     plaintext block on decryption — the paper's whole-message error
     propagation.
     """
-    _require_blocks(data, "plaintext")
     chain = _require_iv(iv)  # holds P_{i-1} xor C_{i-1}
-    out = bytearray()
-    for i in range(0, len(data), BLOCK_SIZE):
-        plain = bytes_to_int(data[i : i + BLOCK_SIZE])
-        cipher = key.encrypt_block_int(plain ^ chain)
-        out += int_to_bytes(cipher, BLOCK_SIZE)
-        chain = (plain ^ cipher) & _MASK64
-    return bytes(out)
+    blocks = _unpack_blocks(data, "plaintext")
+    subkeys = key._enc_subkeys
+    out = []
+    append = out.append
+    for plain in blocks:
+        cipher = crypt_int(plain ^ chain, subkeys)
+        append(cipher)
+        chain = plain ^ cipher
+    return _pack_blocks(out)
 
 
 def pcbc_decrypt(key: DesKey, data: bytes, iv: bytes = ZERO_IV) -> bytes:
-    _require_blocks(data, "ciphertext")
     chain = _require_iv(iv)
-    out = bytearray()
-    for i in range(0, len(data), BLOCK_SIZE):
-        cipher = bytes_to_int(data[i : i + BLOCK_SIZE])
-        plain = key.decrypt_block_int(cipher) ^ chain
-        out += int_to_bytes(plain, BLOCK_SIZE)
-        chain = (plain ^ cipher) & _MASK64
-    return bytes(out)
+    blocks = _unpack_blocks(data, "ciphertext")
+    subkeys = key._dec_subkeys
+    out = []
+    append = out.append
+    for cipher in blocks:
+        plain = crypt_int(cipher, subkeys) ^ chain
+        append(plain)
+        chain = plain ^ cipher
+    return _pack_blocks(out)
 
 
+#: Dispatch tables for :func:`seal`/:func:`unseal`.  The benchmark
+#: baseline (:func:`repro.crypto.reference.reference_kernels`) swaps
+#: these for the byte-path originals, so look kernels up at call time.
 _ENCRYPTORS = {
     Mode.ECB: lambda key, data, iv: ecb_encrypt(key, data),
     Mode.CBC: cbc_encrypt,

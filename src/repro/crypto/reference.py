@@ -1,0 +1,158 @@
+"""Byte-path reference kernels — the pre-optimization mode loops.
+
+These are the original ECB/CBC/PCBC implementations that converted and
+sliced ``bytes`` per block (``bytes_to_int``/``int_to_bytes`` round trips
+inside the loop) and re-derived every key schedule on demand.  They are
+kept, verbatim, for two jobs:
+
+1. **Correctness oracle** — ``tests/crypto/test_perf_kernels.py`` pins
+   the optimized int-domain kernels in :mod:`repro.crypto.modes`
+   bit-exact against these on random keys/plaintexts and the FIPS 46
+   vectors.
+2. **A/B baseline** — :func:`reference_kernels` swaps these into the
+   ``seal``/``unseal`` dispatch tables *and* disables the key-schedule
+   caches, so ``benchmarks/test_bench_perf_hotpath.py`` can measure the
+   "before" and "after" legs in the same run and gate on the ratio.
+
+This module is exempt from the hot-loop lint
+(``tests/crypto/test_lint_hotpath.py``) precisely because per-block
+conversions are its reason to exist.  Do not "optimize" it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.crypto import keycache, modes
+from repro.crypto.bits import bytes_to_int, int_to_bytes
+from repro.crypto.des import BLOCK_SIZE, DesKey, crypt_int_ref
+
+_MASK64 = (1 << 64) - 1
+
+
+def _require_blocks(data: bytes, what: str) -> None:
+    if len(data) % BLOCK_SIZE != 0:
+        raise ValueError(
+            f"{what} length {len(data)} is not a multiple of {BLOCK_SIZE}"
+        )
+
+
+def _require_iv(iv: bytes) -> int:
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    return bytes_to_int(iv)
+
+
+def _encrypt_block(key: DesKey, block: bytes) -> bytes:
+    return int_to_bytes(
+        crypt_int_ref(bytes_to_int(block), key._enc_subkeys), BLOCK_SIZE
+    )
+
+
+def _decrypt_block(key: DesKey, block: bytes) -> bytes:
+    return int_to_bytes(
+        crypt_int_ref(bytes_to_int(block), key._dec_subkeys), BLOCK_SIZE
+    )
+
+
+def ecb_encrypt_ref(key: DesKey, data: bytes) -> bytes:
+    _require_blocks(data, "plaintext")
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        out += _encrypt_block(key, data[i : i + BLOCK_SIZE])
+    return bytes(out)
+
+
+def ecb_decrypt_ref(key: DesKey, data: bytes) -> bytes:
+    _require_blocks(data, "ciphertext")
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        out += _decrypt_block(key, data[i : i + BLOCK_SIZE])
+    return bytes(out)
+
+
+def cbc_encrypt_ref(key: DesKey, data: bytes, iv: bytes = modes.ZERO_IV) -> bytes:
+    _require_blocks(data, "plaintext")
+    prev = _require_iv(iv)
+    subkeys = key._enc_subkeys
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = bytes_to_int(data[i : i + BLOCK_SIZE])
+        prev = crypt_int_ref(block ^ prev, subkeys)
+        out += int_to_bytes(prev, BLOCK_SIZE)
+    return bytes(out)
+
+
+def cbc_decrypt_ref(key: DesKey, data: bytes, iv: bytes = modes.ZERO_IV) -> bytes:
+    _require_blocks(data, "ciphertext")
+    prev = _require_iv(iv)
+    subkeys = key._dec_subkeys
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = bytes_to_int(data[i : i + BLOCK_SIZE])
+        out += int_to_bytes(crypt_int_ref(block, subkeys) ^ prev, BLOCK_SIZE)
+        prev = block
+    return bytes(out)
+
+
+def pcbc_encrypt_ref(key: DesKey, data: bytes, iv: bytes = modes.ZERO_IV) -> bytes:
+    _require_blocks(data, "plaintext")
+    chain = _require_iv(iv)  # holds P_{i-1} xor C_{i-1}
+    subkeys = key._enc_subkeys
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        plain = bytes_to_int(data[i : i + BLOCK_SIZE])
+        cipher = crypt_int_ref(plain ^ chain, subkeys)
+        out += int_to_bytes(cipher, BLOCK_SIZE)
+        chain = (plain ^ cipher) & _MASK64
+    return bytes(out)
+
+
+def pcbc_decrypt_ref(key: DesKey, data: bytes, iv: bytes = modes.ZERO_IV) -> bytes:
+    _require_blocks(data, "ciphertext")
+    chain = _require_iv(iv)
+    subkeys = key._dec_subkeys
+    out = bytearray()
+    for i in range(0, len(data), BLOCK_SIZE):
+        cipher = bytes_to_int(data[i : i + BLOCK_SIZE])
+        plain = crypt_int_ref(cipher, subkeys) ^ chain
+        out += int_to_bytes(plain, BLOCK_SIZE)
+        chain = (plain ^ cipher) & _MASK64
+    return bytes(out)
+
+
+#: Mode → reference kernel, mirroring ``modes._ENCRYPTORS``.
+REF_ENCRYPTORS = {
+    modes.Mode.ECB: lambda key, data, iv: ecb_encrypt_ref(key, data),
+    modes.Mode.CBC: cbc_encrypt_ref,
+    modes.Mode.PCBC: pcbc_encrypt_ref,
+}
+
+REF_DECRYPTORS = {
+    modes.Mode.ECB: lambda key, data, iv: ecb_decrypt_ref(key, data),
+    modes.Mode.CBC: cbc_decrypt_ref,
+    modes.Mode.PCBC: pcbc_decrypt_ref,
+}
+
+
+@contextmanager
+def reference_kernels():
+    """Run the enclosed block on the pre-optimization hot path.
+
+    Swaps the byte-path kernels into ``seal``/``unseal`` dispatch and
+    disables the key-schedule caches (via
+    :func:`repro.crypto.keycache.caches_disabled`, which the database
+    and master-key caches also consult).  The perf benchmarks wrap their
+    "before" leg in this so both legs of the A/B ratio come from the
+    same process, same seed, same run.
+    """
+    saved_enc = dict(modes._ENCRYPTORS)
+    saved_dec = dict(modes._DECRYPTORS)
+    modes._ENCRYPTORS.update(REF_ENCRYPTORS)
+    modes._DECRYPTORS.update(REF_DECRYPTORS)
+    try:
+        with keycache.caches_disabled():
+            yield
+    finally:
+        modes._ENCRYPTORS.update(saved_enc)
+        modes._DECRYPTORS.update(saved_dec)

@@ -46,7 +46,19 @@ def string_to_key(password: str, salt: str = "") -> DesKey:
     ``salt`` is appended to the password before folding.  The 1988
     implementation had no salt; realm-based salting is offered for the
     cross-realm tests and defaults to the faithful empty string.
+
+    Derivations are memoized per ``(password, salt)``
+    (:mod:`repro.crypto.keycache`): a workstation login runs this
+    one-way function several times — kinit, pre-authentication, reply
+    unsealing — and the fan-fold + CBC-MAC need only happen once.
     """
+    from repro.crypto.keycache import memoized_string_to_key
+
+    return memoized_string_to_key(password, salt, _derive_string_to_key)
+
+
+def _derive_string_to_key(password: str, salt: str) -> DesKey:
+    """The actual (uncached) fan-fold + CBC-MAC derivation."""
     if not isinstance(password, str):
         raise TypeError(f"password must be str, got {type(password).__name__}")
     data = (password + salt).encode("utf-8")

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.crypto import DesKey, string_to_key
+from repro.crypto import DesKey, keycache, string_to_key
 from repro.database.masterkey import MasterKey, MasterKeyError
 from repro.database.schema import (
     DEFAULT_EXPIRATION_DELTA,
@@ -34,6 +34,9 @@ from repro.principal import Principal
 
 #: The master-key verification principal, as in the historical database.
 MASTER_VERIFY_KEY = "K.M"
+
+#: Decoded :class:`PrincipalRecord` objects each database keeps around.
+RECORD_CACHE_SIZE = 4096
 
 _DUMP_MAGIC = b"KDBDUMP1"
 
@@ -72,6 +75,7 @@ class KerberosDatabase:
         self.master_key = master_key
         self.store = store if store is not None else MemoryStore()
         self.readonly = readonly
+        self._record_cache = keycache._LruCache(RECORD_CACHE_SIZE)
         if len(self.store) == 0 and not readonly:
             self._install_verifier()
         elif len(self.store) > 0:
@@ -128,10 +132,26 @@ class KerberosDatabase:
     # -- reads -------------------------------------------------------------------
 
     def get_record(self, principal: Principal) -> PrincipalRecord:
+        """Fetch and decode a principal's record.
+
+        Decoded records are cached per store key, validated against the
+        *raw stored bytes* on every hit — any write path (kadmin, kpasswd,
+        :meth:`load_dump`, even direct store manipulation) changes the
+        bytes and therefore misses, so the cache can never serve a stale
+        record and needs no invalidation hooks.
+        """
         self._local(principal)
-        raw = self.store.get(principal.db_key())
+        db_key = principal.db_key()
+        raw = self.store.get(db_key)
         if raw is None:
             raise NoSuchPrincipal(f"no principal {principal} in {self.realm}")
+        if keycache.caching_enabled():
+            cached = self._record_cache.get(db_key)
+            if cached is not None and cached[0] == raw:
+                return cached[1]
+            record = PrincipalRecord.from_bytes(raw)
+            self._record_cache.put(db_key, (raw, record))
+            return record
         return PrincipalRecord.from_bytes(raw)
 
     def exists(self, principal: Principal) -> bool:
@@ -142,7 +162,12 @@ class KerberosDatabase:
             return False
 
     def principal_key(self, principal: Principal) -> DesKey:
-        """Unseal and return a principal's private key."""
+        """Unseal and return a principal's private key.
+
+        The hot path is fully cached: the record decode above, the
+        sealed-blob→key mapping in :meth:`MasterKey.unseal_key`, and the
+        key schedule itself via ``DesKey.from_bytes``.
+        """
         return self.master_key.unseal_key(self.get_record(principal).sealed_key)
 
     def list_principals(self) -> List[str]:
@@ -303,4 +328,5 @@ class KerberosDatabase:
         slave.master_key = self.master_key
         slave.store = store if store is not None else MemoryStore()
         slave.readonly = True
+        slave._record_cache = keycache._LruCache(RECORD_CACHE_SIZE)
         return slave

@@ -19,11 +19,15 @@ from repro.crypto import (
     DesKey,
     IntegrityError,
     cbc_mac,
+    keycache,
     seal,
     string_to_key,
     unseal,
     verify_cbc_mac,
 )
+
+#: Distinct sealed blobs each MasterKey remembers the unsealing of.
+UNSEAL_CACHE_SIZE = 1024
 
 
 class MasterKeyError(Exception):
@@ -39,6 +43,10 @@ class MasterKey:
         if not isinstance(key, DesKey):
             raise TypeError(f"expected DesKey, got {type(key).__name__}")
         self._key = key
+        # Content-addressed: the same sealed blob always unseals to the
+        # same key under this master key, so entries never go stale —
+        # a key change writes a *new* blob.
+        self._unseal_cache = keycache._LruCache(UNSEAL_CACHE_SIZE)
 
     @classmethod
     def from_password(cls, password: str) -> "MasterKey":
@@ -52,12 +60,25 @@ class MasterKey:
         return seal(self._key, principal_key.key_bytes)
 
     def unseal_key(self, sealed: bytes) -> DesKey:
-        """Recover a principal's key from its stored form."""
+        """Recover a principal's key from its stored form.
+
+        Results are cached by sealed blob (the KDC unseals the same few
+        principal keys for every ticket it issues); the cache honors the
+        global :func:`repro.crypto.keycache.caches_disabled` switch.
+        """
+        caching = keycache.caching_enabled()
+        if caching:
+            cached = self._unseal_cache.get(bytes(sealed))
+            if cached is not None:
+                return cached
         try:
             raw = unseal(self._key, sealed)
         except IntegrityError as exc:
             raise MasterKeyError(f"cannot unseal principal key: {exc}") from exc
-        return DesKey(raw, allow_weak=True)
+        key = DesKey.from_bytes(raw, allow_weak=True)
+        if caching:
+            self._unseal_cache.put(bytes(sealed), key)
+        return key
 
     # -- authenticating dumps (Figure 13) ---------------------------------
 

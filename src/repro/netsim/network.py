@@ -44,7 +44,15 @@ class NoSuchService(NetworkError):
 
 @dataclass(frozen=True)
 class Datagram:
-    """One packet on the wire.  Attackers see exactly this."""
+    """One packet on the wire.  Attackers see exactly this.
+
+    ``__slots__`` is declared manually (not via ``dataclass(slots=True)``,
+    which needs 3.10+): datagrams are the highest-volume allocation in
+    any simulation, and the fields have no defaults so the manual form
+    is safe.
+    """
+
+    __slots__ = ("src", "src_port", "dst", "dst_port", "payload")
 
     src: IPAddress
     src_port: int

@@ -38,7 +38,15 @@ def labels_key(labels: Optional[Mapping[str, object]]) -> LabelsKey:
 
 
 class Instrument:
-    """Common shape of every metric: a name plus a label set."""
+    """Common shape of every metric: a name plus a label set.
+
+    Instruments are allocated per label set but *touched* per event —
+    every datagram, request, and cache probe — so the hierarchy uses
+    ``__slots__`` (``__weakref__`` kept: the key-schedule cache holds
+    weak references to registries it mirrors into).
+    """
+
+    __slots__ = ("name", "labels", "__weakref__")
 
     kind = "instrument"
 
@@ -56,6 +64,8 @@ class Instrument:
 
 class Counter(Instrument):
     """A monotonically increasing count (datagrams, requests, hits)."""
+
+    __slots__ = ("value",)
 
     kind = "counter"
 
@@ -76,6 +86,8 @@ class Counter(Instrument):
 
 class Gauge(Instrument):
     """A value that goes up and down (cache sizes, pending callbacks)."""
+
+    __slots__ = ("value",)
 
     kind = "gauge"
 
@@ -103,6 +115,8 @@ class Histogram(Instrument):
     ``le`` semantics); observations above the last boundary land in the
     implicit ``+Inf`` bucket, which exists only as ``count``.
     """
+
+    __slots__ = ("boundaries", "bucket_counts", "sum", "count")
 
     kind = "histogram"
 

@@ -20,7 +20,7 @@ from repro.core.applib import SrvTab
 from repro.core.client import KerberosClient
 from repro.core.crossrealm import link_realms
 from repro.core.kdc import KerberosServer
-from repro.crypto import DesKey, KeyGenerator
+from repro.crypto import DesKey, KeyGenerator, keycache
 from repro.database.acl import AccessControlList
 from repro.database.admin_tools import (
     ext_srvtab,
@@ -72,6 +72,11 @@ class Realm:
         self.name = name
         prefix = host_prefix if host_prefix is not None else name.split(".")[0].lower()
         self.keygen = KeyGenerator(seed=seed + name.encode())
+
+        # Mirror key-schedule cache traffic into this world's registry as
+        # crypto.keyschedule_total{result=hit|miss} (idempotent per
+        # registry; the cache itself is process-wide).
+        keycache.attach_metrics(net.metrics)
 
         # Initialize the database and essential principals.
         self.db = kdb_init(

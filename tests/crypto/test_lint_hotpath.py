@@ -1,0 +1,99 @@
+"""Hot-loop lint: no per-block bytes/int conversion under ``repro.crypto``.
+
+PR 3's tentpole moved the block-mode inner loops into the integer domain:
+a message is converted bytes→int64 once (``struct.unpack``), the mode
+loop chains pure-int ``crypt_int`` calls, and the result is packed back
+once.  The old shape — ``bytes_to_int``/``int_to_bytes`` called on every
+block *inside* the loop — is exactly the churn the rewrite removed, and
+it is the easiest regression to reintroduce while editing a mode.
+
+This AST walk bans calls to either converter (plus ``int.from_bytes`` /
+``.to_bytes``) inside any ``for``/``while`` body in ``src/repro/crypto``.
+``reference.py`` is exempt by design: it *is* the preserved byte-path,
+kept for A/B benchmarking and the bit-exactness suite
+(``tests/crypto/test_perf_kernels.py``).
+"""
+
+import ast
+from pathlib import Path
+
+CRYPTO = Path(__file__).resolve().parents[2] / "src" / "repro" / "crypto"
+
+#: The preserved pre-optimization path — per-block conversion is its point.
+EXEMPT = {"reference.py"}
+
+FORBIDDEN_NAMES = {"bytes_to_int", "int_to_bytes"}
+FORBIDDEN_ATTRS = {"from_bytes", "to_bytes"}
+
+
+def _call_label(func) -> str:
+    if isinstance(func, ast.Name) and func.id in FORBIDDEN_NAMES:
+        return f"{func.id}()"
+    if isinstance(func, ast.Attribute) and func.attr in FORBIDDEN_ATTRS:
+        return f".{func.attr}()"
+    return ""
+
+
+def _violations(path: Path) -> list:
+    """(lineno, call) for every banned conversion inside a loop body."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call):
+                label = _call_label(inner.func)
+                if label:
+                    found.append((inner.lineno, label))
+    # A nested loop is walked twice (once via its parent); dedup.
+    return sorted(set(found))
+
+
+def test_no_per_block_conversion_in_crypto_loops():
+    modules = sorted(CRYPTO.glob("*.py"))
+    assert modules, f"no modules found under {CRYPTO}"
+    bad = {}
+    for path in modules:
+        if path.name in EXEMPT:
+            continue
+        violations = _violations(path)
+        if violations:
+            bad[path.name] = violations
+    assert not bad, (
+        "per-block bytes<->int conversion inside a crypto loop "
+        "(convert the whole message once, outside the loop):\n"
+        + "\n".join(
+            f"  {mod}:{line}: {what}"
+            for mod, calls in bad.items()
+            for line, what in calls
+        )
+    )
+
+
+def test_exempt_reference_path_would_be_flagged():
+    """The lint has teeth: the preserved byte-path itself violates it."""
+    reference = CRYPTO / "reference.py"
+    assert reference.exists()
+    assert _violations(reference), (
+        "reference.py no longer trips the lint — if it was rewritten in "
+        "the int domain it is no longer the byte-path baseline the A/B "
+        "benchmark claims to measure"
+    )
+
+
+def test_lint_catches_a_planted_offender(tmp_path):
+    planted = tmp_path / "offender.py"
+    planted.write_text(
+        "def f(key, data):\n"
+        "    out = []\n"
+        "    for i in range(0, len(data), 8):\n"
+        "        block = bytes_to_int(data[i:i + 8])\n"
+        "        out.append(int_to_bytes(block, 8))\n"
+        "    n = int.from_bytes(data[:8], 'big')\n"  # outside a loop: fine
+        "    while n:\n"
+        "        n = int.from_bytes(data[:4], 'big') - 1\n"
+        "    return out\n"
+    )
+    labels = {what for _, what in _violations(planted)}
+    assert labels == {"bytes_to_int()", "int_to_bytes()", ".from_bytes()"}

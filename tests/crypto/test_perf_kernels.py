@@ -1,0 +1,207 @@
+"""The optimized hot-path kernels are bit-exact against the reference path.
+
+PR 3 rewrote the DES round function (``crypt_int``: byte-indexed E tables
+and 12-bit paired SP tables, fully unrolled) and moved the block modes
+into the integer domain.  The original byte-at-a-time implementations
+survive as :func:`repro.crypto.des.crypt_int_ref` and
+:mod:`repro.crypto.reference`, and this suite pins the two paths against
+each other — randomized sweeps plus hypothesis properties — so any future
+"optimization" that drifts a single bit fails here, not in a realm.
+
+The key-schedule cache (:mod:`repro.crypto.keycache`) is covered here
+too: identity of cached keys, LRU eviction, the disable switch used by
+the A/B benchmark, and metric attachment.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import DesKey, Mode, keycache, seal, unseal
+from repro.crypto.des import crypt_int, crypt_int_ref, _key_schedule
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ecb_decrypt,
+    ecb_encrypt,
+    pcbc_decrypt,
+    pcbc_encrypt,
+)
+from repro.crypto.reference import (
+    REF_DECRYPTORS,
+    REF_ENCRYPTORS,
+    cbc_decrypt_ref,
+    cbc_encrypt_ref,
+    ecb_decrypt_ref,
+    ecb_encrypt_ref,
+    pcbc_decrypt_ref,
+    pcbc_encrypt_ref,
+    reference_kernels,
+)
+from repro.crypto.string2key import string_to_key
+
+keys = st.binary(min_size=8, max_size=8).map(
+    lambda b: DesKey(b, allow_weak=True)
+)
+ivs = st.binary(min_size=8, max_size=8)
+aligned = st.binary(min_size=8, max_size=128).map(
+    lambda b: b + b"\x00" * ((-len(b)) % 8)
+)
+blocks64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestCryptIntAgainstReference:
+    """The unrolled table kernel computes exactly what the loop kernel did."""
+
+    def test_fips_46_vector(self):
+        key = DesKey(bytes.fromhex("133457799BBCDFF1"))
+        cipher = key.encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+        assert cipher.hex() == "85e813540f0ab405"
+
+    @given(st.binary(min_size=8, max_size=8), blocks64)
+    @settings(max_examples=60)
+    def test_encrypt_matches_reference(self, key_bytes, block):
+        subkeys = _key_schedule(key_bytes)
+        assert crypt_int(block, subkeys) == crypt_int_ref(block, subkeys)
+
+    @given(st.binary(min_size=8, max_size=8), blocks64)
+    @settings(max_examples=60)
+    def test_decrypt_matches_reference(self, key_bytes, block):
+        subkeys = tuple(reversed(_key_schedule(key_bytes)))
+        assert crypt_int(block, subkeys) == crypt_int_ref(block, subkeys)
+
+    def test_seeded_sweep(self):
+        """A deterministic thousand-block sweep beyond hypothesis's budget."""
+        rng = random.Random(1988)
+        for _ in range(1000):
+            subkeys = _key_schedule(rng.randbytes(8))
+            block = rng.getrandbits(64)
+            out = crypt_int(block, subkeys)
+            assert out == crypt_int_ref(block, subkeys)
+            back = crypt_int(out, tuple(reversed(subkeys)))
+            assert back == block
+
+
+class TestModesAgainstReference:
+    """Int-domain mode loops produce byte-identical ciphertext to the
+    per-block byte-slicing loops they replaced."""
+
+    @given(keys, aligned)
+    @settings(max_examples=30)
+    def test_ecb(self, key, data):
+        cipher = ecb_encrypt(key, data)
+        assert cipher == ecb_encrypt_ref(key, data)
+        assert ecb_decrypt(key, cipher) == ecb_decrypt_ref(key, cipher)
+
+    @given(keys, ivs, aligned)
+    @settings(max_examples=30)
+    def test_cbc(self, key, iv, data):
+        cipher = cbc_encrypt(key, data, iv)
+        assert cipher == cbc_encrypt_ref(key, data, iv)
+        assert cbc_decrypt(key, cipher, iv) == cbc_decrypt_ref(key, cipher, iv)
+
+    @given(keys, ivs, aligned)
+    @settings(max_examples=30)
+    def test_pcbc(self, key, iv, data):
+        cipher = pcbc_encrypt(key, data, iv)
+        assert cipher == pcbc_encrypt_ref(key, data, iv)
+        assert pcbc_decrypt(key, cipher, iv) == pcbc_decrypt_ref(key, cipher, iv)
+
+    def test_reference_tables_cover_every_mode(self):
+        assert set(REF_ENCRYPTORS) == set(Mode)
+        assert set(REF_DECRYPTORS) == set(Mode)
+
+    @given(keys, st.binary(min_size=0, max_size=96))
+    @settings(max_examples=30)
+    def test_seal_interoperates_across_kernel_swap(self, key, payload):
+        """Ciphertext sealed on the optimized path opens under the
+        reference kernels and vice versa — the swap changes speed only."""
+        sealed_fast = seal(key, payload)
+        with reference_kernels():
+            assert unseal(key, sealed_fast) == payload
+            sealed_ref = seal(key, sealed_fast)  # nested framing, why not
+        assert unseal(key, unseal(key, sealed_ref)) == payload
+
+    def test_misaligned_input_still_rejected(self):
+        key = DesKey(bytes.fromhex("0123456789ABCDEF"), allow_weak=True)
+        with pytest.raises(ValueError):
+            ecb_encrypt(key, b"seven b")
+        with pytest.raises(ValueError):
+            pcbc_decrypt(key, b"123456789")
+
+
+class TestKeyScheduleCache:
+    @pytest.fixture(autouse=True)
+    def _clean_cache(self):
+        keycache.clear()
+        keycache.reset_stats()
+        yield
+        keycache.clear()
+        keycache.reset_stats()
+
+    def test_from_bytes_reuses_the_schedule(self):
+        raw = bytes.fromhex("133457799BBCDFF1")
+        first = DesKey.from_bytes(raw)
+        second = DesKey.from_bytes(raw)
+        assert first is second
+        assert keycache.stats() == {"hit": 1, "miss": 1}
+
+    def test_weakness_flag_is_part_of_the_cache_key(self):
+        raw = bytes.fromhex("133457799BBCDFF1")
+        strict = DesKey.from_bytes(raw)
+        lenient = DesKey.from_bytes(raw, allow_weak=True)
+        assert strict is not lenient
+        assert strict == lenient  # same key bytes, distinct schedule objects
+
+    def test_cached_key_equals_direct_construction(self):
+        raw = bytes.fromhex("0123456789ABCDEF")
+        cached = DesKey.from_bytes(raw, allow_weak=True)
+        direct = DesKey(raw, allow_weak=True)
+        assert cached == direct
+        assert cached._enc_subkeys == direct._enc_subkeys
+
+    def test_lru_evicts_oldest(self):
+        small = keycache._LruCache(2)
+        small.put("a", 1)
+        small.put("b", 2)
+        assert small.get("a") == 1  # refresh "a": "b" is now oldest
+        small.put("c", 3)
+        assert small.get("b") is None
+        assert small.get("a") == 1 and small.get("c") == 3
+
+    def test_caches_disabled_contextmanager(self):
+        raw = bytes.fromhex("133457799BBCDFF1")
+        DesKey.from_bytes(raw)
+        with keycache.caches_disabled():
+            assert not keycache.caching_enabled()
+            a = DesKey.from_bytes(raw)
+            b = DesKey.from_bytes(raw)
+            assert a is not b  # every call re-schedules
+        assert keycache.caching_enabled()
+        # Entering the context cleared the cache: the next call misses.
+        before = keycache.stats()["miss"]
+        DesKey.from_bytes(raw)
+        assert keycache.stats()["miss"] == before + 1
+
+    def test_string_to_key_is_memoized(self):
+        keycache.reset_stats()
+        k1 = string_to_key("hunter2", "ATHENA.MIT.EDU")
+        k2 = string_to_key("hunter2", "ATHENA.MIT.EDU")
+        assert k1 is k2
+        assert keycache.stats()["hit"] >= 1
+        # Different salt, different derivation.
+        k3 = string_to_key("hunter2", "LCS.MIT.EDU")
+        assert k3 is not k1
+
+    def test_attach_metrics_counts_and_is_idempotent(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        keycache.attach_metrics(registry)
+        keycache.attach_metrics(registry)  # second attach: no double count
+        raw = bytes.fromhex("0123456789ABCDEF")
+        DesKey.from_bytes(raw, allow_weak=True)
+        DesKey.from_bytes(raw, allow_weak=True)
+        assert registry.total("crypto.keyschedule_total", result="miss") == 1
+        assert registry.total("crypto.keyschedule_total", result="hit") == 1
