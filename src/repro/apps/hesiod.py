@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.service import Service
 from repro.encode import WireStruct, field
 from repro.netsim import Host, IPAddress
 from repro.netsim.ports import HESIOD_PORT
@@ -54,15 +55,18 @@ class HesiodReply(WireStruct):
     FIELDS = (field("found", "bool"), field("entry_bytes", "bytes"))
 
 
-class HesiodServer:
+class HesiodServer(Service):
     """Serves user directory entries, in the clear."""
 
-    def __init__(self, host: Host, port: int = HESIOD_PORT) -> None:
-        self.host = host
+    def __init__(self, host: Optional[Host] = None, port: int = HESIOD_PORT) -> None:
+        super().__init__()
         self.port = port
         self._entries: Dict[str, HesiodEntry] = {}
         self.queries = 0
-        host.bind(port, self._handle)
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
 
     def add_user(
         self,

@@ -35,6 +35,7 @@ from repro.core.client import KerberosClient
 from repro.core.errors import KerberosError
 from repro.core.messages import ApReply, ApRequest
 from repro.core.replay import CLOCK_SKEW, ReplayCache
+from repro.core.service import Service
 from repro.core.safe_priv import (
     PrivMessage,
     SafeMessage,
@@ -110,27 +111,32 @@ class AppSession:
     protection: Protection
 
 
-class KerberizedServer:
+class KerberizedServer(Service):
     """Base class for a Kerberized network service."""
 
     def __init__(
         self,
         service: Principal,
         srvtab: SrvTab,
-        host: Host,
-        port: int,
+        host: Optional[Host] = None,
+        port: int = 0,
         skew: float = CLOCK_SKEW,
     ) -> None:
+        super().__init__()
+        if not port:
+            raise ValueError(f"{type(self).__name__} needs an explicit port")
         self.service = service
         self.srvtab = srvtab
-        self.host = host
         self.port = port
         self.skew = skew
         self.replay_cache = ReplayCache(window=skew)
         self.sessions: Dict[int, AppSession] = {}
         self._next_session = 1
         self.auth_failures = 0
-        host.bind(port, self._dispatch)
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._dispatch}
 
     # -- subclass hooks ------------------------------------------------------
 

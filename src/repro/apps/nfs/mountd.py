@@ -21,13 +21,15 @@ from repro.core.applib import SrvTab, krb_rd_req
 from repro.core.errors import KerberosError
 from repro.core.messages import ApRequest
 from repro.core.replay import ReplayCache
+from repro.core.service import Service
 from repro.encode import DecodeError
 from repro.netsim import Host
 from repro.netsim.ports import MOUNTD_PORT
 from repro.principal import Principal
+from typing import Optional
 
 
-class MountDaemon:
+class MountDaemon(Service):
     """mountd on a fileserver, wired to that server's kernel map."""
 
     def __init__(
@@ -35,16 +37,20 @@ class MountDaemon:
         nfs_server: NfsServer,
         service: Principal,
         srvtab: SrvTab,
-        host: Host,
+        host: Optional[Host] = None,
         port: int = MOUNTD_PORT,
     ) -> None:
+        super().__init__()
         self.nfs = nfs_server
         self.service = service
         self.srvtab = srvtab
-        self.host = host
+        self.port = port
         self.replay_cache = ReplayCache()
         self.mappings_installed = 0
-        host.bind(port, self._handle)
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
 
     def _handle(self, datagram) -> bytes:
         try:

@@ -29,6 +29,7 @@ from repro.core.applib import SrvTab, krb_rd_req
 from repro.core.errors import KerberosError
 from repro.core.messages import ApRequest
 from repro.core.replay import ReplayCache
+from repro.core.service import Service
 from repro.encode import DecodeError
 from repro.netsim import Host
 from repro.netsim.ports import NFS_PORT
@@ -59,12 +60,12 @@ class PasswdMap:
         return NfsCredential(uid=entry[0], gids=entry[1])
 
 
-class NfsServer:
+class NfsServer(Service):
     """One fileserver, serving its tree under a chosen auth design."""
 
     def __init__(
         self,
-        host: Host,
+        host: Optional[Host] = None,
         fs: Optional[FileSystem] = None,
         mode: AuthMode = AuthMode.MAPPED,
         unmapped_policy: UnmappedPolicy = UnmappedPolicy.FRIENDLY,
@@ -73,29 +74,36 @@ class NfsServer:
         passwd: Optional[PasswdMap] = None,
         port: int = NFS_PORT,
     ) -> None:
-        self.host = host
+        super().__init__()
         self.fs = fs if fs is not None else FileSystem()
         self.mode = mode
         self.unmapped_policy = unmapped_policy
-        # Counters for the appendix benchmark — all in the network's
-        # registry, labelled by server host and auth mode so the three
-        # designs can be compared from one snapshot.
-        self.metrics = host.network.metrics
-        self._labels = {"server": host.name, "mode": mode.value}
-        self.credmap = CredentialMap(
-            metrics=self.metrics, labels={"server": host.name}
-        )
+        self.port = port
         self.passwd = passwd if passwd is not None else PasswdMap()
         # KERBEROS_RPC mode needs the service identity and key.
         self.service = service
         self.srvtab = srvtab
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
+
+    def on_attach(self) -> None:
+        host = self.host
+        # Counters for the appendix benchmark — all in the network's
+        # registry, labelled by server host and auth mode so the three
+        # designs can be compared from one snapshot.
+        self.metrics = host.network.metrics
+        self._labels = {"server": host.name, "mode": self.mode.value}
+        self.credmap = CredentialMap(
+            metrics=self.metrics, labels={"server": host.name}
+        )
         self.replay_cache = ReplayCache(
             metrics=self.metrics,
             labels={"server": host.name, "service": "nfs"},
         )
         self.metrics.counter("nfs.access_errors_total", self._labels)
         self.metrics.counter("nfs.kerberos_verifications_total", self._labels)
-        host.bind(port, self._handle)
 
     # -- registry-backed views of the classic counters --------------------------
 

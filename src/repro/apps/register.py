@@ -17,8 +17,11 @@ before the user has any Kerberos key.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.apps.sms import sms_validate
 from repro.core.errors import KerberosError
+from repro.core.service import Service
 from repro.core.safe_priv import PrivMessage, krb_mk_priv, krb_rd_priv
 from repro.crypto import string_to_key
 from repro.database.db import KerberosDatabase, PrincipalExists
@@ -52,22 +55,27 @@ def _registration_key(mit_id: str, fullname: str):
     return string_to_key(mit_id, salt=fullname)
 
 
-class RegisterServer:
+class RegisterServer(Service):
     """Runs on the master machine; writes the database directly."""
 
     def __init__(
         self,
         db: KerberosDatabase,
-        host: Host,
-        sms_address,
+        host: Optional[Host] = None,
+        sms_address=None,
         port: int = REGISTER_PORT,
     ) -> None:
+        super().__init__()
+        if sms_address is None:
+            raise ValueError("RegisterServer requires an sms_address")
         self.db = db
-        self.host = host
         self.sms_address = IPAddress(sms_address)
         self.port = port
         self.registrations = 0
-        host.bind(port, self._handle)
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
 
     def _handle(self, datagram) -> bytes:
         try:

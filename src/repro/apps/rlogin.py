@@ -62,16 +62,25 @@ class RloginServer(KerberizedServer):
         self,
         service: Principal,
         srvtab: SrvTab,
-        host: Host,
+        host: Optional[Host] = None,
         port: int = KSHELL_PORT,
     ) -> None:
-        super().__init__(service, srvtab, host, port)
+        # Initialize state before the base class may auto-attach (the
+        # deprecation shim calls ports() and on_attach at construction).
         self.accounts: Dict[str, Callable[[str], str]] = {}
         # .rhosts entries: local_user -> {(remote_user, remote_host_addr)}
         self.rhosts: Dict[str, Set[Tuple[str, IPAddress]]] = {}
         self.kerberos_logins = 0
         self.rhosts_logins = 0
-        host.bind(RSHD_LEGACY_PORT, self._handle_legacy)
+        super().__init__(service, srvtab, host, port)
+
+    def ports(self):
+        # Two ports: the Kerberized protocol and the legacy .rhosts
+        # fallback — one Service, multiple listeners.
+        return {
+            self.port: self._dispatch,
+            RSHD_LEGACY_PORT: self._handle_legacy,
+        }
 
     def add_account(
         self, username: str, executor: Optional[Callable[[str], str]] = None

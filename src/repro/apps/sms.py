@@ -8,8 +8,9 @@ one question — is this (name, MIT id) pair a real affiliate?
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.core.service import Service
 from repro.encode import WireStruct, field
 from repro.netsim import Host, IPAddress
 from repro.netsim.ports import SMS_PORT
@@ -23,14 +24,17 @@ class SmsReply(WireStruct):
     FIELDS = (field("valid", "bool"), field("text", "string"))
 
 
-class SmsServer:
+class SmsServer(Service):
     """Registry of valid MIT affiliates."""
 
-    def __init__(self, host: Host, port: int = SMS_PORT) -> None:
-        self.host = host
+    def __init__(self, host: Optional[Host] = None, port: int = SMS_PORT) -> None:
+        super().__init__()
         self.port = port
         self._affiliates: Dict[str, str] = {}  # mit_id -> fullname
-        host.bind(port, self._handle)
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
 
     def add_affiliate(self, fullname: str, mit_id: str) -> None:
         self._affiliates[mit_id] = fullname

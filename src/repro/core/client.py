@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.crypto import DesKey, string_to_key
 from repro.core.applib import krb_mk_req, krb_rd_rep
 from repro.core.credcache import Credential, CredentialCache
-from repro.core.errors import ErrorCode, KerberosError
+from repro.core.errors import ErrorCode, KerberosError, PreauthRequired
 from repro.core.messages import (
     ApReply,
     ApRequest,
@@ -34,13 +34,14 @@ from repro.core.messages import (
     PreauthAsRequest,
     TgsRequest,
     build_preauth,
+    decode_message,
     encode_message,
     expect_reply,
 )
 from repro.core.authenticator import build_authenticator
 from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
 from repro.database.schema import DEFAULT_MAX_LIFE
-from repro.netsim import Host, IPAddress, Unreachable
+from repro.netsim import Host, IPAddress, NoSuchService, Unreachable
 from repro.netsim.ports import KERBEROS_PORT
 from repro.obs import LATENCY_BUCKETS
 from repro.principal import Principal, tgs_principal
@@ -140,18 +141,28 @@ class KerberosClient:
         if policy is None:
             # Legacy shape: `retries` immediate passes over the KDC list.
             policy = RetryPolicy(max_attempts=self.retries * len(addresses))
+
+        def attempt(address) -> bytes:
+            raw = self.host.rpc(address, self.port, build_payload())
+            # An overload shed is *typed as* Unreachable (KdcOverloaded),
+            # so raising it here makes failover try the next KDC exactly
+            # as it would for a lost datagram — no special case.
+            self._raise_if_overloaded(raw)
+            return raw
+
         try:
             raw, answered_by, _ = run_with_failover(
                 policy,
                 self.host.clock,
                 addresses,
-                lambda address: self.host.rpc(
-                    address, self.port, build_payload()
-                ),
+                attempt,
                 rng=self._retry_rng,
                 metrics=self.metrics,
                 op=op,
-                retry_on=(Unreachable,),
+                # NoSuchService is port-unreachable: the host answers
+                # but no KDC listens (e.g. a detached service during
+                # maintenance) — as failover-worthy as a dead host.
+                retry_on=(Unreachable, NoSuchService),
             )
         except RetryExhausted as exc:
             raise Unreachable(
@@ -163,6 +174,19 @@ class KerberosClient:
                 "kdc.failovers_total", {"realm": realm}
             ).inc()
         return raw
+
+    @staticmethod
+    def _raise_if_overloaded(raw: bytes) -> None:
+        """Raise the typed KdcOverloaded for an overload error reply."""
+        try:
+            mtype, message = decode_message(raw)
+        except KerberosError:
+            return  # not even an envelope; let expect_reply complain
+        if (
+            mtype == MessageType.ERROR
+            and message.code == ErrorCode.KDC_OVERLOADED
+        ):
+            message.raise_()
 
     # -- Figure 5: the initial ticket --------------------------------------------
 
@@ -224,9 +248,7 @@ class KerberosClient:
         raw = self._ask_kdc(self.realm, lambda: wire, op="as")
         try:
             reply = expect_reply(raw, MessageType.AS_REP)
-        except KerberosError as exc:
-            if exc.code != ErrorCode.KDC_PREAUTH_REQUIRED:
-                raise
+        except PreauthRequired:
             # Preauthentication negotiation (extension): retry with the
             # request timestamp sealed in the password-derived key.
             preauth_request = PreauthAsRequest(

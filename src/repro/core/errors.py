@@ -5,11 +5,23 @@ returned by the authentication/ticket-granting server, ``RD_AP_*`` for
 failures detected by a server reading an authentication request
 (Section 4.3's checks), and ``INTK_*`` for client-side failures getting
 an initial ticket (Section 4.2 — the wrong-password case).
+
+Every wire error code maps to exactly one exception class through
+:func:`error_for_code` — the *single* code↔exception mapping in the
+tree.  Decoders raise through it, so callers catch *types*
+(``except PreauthRequired``) instead of matching ``exc.code`` or error
+strings.  :class:`KdcOverloaded` deliberately subclasses the transport's
+:class:`~repro.netsim.network.Unreachable` too: an overloaded KDC is
+operationally a KDC you could not reach, and the client's retry/failover
+path (which retries on ``Unreachable``) rides it out to a slave without
+any special case.
 """
 
 from __future__ import annotations
 
 import enum
+
+from repro.netsim.network import Unreachable
 
 
 class ErrorCode(enum.IntEnum):
@@ -27,6 +39,7 @@ class ErrorCode(enum.IntEnum):
     KDC_GEN_ERR = 8           # malformed or undecodable request
     KDC_PREAUTH_REQUIRED = 9  # extension: principal requires preauthentication
     KDC_PREAUTH_FAILED = 10   # extension: preauthentication did not verify
+    KDC_OVERLOADED = 11       # admission control shed the request (queue full)
 
     # Application-request (rd_req) errors.
     RD_AP_MODIFIED = 20       # ticket or authenticator failed to decrypt/verify
@@ -58,3 +71,75 @@ class KerberosError(Exception):
         self.code = ErrorCode(code)
         self.message = message or self.code.name
         super().__init__(f"{self.code.name}: {self.message}")
+
+
+class KdcError(KerberosError):
+    """An error reply from the authentication / ticket-granting server
+    (the ``KDC_*`` family)."""
+
+
+class PreauthRequired(KdcError):
+    """The principal requires preauthentication; retry the AS exchange
+    with a preauth proof (extension, see ``docs``)."""
+
+
+class PreauthFailed(KdcError):
+    """The preauthentication proof did not verify — a wrong password,
+    observed *before* an offline-guessable reply leaves the KDC."""
+
+
+class KdcOverloaded(KdcError, Unreachable):
+    """Admission control shed the request: the KDC's inbound queue was
+    full.  Also an :class:`Unreachable` so ``run_with_failover`` retries
+    it against the next KDC exactly like a lost datagram."""
+
+
+class RdApError(KerberosError):
+    """A server rejected an application request (the ``RD_AP_*`` family
+    — Section 4.3's authenticator checks)."""
+
+
+class IntkError(KerberosError):
+    """The client could not turn a KDC reply into an initial ticket
+    (the ``INTK_*`` family — wrong password, malformed reply)."""
+
+
+class KdbmError(KerberosError):
+    """An administration-server failure (the ``KDBM_*`` family)."""
+
+
+#: Codes with a *specific* class; families below fill in the rest.
+_SPECIFIC: dict = {
+    ErrorCode.KDC_PREAUTH_REQUIRED: PreauthRequired,
+    ErrorCode.KDC_PREAUTH_FAILED: PreauthFailed,
+    ErrorCode.KDC_OVERLOADED: KdcOverloaded,
+}
+
+_FAMILIES = (
+    (ErrorCode.KDC_OK, ErrorCode.KDC_OVERLOADED, KdcError),
+    (ErrorCode.RD_AP_MODIFIED, ErrorCode.RD_AP_VERSION, RdApError),
+    (ErrorCode.INTK_BADPW, ErrorCode.INTK_PROT, IntkError),
+    (ErrorCode.KDBM_DENIED, ErrorCode.KDBM_ERROR, KdbmError),
+)
+
+
+def exception_class_for(code: ErrorCode) -> type:
+    """The exception class a wire error code decodes to."""
+    code = ErrorCode(code)
+    specific = _SPECIFIC.get(code)
+    if specific is not None:
+        return specific
+    for low, high, family in _FAMILIES:
+        if low <= code <= high:
+            return family
+    return KerberosError
+
+
+def error_for_code(code, message: str = "") -> KerberosError:
+    """Build the typed exception for a wire error code.
+
+    The one place protocol error codes become Python exceptions; every
+    decoder (``ErrorReply.raise_``, the kdbm client) routes through it
+    so ``except PreauthRequired`` and friends work everywhere.
+    """
+    return exception_class_for(ErrorCode(code))(ErrorCode(code), message)

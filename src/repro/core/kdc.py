@@ -26,9 +26,12 @@ inter-realm key.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.crypto import DesKey, KeyGenerator
 from repro.core.applib import krb_rd_req
-from repro.core.errors import ErrorCode, KerberosError
+from repro.core.errors import ErrorCode, KerberosError, error_for_code
+from repro.core.service import Service
 from repro.core.messages import (
     AsRequest,
     ErrorReply,
@@ -45,10 +48,11 @@ from repro.core.replay import CLOCK_SKEW, ReplayCache
 from repro.core.ticket import Ticket, seal_ticket
 from repro.database.db import KerberosDatabase, NoSuchPrincipal
 from repro.database.schema import PrincipalRecord
-from repro.netsim import Host, IPAddress
+from repro.netsim import DeferredReply, Host, IPAddress
 from repro.netsim.ports import KERBEROS_PORT
 from repro.obs import LIFETIME_BUCKETS
 from repro.principal import Principal, tgs_principal
+from repro.runtime import WorkQueue, WorkQueueConfig
 
 #: db name under which the key for *accepting* TGTs issued by a remote
 #: realm is stored.  The issuing side stores the same key under the
@@ -56,27 +60,56 @@ from repro.principal import Principal, tgs_principal
 XREALM_NAME = "xrealm"
 
 
-class KerberosServer:
-    """An authentication server bound to a host's Kerberos port.
+class KerberosServer(Service):
+    """An authentication server on a host's Kerberos port.
 
     Runs against the master database or any read-only slave copy —
     authentication "can run on both master and slave machines"
     (Figure 10).
+
+    With ``workers`` (or a full :class:`WorkQueueConfig` via ``queue``)
+    the server runs a **concurrent service loop**: arrivals queue into a
+    bounded :class:`WorkQueue` on the network runtime and are answered
+    from worker batch completions (:class:`DeferredReply`); a full queue
+    sheds the request with a :class:`~repro.core.errors.KdcOverloaded`
+    error reply the client's failover path rides out to another KDC.
+    Batches amortize database record lookups across their requests.
+    Without ``workers`` the classic inline handler is used — zero service
+    time, answered at arrival.
     """
 
     def __init__(
         self,
         database: KerberosDatabase,
-        host: Host,
-        keygen: KeyGenerator,
+        host: Optional[Host] = None,
+        keygen: Optional[KeyGenerator] = None,
         skew: float = CLOCK_SKEW,
         port: int = KERBEROS_PORT,
+        workers: Optional[int] = None,
+        queue: Optional[WorkQueueConfig] = None,
     ) -> None:
+        super().__init__()
+        if keygen is None:
+            raise ValueError("KerberosServer requires a keygen")
         self.db = database
         self.realm = database.realm
-        self.host = host
         self.keygen = keygen
         self.skew = skew
+        self.port = port
+        if queue is None and workers is not None:
+            queue = WorkQueueConfig(workers=workers)
+        elif queue is not None and workers is not None and queue.workers != workers:
+            raise ValueError("pass either workers or queue, not both")
+        self.queue_config = queue
+        self.workqueue: Optional[WorkQueue] = None
+        self._batch_records = None
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
+
+    def on_attach(self) -> None:
+        host = self.host
         # Metrics and tracing (Figure 10 / Section 9) live in the
         # network's registry; this server's series carry a `server` label
         # so master and slave load can be told apart.
@@ -84,7 +117,7 @@ class KerberosServer:
         self.tracer = host.network.tracer
         self._labels = {"server": host.name}
         self.replay_cache = ReplayCache(
-            window=skew, metrics=self.metrics, labels=self._labels
+            window=self.skew, metrics=self.metrics, labels=self._labels
         )
         for kind in ("as", "tgs"):
             self.metrics.counter(
@@ -94,7 +127,30 @@ class KerberosServer:
                 "kdc.outcomes_total",
                 {**self._labels, "kind": kind, "code": "OK"},
             )
-        host.bind(port, self._handle)
+        if self.queue_config is not None:
+            self.workqueue = WorkQueue(
+                host.network.runtime,
+                self.queue_config,
+                self._process_batch,
+                label="kdc.queue",
+                metrics=self.metrics,
+                labels=self._labels,
+            )
+
+    def on_detach(self) -> None:
+        self.workqueue = None
+
+    def on_crash(self) -> None:
+        """The host died: queued requests are gone — their senders hear
+        nothing and fail over.  (In-flight batch completions check host
+        state and drop their replies too.)"""
+        if self.workqueue is not None:
+            for _datagram, deferred in self.workqueue.drop_pending():
+                deferred.resolve(None)
+
+    def on_restart(self) -> None:
+        """The daemon restarts with an empty queue (already dropped at
+        crash time); durable state — the database — survived."""
 
     # -- registry-backed views of the classic counters -------------------------
 
@@ -128,7 +184,59 @@ class KerberosServer:
 
     # -- dispatch -------------------------------------------------------------
 
-    def _handle(self, datagram) -> bytes:
+    def _handle(self, datagram):
+        """Port handler: inline service, or admission into the queue."""
+        if self.workqueue is None:
+            return self._serve(datagram)
+        deferred = DeferredReply()
+        if not self.workqueue.submit((datagram, deferred)):
+            # Admission control: answer *now* with a typed overload
+            # error instead of letting the request rot in a full queue.
+            err = error_for_code(
+                ErrorCode.KDC_OVERLOADED,
+                f"KDC {self.host.name} shed the request (queue full)",
+            )
+            self._outcome("shed", err.code.name)
+            return encode_message(
+                MessageType.ERROR, ErrorReply.from_error(err)
+            )
+        return deferred
+
+    def _process_batch(self, batch) -> None:
+        """Worker completion: answer every request in the batch.
+
+        Runs at the batch's simulated completion time.  DB record
+        lookups are amortized across the batch via a batch-scoped memo
+        (one database hit per principal per batch), mirroring how the
+        key-schedule cache amortizes the master-key unseal.
+        """
+        if self.host is None or not self.host.up:
+            # Crashed mid-service: the replies die with the process.
+            for _datagram, deferred in batch:
+                deferred.resolve(None)
+            return
+        self._batch_records = {}
+        try:
+            for datagram, deferred in batch:
+                deferred.resolve(self._serve(datagram))
+        finally:
+            self._batch_records = None
+
+    def _get_record(self, principal: Principal) -> PrincipalRecord:
+        """DB row fetch, memoized across the current batch."""
+        if self._batch_records is None:
+            return self.db.get_record(principal)
+        record = self._batch_records.get(principal)
+        if record is None:
+            record = self.db.get_record(principal)
+            self._batch_records[principal] = record
+        else:
+            self.metrics.counter(
+                "kdc.batch_lookups_saved_total", self._labels
+            ).inc()
+        return record
+
+    def _serve(self, datagram) -> bytes:
         kind = "other"
         try:
             mtype, message = decode_message(datagram.payload)
@@ -160,7 +268,7 @@ class KerberosServer:
 
     def _lookup_client(self, client: Principal, now: float) -> PrincipalRecord:
         try:
-            record = self.db.get_record(client)
+            record = self._get_record(client)
         except NoSuchPrincipal as exc:
             raise KerberosError(ErrorCode.KDC_PR_UNKNOWN, str(exc)) from exc
         if record.expired(now):
@@ -175,7 +283,7 @@ class KerberosServer:
 
     def _lookup_service(self, service: Principal, now: float) -> PrincipalRecord:
         try:
-            record = self.db.get_record(service)
+            record = self._get_record(service)
         except NoSuchPrincipal as exc:
             raise KerberosError(ErrorCode.KDC_SERVICE_UNKNOWN, str(exc)) from exc
         if record.expired(now):

@@ -25,7 +25,7 @@ import enum
 from typing import Tuple, Type
 
 from repro.crypto import DesKey, IntegrityError, seal, unseal
-from repro.core.errors import ErrorCode, KerberosError
+from repro.core.errors import ErrorCode, KerberosError, error_for_code
 from repro.encode import DecodeError, Decoder, Encoder, WireStruct, field
 from repro.principal import Principal
 
@@ -148,7 +148,7 @@ class KdcReply(WireStruct):
         try:
             return KdcReplyBody.from_bytes(unseal(key, self.sealed_body))
         except (IntegrityError, DecodeError) as exc:
-            raise KerberosError(
+            raise error_for_code(
                 ErrorCode.INTK_BADPW,
                 f"reply would not decrypt (wrong key/password?): {exc}",
             ) from exc
@@ -211,12 +211,12 @@ class ApReply(WireStruct):
         try:
             body = ApReplyBody.from_bytes(unseal(session_key, self.sealed_body))
         except (IntegrityError, DecodeError) as exc:
-            raise KerberosError(
+            raise error_for_code(
                 ErrorCode.RD_AP_MODIFIED,
                 f"mutual-auth reply failed to decrypt: {exc}",
             ) from exc
         if body.timestamp_plus_one != expected_timestamp + 1.0:
-            raise KerberosError(
+            raise error_for_code(
                 ErrorCode.RD_AP_MODIFIED,
                 "mutual-auth reply has wrong timestamp (masquerading server?)",
             )
@@ -228,7 +228,9 @@ class ErrorReply(WireStruct):
     FIELDS = (field("code", "u32"), field("text", "string"))
 
     def raise_(self) -> None:
-        raise KerberosError(ErrorCode(self.code), self.text)
+        """Raise the *typed* exception for the carried code — the single
+        code↔exception mapping lives in :func:`error_for_code`."""
+        raise error_for_code(self.code, self.text)
 
     @classmethod
     def from_error(cls, err: KerberosError) -> "ErrorReply":
@@ -272,7 +274,7 @@ def decode_message(data: bytes) -> Tuple[MessageType, WireStruct]:
         dec.expect_eof()
         return mtype, message
     except (DecodeError, ValueError, KeyError) as exc:
-        raise KerberosError(
+        raise error_for_code(
             ErrorCode.KDC_GEN_ERR, f"undecodable message: {exc}"
         ) from exc
 
@@ -284,7 +286,7 @@ def expect_reply(data: bytes, wanted: MessageType) -> WireStruct:
     if mtype == MessageType.ERROR:
         message.raise_()
     if mtype != wanted:
-        raise KerberosError(
+        raise error_for_code(
             ErrorCode.INTK_PROT,
             f"expected {wanted.name}, got {mtype.name}",
         )

@@ -1,0 +1,121 @@
+"""The unified Service API: one lifecycle for every network daemon.
+
+Before this module, each daemon (KDC, kdbm, kpropd, NFS/mountd, the
+registration and application servers) invented its own binding pattern —
+five ad-hoc variations of ``host.bind(port, handler)`` in a constructor,
+with no way to detach, restart, or enumerate what a host runs.  The
+event-driven runtime needs exactly those notions: a crashed host must
+drop its services' volatile state (inbound queues), and a restarted one
+must let them rebuild.
+
+:class:`Service` is the one interface:
+
+* :meth:`Service.ports` declares the port→handler map (a daemon may
+  serve several ports — rlogind also answers the legacy rshd port);
+* :meth:`attach` binds every declared port on a host and registers the
+  service for lifecycle fan-out; :meth:`detach` unbinds and unregisters;
+* lifecycle hooks — :meth:`on_attach`, :meth:`on_detach`,
+  :meth:`on_crash`, :meth:`on_restart` — are driven by the network
+  (``Network.set_down/set_up`` and the crash/restart fault helpers).
+
+Deprecation shim (one release): constructors still accept a ``host``
+argument and auto-attach, so ``KerberosServer(db, host, keygen)`` keeps
+working; new code should construct detached and call ``attach(host)``.
+
+Direct ``Host.bind`` calls outside :mod:`repro.netsim` and this module
+are banned by the AST lint suite (tests and attacker tooling excepted —
+an adversary does not use polite interfaces).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class ServiceError(Exception):
+    """Misuse of the service lifecycle (double attach, detach while
+    detached, port collision at attach time)."""
+
+
+class Service:
+    """Base class for every network daemon in the realm.
+
+    Subclasses implement :meth:`ports` and may override the lifecycle
+    hooks.  The base class owns the attach/detach mechanics and the
+    ``host`` attribute (None while detached).
+    """
+
+    def __init__(self) -> None:
+        self.host = None
+
+    # -- declaration --------------------------------------------------------
+
+    def ports(self) -> Dict[int, Callable]:
+        """The port→handler map this service binds.  Called at attach
+        time, so handlers may be bound methods."""
+        raise NotImplementedError
+
+    @property
+    def attached(self) -> bool:
+        return self.host is not None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, host) -> "Service":
+        """Bind every declared port on ``host`` and register for
+        lifecycle fan-out.  Returns self, so construction chains:
+        ``KerberosServer(db, keygen=kg).attach(host)``."""
+        if self.host is not None:
+            raise ServiceError(
+                f"{type(self).__name__} is already attached to "
+                f"{self.host.name}"
+            )
+        port_map = self.ports()
+        bound = []
+        try:
+            for port, handler in port_map.items():
+                host.bind(port, handler)
+                bound.append(port)
+        except ValueError as exc:
+            for port in bound:
+                host.unbind(port)
+            raise ServiceError(str(exc)) from exc
+        self.host = host
+        host.register_service(self)
+        self.on_attach()
+        return self
+
+    def detach(self) -> None:
+        """Unbind every declared port and deregister."""
+        if self.host is None:
+            raise ServiceError(f"{type(self).__name__} is not attached")
+        self.on_detach()
+        host, self.host = self.host, None
+        for port in self.ports():
+            host.unbind(port)
+        host.unregister_service(self)
+
+    def _maybe_attach(self, host) -> None:
+        """Constructor-side deprecation shim: attach when a host was
+        passed the pre-Service way (``host=None`` means 'construct
+        detached', the new style)."""
+        if host is not None:
+            self.attach(host)
+
+    # -- hooks (no-ops by default) -------------------------------------------
+
+    def on_attach(self) -> None:
+        """Runs after every port is bound; host is set."""
+
+    def on_detach(self) -> None:
+        """Runs before ports are unbound; host is still set."""
+
+    def on_crash(self) -> None:
+        """The host went down.  Volatile state (queues, in-flight work)
+        is lost; durable state (the database on disk) survives."""
+
+    def on_restart(self) -> None:
+        """The host came back; rebuild volatile state."""
+
+
+__all__ = ["Service", "ServiceError"]

@@ -19,7 +19,7 @@ from typing import Optional
 from repro.core.applib import krb_mk_req
 from repro.core.client import KerberosClient
 from repro.core.credcache import Credential
-from repro.core.errors import ErrorCode, KerberosError
+from repro.core.errors import ErrorCode, KerberosError, error_for_code
 from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
 from repro.core.safe_priv import PrivMessage, krb_mk_priv, krb_rd_priv
 from repro.kdbm.messages import (
@@ -125,7 +125,7 @@ class KdbmClient:
                 attempts=exc.attempts,
             ) from exc
         if not raw:
-            raise KerberosError(
+            raise error_for_code(
                 ErrorCode.KDBM_ERROR,
                 "KDBM dropped the request (authentication failed?)",
             )
@@ -139,7 +139,9 @@ class KdbmClient:
 
     def _check(self, reply: AdminReplyBody) -> str:
         if not reply.ok:
-            raise KerberosError(ErrorCode(reply.code), reply.text)
+            # Typed: a KDBM refusal raises KdbmError (or a more specific
+            # class), via the one code↔exception mapping.
+            raise error_for_code(reply.code, reply.text)
         return reply.text
 
     # -- the operations --------------------------------------------------------

@@ -18,10 +18,11 @@ authentication continues — when the master is down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.applib import krb_rd_req
 from repro.core.errors import ErrorCode, KerberosError
+from repro.core.service import Service
 from repro.core.messages import ApRequest
 from repro.core.replay import CLOCK_SKEW, ReplayCache
 from repro.core.safe_priv import PrivMessage, krb_mk_priv, krb_rd_priv
@@ -55,17 +56,18 @@ class KdbmLogEntry:
     detail: str
 
 
-class KdbmServer:
+class KdbmServer(Service):
     """Read-write database interface, master machine only."""
 
     def __init__(
         self,
         database: KerberosDatabase,
         acl: AccessControlList,
-        host: Host,
+        host: Optional[Host] = None,
         skew: float = CLOCK_SKEW,
         port: int = KDBM_PORT,
     ) -> None:
+        super().__init__()
         if database.readonly:
             raise ReadOnlyDatabase(
                 "the KDBM server may only run on the master Kerberos "
@@ -73,12 +75,15 @@ class KdbmServer:
             )
         self.db = database
         self.acl = acl
-        self.host = host
         self.skew = skew
+        self.port = port
         self.service = kdbm_principal(database.realm)
         self.replay_cache = ReplayCache(window=skew)
         self.log: List[KdbmLogEntry] = []
-        host.bind(port, self._handle)
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
 
     # -- request handling -------------------------------------------------
 

@@ -38,10 +38,12 @@ from repro.netsim.faults import (
 )
 from repro.netsim.network import (
     Datagram,
+    DeferredReply,
     Host,
     Network,
     NetworkError,
     NoSuchService,
+    PendingRpc,
     Unreachable,
 )
 from repro.netsim.ports import (
@@ -63,6 +65,7 @@ from repro.netsim.ports import (
 
 __all__ = [
     "Datagram",
+    "DeferredReply",
     "Duplicate",
     "FaultError",
     "FaultPlane",
@@ -77,6 +80,7 @@ __all__ = [
     "NetworkError",
     "NoSuchService",
     "Partition",
+    "PendingRpc",
     "Reorder",
     "SimClock",
     "Unreachable",

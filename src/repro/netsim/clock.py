@@ -47,7 +47,9 @@ class SimClock:
             # so a callback that reschedules itself keeps its cadence.
             self._now = max(self._now, when)
             callback()
-        self._now = target
+        # A callback may itself have pumped the event runtime (nested
+        # RPC), moving time past the original target — never go back.
+        self._now = max(self._now, target)
 
     def call_at(self, when: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire when the clock reaches ``when``."""

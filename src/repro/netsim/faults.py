@@ -10,9 +10,7 @@ chaos run is reproducible bit-for-bit.
 
 Rule kinds:
 
-* :class:`Loss` — drop matching datagrams with a probability (the old
-  ``Network(loss_rate=...)`` knob is now a compatibility shim over one
-  realm-wide ``Loss`` rule);
+* :class:`Loss` — drop matching datagrams with a probability;
 * :class:`Duplicate` — deliver a matching request to its handler twice
   (the classic duplicated-UDP-datagram the replay cache must absorb);
 * :class:`Reorder` — hold a matching request back and deliver it *after*

@@ -11,6 +11,17 @@ The model matches what the 1988 implementation assumed of UDP/IP:
 * hosts can be down (master failure in Figures 10/11), and each hop can
   cost simulated latency.
 
+Delivery is **event-driven**: every datagram leg is an event on the
+network's :class:`~repro.runtime.EventScheduler` (``net.runtime``), so
+packets are genuinely *in flight* — a busy server can queue arrivals
+(see :class:`DeferredReply`) while other traffic proceeds, which is what
+makes the Section 9 busy-hour concurrency modelable at all.  The
+synchronous :meth:`Host.rpc` API survives unchanged on top: it posts the
+request and *pumps* the scheduler until its reply resolves, so callers
+(and nested callers — a handler doing its own RPC) never notice the
+machinery.  :meth:`Network.rpc_async` exposes the non-blocking form for
+open-loop load generators.
+
 Traffic statistics are kept per destination port so the benchmarks can
 report message counts per service, e.g. KDC load at Athena scale.  They
 live in the network's :class:`repro.obs.MetricsRegistry` (``net.metrics``,
@@ -22,12 +33,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.netsim.address import IPAddress
 from repro.netsim.clock import HostClock, SimClock
-from repro.netsim.faults import FaultPlane, Loss, Partition, Verdict
+from repro.netsim.faults import FaultPlane, Partition, Verdict
 from repro.obs import MetricsRegistry, Tracer
+from repro.runtime import EventScheduler
 
 
 class NetworkError(Exception):
@@ -71,8 +83,82 @@ class Datagram:
         )
 
 
-#: A bound service: takes the request datagram, returns reply bytes or None.
-Handler = Callable[[Datagram], Optional[bytes]]
+class DeferredReply:
+    """A handler's promise to answer later.
+
+    A queued service loop (the KDC's worker pool) cannot answer at
+    arrival time: the request sits in its inbound queue until a worker
+    batch completes.  Such a handler returns a :class:`DeferredReply`
+    instead of bytes; the network wires the reply leg to it, and the
+    service calls :meth:`resolve` when the work finishes —
+    ``resolve(None)`` means the reply was lost (queue dropped in a
+    crash, say), which the sender experiences as a timeout.
+    """
+
+    __slots__ = ("_payload", "_resolved", "_sink")
+
+    def __init__(self) -> None:
+        self._payload: Optional[bytes] = None
+        self._resolved = False
+        self._sink: Optional[Callable[[Optional[bytes]], None]] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    def resolve(self, payload: Optional[bytes]) -> None:
+        """Deliver the (possibly absent) reply; first call wins."""
+        if self._resolved:
+            return
+        self._resolved = True
+        self._payload = payload
+        if self._sink is not None:
+            self._sink(payload)
+
+    def _bind(self, sink: Callable[[Optional[bytes]], None]) -> None:
+        """Network-side: attach the reply leg (fires now if already
+        resolved)."""
+        self._sink = sink
+        if self._resolved:
+            sink(self._payload)
+
+
+class PendingRpc:
+    """The caller's view of one in-flight exchange.
+
+    Resolved exactly once: with reply bytes, or with a transport error.
+    ``one_way`` exchanges (:meth:`Host.send`, :meth:`Network.inject`)
+    resolve at handler completion with the handler's raw return value
+    and never schedule a reply leg.
+    """
+
+    __slots__ = ("reply", "error", "done", "one_way", "resolved_at")
+
+    def __init__(self, one_way: bool = False) -> None:
+        self.reply: Optional[bytes] = None
+        self.error: Optional[NetworkError] = None
+        self.done = False
+        self.one_way = one_way
+        self.resolved_at: Optional[float] = None
+
+    def _resolve(self, payload: Optional[bytes], now: float) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.reply = payload
+        self.resolved_at = now
+
+    def _fail(self, error: NetworkError, now: float) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.error = error
+        self.resolved_at = now
+
+
+#: A bound service: takes the request datagram, returns reply bytes,
+#: None (no reply), or a :class:`DeferredReply` (answer later).
+Handler = Callable[[Datagram], object]
 #: A passive tap: sees a copy of every datagram.
 Tap = Callable[[Datagram], None]
 #: An active interceptor: may rewrite or drop (return None) any datagram.
@@ -80,6 +166,10 @@ Interceptor = Callable[[Datagram], Optional[Datagram]]
 
 #: Ephemeral source port used for client sides of RPCs.
 EPHEMERAL_PORT = 0
+
+#: Simulated seconds a synchronous caller pumps before giving up on a
+#: reply that is never coming (e.g. a queued request lost in a crash).
+RPC_TIMEOUT = 30.0
 
 
 class Host:
@@ -98,9 +188,17 @@ class Host:
         self.clock = clock
         self.up = True
         self._services: Dict[int, Handler] = {}
+        #: Attached :class:`repro.core.service.Service` instances, in
+        #: attach order; crash/restart lifecycle hooks fan out to these.
+        self.services: List[object] = []
 
     def bind(self, port: int, handler: Handler) -> None:
-        """Start a service on ``port``.  One handler per port."""
+        """Start a service on ``port``.  One handler per port.
+
+        This is the raw transport primitive.  Daemon code in
+        ``src/repro`` goes through :class:`repro.core.service.Service`
+        (lint-enforced); tests and attacker tooling may bind directly.
+        """
         if port in self._services:
             raise ValueError(f"port {port} already bound on {self.name}")
         self._services[port] = handler
@@ -120,9 +218,22 @@ class Host:
     def handler_for(self, port: int) -> Optional[Handler]:
         return self._services.get(port)
 
+    def register_service(self, service) -> None:
+        """Track an attached Service for lifecycle fan-out."""
+        if service not in self.services:
+            self.services.append(service)
+
+    def unregister_service(self, service) -> None:
+        if service in self.services:
+            self.services.remove(service)
+
     def rpc(self, dst, port: int, payload: bytes) -> bytes:
         """Send a request from this host and wait for the reply."""
         return self.network.rpc(self, dst, port, payload)
+
+    def rpc_async(self, dst, port: int, payload: bytes) -> PendingRpc:
+        """Post a request without waiting; resolve via the runtime."""
+        return self.network.rpc_async(self, dst, port, payload)
 
     def send(self, dst, port: int, payload: bytes) -> None:
         """Fire-and-forget datagram (no reply expected)."""
@@ -168,11 +279,8 @@ class Network:
         self,
         clock: Optional[SimClock] = None,
         latency: float = 0.0,
-        loss_rate: float = 0.0,
         seed: int = 0,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss_rate {loss_rate} outside [0, 1)")
         self.clock = clock if clock is not None else SimClock()
         self.latency = float(latency)
         self._rng = random.Random(seed)
@@ -186,32 +294,15 @@ class Network:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.clock)
         self.stats = NetworkStats(self.metrics)
+        #: The discrete-event runtime every datagram leg is scheduled on.
+        self.runtime = EventScheduler(self.clock, seed=seed)
+        self.runtime.metrics = self.metrics
+        #: How long synchronous RPC callers pump for a reply (sim secs).
+        self.rpc_timeout = RPC_TIMEOUT
         #: The fault-injection plane (loss, duplication, reordering,
         #: jitter, partitions), sharing the network's seeded RNG so
         #: chaos runs are reproducible.
         self.faults = FaultPlane(self._rng, self.metrics)
-        # Back-compat: the historical realm-wide loss knob is now one
-        # Loss rule kept at the front of the plane.
-        self._loss_shim: Optional[Loss] = None
-        if loss_rate:
-            self._loss_shim = self.faults.add(Loss(loss_rate))
-
-    @property
-    def loss_rate(self) -> float:
-        """Realm-wide loss probability (compatibility shim over a
-        :class:`~repro.netsim.faults.Loss` rule on every link)."""
-        return self._loss_shim.rate if self._loss_shim is not None else 0.0
-
-    @loss_rate.setter
-    def loss_rate(self, rate: float) -> None:
-        rate = float(rate)
-        if not 0.0 <= rate < 1.0:
-            raise ValueError(f"loss_rate {rate} outside [0, 1)")
-        if self._loss_shim is not None:
-            self.faults.remove(self._loss_shim)
-            self._loss_shim = None
-        if rate:
-            self._loss_shim = self.faults.insert(0, Loss(rate))
 
     # -- topology -----------------------------------------------------------
 
@@ -259,11 +350,23 @@ class Network:
         return list(self._hosts_by_name.values())
 
     def set_down(self, name: str) -> None:
-        """Take a machine off the network (paper: 'the master machine is down')."""
-        self.host(name).up = False
+        """Take a machine off the network (paper: 'the master machine is
+        down').  Attached services get their ``on_crash`` hook — volatile
+        state (inbound queues) is lost exactly as in a real crash."""
+        host = self.host(name)
+        if not host.up:
+            return
+        host.up = False
+        for service in list(host.services):
+            service.on_crash()
 
     def set_up(self, name: str) -> None:
-        self.host(name).up = True
+        host = self.host(name)
+        if host.up:
+            return
+        host.up = True
+        for service in list(host.services):
+            service.on_restart()
 
     # -- fault-plane conveniences ---------------------------------------------
 
@@ -331,32 +434,32 @@ class Network:
     def remove_interceptor(self, interceptor: Interceptor) -> None:
         self._interceptors.remove(interceptor)
 
-    # -- delivery -------------------------------------------------------------
+    # -- the caller-facing exchanges -------------------------------------------
 
-    def rpc(self, src: Host, dst, port: int, payload: bytes) -> bytes:
-        """Synchronous request/response between two hosts."""
-        if not src.up:
-            raise Unreachable(f"source host {src.name} is down")
-        request = Datagram(
-            src=src.address,
-            src_port=EPHEMERAL_PORT,
-            dst=IPAddress(dst),
-            dst_port=port,
-            payload=bytes(payload),
-        )
-        reply_payload = self._deliver(request)
-        if reply_payload is None:
-            raise Unreachable(
-                f"no reply from {request.dst}:{port} (request timed out)"
-            )
-        reply = request.reply_with(reply_payload)
-        final = self._transit(reply)
-        if final is None:
-            raise Unreachable(f"reply from {request.dst}:{port} was lost")
-        return final[0].payload
+    def rpc(
+        self,
+        src: Host,
+        dst,
+        port: int,
+        payload: bytes,
+        timeout: Optional[float] = None,
+    ) -> bytes:
+        """Synchronous request/response between two hosts.
 
-    def send(self, src: Host, dst, port: int, payload: bytes) -> None:
-        """One-way datagram; silently lost on failure, like UDP."""
+        Posts the request as a scheduled event and pumps the runtime
+        until the reply (or a failure) resolves — so a nested RPC made
+        from inside a handler simply pumps the same queue deeper."""
+        pending = self.rpc_async(src, dst, port, payload)
+        self._pump(pending, timeout)
+        if pending.error is not None:
+            raise pending.error
+        return pending.reply
+
+    def rpc_async(self, src: Host, dst, port: int, payload: bytes) -> PendingRpc:
+        """Post a request without waiting.  The returned
+        :class:`PendingRpc` resolves as the runtime executes; drive it
+        with ``net.runtime.run_until_idle()`` or any synchronous call
+        that pumps."""
         if not src.up:
             raise Unreachable(f"source host {src.name} is down")
         datagram = Datagram(
@@ -366,37 +469,97 @@ class Network:
             dst_port=port,
             payload=bytes(payload),
         )
-        try:
-            self._deliver(datagram)
-        except NetworkError:
-            pass
+        return self._post(datagram, one_way=False)
+
+    def send(self, src: Host, dst, port: int, payload: bytes) -> None:
+        """One-way datagram; silently lost on failure, like UDP.  Pumps
+        until the delivery attempt completes so sender-visible side
+        effects (the handler ran) are settled on return."""
+        if not src.up:
+            raise Unreachable(f"source host {src.name} is down")
+        datagram = Datagram(
+            src=src.address,
+            src_port=EPHEMERAL_PORT,
+            dst=IPAddress(dst),
+            dst_port=port,
+            payload=bytes(payload),
+        )
+        pending = self._post(datagram, one_way=True)
+        self._pump(pending, None)
+        # UDP: delivery failure is the sender's silence, not an error.
 
     def inject(self, datagram: Datagram) -> Optional[bytes]:
         """Deliver a hand-crafted datagram — source address forgery.
 
         This is the primitive behind the NFS appendix's observation that
         "this information could be forged": an attacker does not need a
-        registered host to put packets on the wire.
+        registered host to put packets on the wire.  Returns the
+        handler's reply bytes (None if the packet was dropped in
+        transit); raises on host-down / no-service, which the attacker
+        observes as ICMP-ish silence anyway.
         """
-        return self._deliver(datagram)
+        pending = self._post(datagram, one_way=True)
+        self._pump(pending, None)
+        if pending.error is not None:
+            raise pending.error
+        return pending.reply
 
-    # -- internals --------------------------------------------------------------
+    # -- event-driven delivery internals ----------------------------------------
 
-    def _transit(
-        self, datagram: Datagram, to_service: bool = False
-    ) -> Optional[Tuple[Datagram, Verdict]]:
-        """One hop across the wire: latency, faults, taps, interceptors.
+    def _post(self, datagram: Datagram, one_way: bool) -> PendingRpc:
+        """Schedule the request leg; the wire's propagation delay is the
+        network latency (jitter rules add more at arrival)."""
+        pending = PendingRpc(one_way=one_way)
+        self.runtime.after(
+            self.latency,
+            lambda: self._arrive(datagram, pending),
+            label="net.request",
+        )
+        return pending
 
-        Returns the (possibly rewritten) datagram plus the fault plane's
-        verdict, or None if the hop dropped or held the packet."""
-        if self.latency:
-            self.clock.advance(self.latency)
-        verdict = self.faults.inspect(datagram, to_service=to_service)
+    def _pump(self, pending: PendingRpc, timeout: Optional[float]) -> None:
+        """Run runtime events until ``pending`` resolves.  Gives up —
+        without consuming unrelated far-future events — once nothing is
+        scheduled inside the timeout window."""
+        deadline = self.clock.now() + (
+            timeout if timeout is not None else self.rpc_timeout
+        )
+        while not pending.done:
+            next_at = self.runtime.next_time()
+            if next_at is None or next_at > deadline:
+                pending._fail(
+                    Unreachable(
+                        "request timed out: no reply within "
+                        f"{deadline - self.clock.now():.3f}s simulated"
+                    ),
+                    self.clock.now(),
+                )
+                break
+            self.runtime.step()
+
+    def _lost(self, datagram: Datagram, pending: PendingRpc) -> None:
+        """A request leg that will never reach its handler."""
+        if pending.one_way:
+            pending._resolve(None, self.clock.now())
+        else:
+            pending._fail(
+                Unreachable(
+                    f"no reply from {datagram.dst}:{datagram.dst_port} "
+                    "(request timed out)"
+                ),
+                self.clock.now(),
+            )
+
+    def _arrive(self, datagram: Datagram, pending: PendingRpc) -> None:
+        """The request leg lands: faults, taps, interceptors, then the
+        handler (possibly after jitter's extra delay)."""
+        verdict = self.faults.inspect(datagram, to_service=True)
         if verdict.drop_reason is not None:
             self.metrics.counter(
                 "net.drops_total", {"reason": verdict.drop_reason}
             ).inc()
-            return None
+            self._lost(datagram, pending)
+            return
         for tap in self._taps:
             tap(datagram)
         for interceptor in self._interceptors:
@@ -405,7 +568,8 @@ class Network:
                 self.metrics.counter(
                     "net.drops_total", {"reason": "intercepted"}
                 ).inc()
-                return None
+                self._lost(datagram, pending)
+                return
             datagram = result
         port = {"port": datagram.dst_port}
         self.metrics.counter("net.datagrams_total", port).inc()
@@ -413,14 +577,57 @@ class Network:
             len(datagram.payload)
         )
         if verdict.extra_delay:
-            self.clock.advance(verdict.extra_delay)
+            self.runtime.after(
+                verdict.extra_delay,
+                lambda: self._dispatch(datagram, verdict, pending),
+                label="net.jitter",
+            )
+        else:
+            self._dispatch(datagram, verdict, pending)
+
+    def _dispatch(
+        self, datagram: Datagram, verdict: Verdict, pending: PendingRpc
+    ) -> None:
+        """Hand the datagram to its bound service and route the reply."""
         if verdict.hold:
             # Parked in a reorder rule; it will arrive late (after a
             # successor) or never — to the sender, silence either way.
-            return None
-        return datagram, verdict
+            self._lost(datagram, pending)
+            return
+        try:
+            reply = self._handle_at_destination(datagram)
+        except NetworkError as exc:
+            pending._fail(exc, self.clock.now())
+            return
+        if verdict.duplicate:
+            # The wire delivered a second copy; the handler runs again
+            # and its reply goes nowhere (the caller keeps the first).
+            self.metrics.counter(
+                "net.duplicates_total", {"port": datagram.dst_port}
+            ).inc()
+            self._handle_discarding(datagram)
+        for held in verdict.release:
+            # A reordered predecessor finally arrives — long after its
+            # sender stopped listening, so its reply is discarded too.
+            self.metrics.counter(
+                "net.reordered_total", {"port": held.dst_port}
+            ).inc()
+            self._handle_discarding(held)
+        if isinstance(reply, DeferredReply):
+            reply._bind(lambda payload: self._queue_reply(datagram, payload, pending))
+        else:
+            self._queue_reply(datagram, reply, pending)
 
-    def _handle_at_destination(self, datagram: Datagram) -> Optional[bytes]:
+    def _handle_discarding(self, datagram: Datagram) -> None:
+        """Run the handler for a duplicate/late copy; discard its reply."""
+        try:
+            reply = self._handle_at_destination(datagram)
+        except NetworkError:
+            return
+        if isinstance(reply, DeferredReply):
+            reply._bind(lambda payload: None)
+
+    def _handle_at_destination(self, datagram: Datagram):
         """Hand a datagram that survived transit to its bound service."""
         host = self._hosts_by_addr.get(datagram.dst)
         if host is None or not host.up:
@@ -433,33 +640,76 @@ class Network:
             )
         return handler(datagram)
 
-    def _deliver(self, datagram: Datagram) -> Optional[bytes]:
-        result = self._transit(datagram, to_service=True)
-        if result is None:
-            return None
-        datagram, verdict = result
-        reply = self._handle_at_destination(datagram)
-        if verdict.duplicate:
-            # The wire delivered a second copy; the handler runs again
-            # and its reply goes nowhere (the caller keeps the first).
+    def _queue_reply(
+        self,
+        request: Datagram,
+        payload: Optional[bytes],
+        pending: PendingRpc,
+    ) -> None:
+        """Route a handler's answer: schedule the reply leg for RPCs,
+        resolve directly for one-way exchanges."""
+        if pending.one_way:
+            pending._resolve(payload, self.clock.now())
+            return
+        if payload is None:
+            pending._fail(
+                Unreachable(
+                    f"no reply from {request.dst}:{request.dst_port} "
+                    "(request timed out)"
+                ),
+                self.clock.now(),
+            )
+            return
+        reply = request.reply_with(payload)
+        self.runtime.after(
+            self.latency,
+            lambda: self._arrive_reply(reply, request, pending),
+            label="net.reply",
+        )
+
+    def _arrive_reply(
+        self, reply: Datagram, request: Datagram, pending: PendingRpc
+    ) -> None:
+        """The reply leg lands back at the caller."""
+        verdict = self.faults.inspect(reply, to_service=False)
+        if verdict.drop_reason is not None:
             self.metrics.counter(
-                "net.duplicates_total", {"port": datagram.dst_port}
+                "net.drops_total", {"reason": verdict.drop_reason}
             ).inc()
-            try:
-                self._handle_at_destination(datagram)
-            except NetworkError:
-                pass
-        for held in verdict.release:
-            # A reordered predecessor finally arrives — long after its
-            # sender stopped listening, so its reply is discarded too.
-            self.metrics.counter(
-                "net.reordered_total", {"port": held.dst_port}
-            ).inc()
-            try:
-                self._handle_at_destination(held)
-            except NetworkError:
-                pass
-        return reply
+            pending._fail(
+                Unreachable(
+                    f"reply from {request.dst}:{request.dst_port} was lost"
+                ),
+                self.clock.now(),
+            )
+            return
+        for tap in self._taps:
+            tap(reply)
+        for interceptor in self._interceptors:
+            result = interceptor(reply)
+            if result is None:
+                self.metrics.counter(
+                    "net.drops_total", {"reason": "intercepted"}
+                ).inc()
+                pending._fail(
+                    Unreachable(
+                        f"reply from {request.dst}:{request.dst_port} was lost"
+                    ),
+                    self.clock.now(),
+                )
+                return
+            reply = result
+        port = {"port": reply.dst_port}
+        self.metrics.counter("net.datagrams_total", port).inc()
+        self.metrics.counter("net.bytes_total", port).inc(len(reply.payload))
+        if verdict.extra_delay:
+            self.runtime.after(
+                verdict.extra_delay,
+                lambda: pending._resolve(reply.payload, self.clock.now()),
+                label="net.jitter",
+            )
+        else:
+            pending._resolve(reply.payload, self.clock.now())
 
     def reset_stats(self) -> None:
         """Zero the ``net.*`` traffic series (other metric families keep

@@ -32,7 +32,6 @@ from repro.database.db import KerberosDatabase
 from repro.database.schema import DEFAULT_MAX_LIFE
 from repro.kdbm.server import KdbmServer
 from repro.netsim import Host, IPAddress, Network
-from repro.netsim.ports import KPROP_PORT
 from repro.principal import Principal
 from repro.replication.kprop import Kprop
 from repro.replication.kpropd import Kpropd
@@ -67,11 +66,17 @@ class Realm:
         seed: bytes = b"realm-seed",
         n_slaves: int = 0,
         host_prefix: Optional[str] = None,
+        kdc_workers: Optional[int] = None,
+        kdc_queue=None,
     ) -> None:
         self.net = net
         self.name = name
         prefix = host_prefix if host_prefix is not None else name.split(".")[0].lower()
         self.keygen = KeyGenerator(seed=seed + name.encode())
+        #: Concurrent-service-loop sizing applied to every KDC in the
+        #: realm (master and slaves); None keeps the inline handler.
+        self.kdc_workers = kdc_workers
+        self.kdc_queue = kdc_queue
 
         # Mirror key-schedule cache traffic into this world's registry as
         # crypto.keyschedule_total{result=hit|miss} (idempotent per
@@ -87,7 +92,11 @@ class Realm:
         # Start the master's servers.
         self.master_host = net.add_host(f"{prefix}-kerberos")
         self.kdc = KerberosServer(
-            self.db, self.master_host, self.keygen.fork(b"kdc-master")
+            self.db,
+            self.master_host,
+            self.keygen.fork(b"kdc-master"),
+            workers=self.kdc_workers,
+            queue=self.kdc_queue,
         )
         self.kdbm = KdbmServer(self.db, self.acl, self.master_host)
 
@@ -107,7 +116,13 @@ class Realm:
     def add_slave(self, hostname: str) -> SlaveSite:
         host = self.net.add_host(hostname)
         slave_db = self.db.replica()
-        kdc = KerberosServer(slave_db, host, self.keygen.fork(hostname.encode()))
+        kdc = KerberosServer(
+            slave_db,
+            host,
+            self.keygen.fork(hostname.encode()),
+            workers=self.kdc_workers,
+            queue=self.kdc_queue,
+        )
         kpropd = Kpropd(slave_db, host)
         site = SlaveSite(host=host, db=slave_db, kdc=kdc, kpropd=kpropd)
         self.slaves.append(site)
@@ -235,7 +250,7 @@ class Realm:
         site.kdc.db = promoted_db
         site.db = promoted_db
         # The write-side services move to the new master.
-        site.host.unbind(KPROP_PORT)  # kpropd retires; this host now sends dumps
+        site.kpropd.detach()  # kpropd retires; this host now sends dumps
         self.db = promoted_db
         self.master_host = site.host
         self.kdc = site.kdc

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.service import Service
 from repro.database.db import DatabaseError, KerberosDatabase
 from repro.encode import DecodeError
 from repro.netsim import Host
@@ -18,28 +19,34 @@ from repro.netsim.ports import KPROP_PORT
 from repro.replication.messages import PropReply, PropTransfer
 
 
-class Kpropd:
+class Kpropd(Service):
     """Receives database dumps and applies verified ones."""
 
     def __init__(
         self,
         database: KerberosDatabase,
-        host: Host,
+        host: Optional[Host] = None,
         port: int = KPROP_PORT,
     ) -> None:
+        super().__init__()
         if not database.readonly:
             raise ValueError("kpropd feeds a read-only slave database copy")
         self.db = database
-        self.host = host
+        self.port = port
         self.last_update_time: Optional[float] = None
         self.rejection_log: List[str] = []
-        self.metrics = host.network.metrics
-        self._labels = {"slave": host.name}
+        self._maybe_attach(host)
+
+    def ports(self):
+        return {self.port: self._handle}
+
+    def on_attach(self) -> None:
+        self.metrics = self.host.network.metrics
+        self._labels = {"slave": self.host.name}
         for result in ("applied", "rejected"):
             self.metrics.counter(
                 "kpropd.updates_total", {**self._labels, "result": result}
             )
-        host.bind(port, self._handle)
 
     @property
     def updates_applied(self) -> int:

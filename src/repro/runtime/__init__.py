@@ -1,0 +1,27 @@
+"""Event-driven realm runtime.
+
+The discrete-event layer that makes the Section 9 deployment's
+concurrency modelable: a deterministic scheduler
+(:class:`EventScheduler`) over the simulated clock, and bounded
+batching worker pools (:class:`WorkQueue`) for busy services.
+
+:mod:`repro.netsim` owns one scheduler per :class:`~repro.netsim.
+network.Network` (``net.runtime``) and schedules every datagram leg on
+it; servers with a concurrent service loop (the KDC) queue arrivals
+into a :class:`WorkQueue` and answer from worker completions.
+"""
+
+from repro.runtime.scheduler import (
+    EventScheduler,
+    ScheduledEvent,
+    SchedulerError,
+)
+from repro.runtime.workqueue import WorkQueue, WorkQueueConfig
+
+__all__ = [
+    "EventScheduler",
+    "ScheduledEvent",
+    "SchedulerError",
+    "WorkQueue",
+    "WorkQueueConfig",
+]

@@ -10,11 +10,15 @@ are thin wrappers around this module.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.principal import Principal
+from repro.core.errors import ErrorCode
+from repro.core.messages import AsRequest, MessageType, decode_message, encode_message
+from repro.netsim.ports import KERBEROS_PORT
+from repro.principal import Principal, tgs_principal
 from repro.realm import Realm, Workstation
 
 
@@ -34,6 +38,23 @@ class WorkloadStats:
     @property
     def kdc_requests_per_use(self) -> float:
         return self.kdc_messages / self.service_uses if self.service_uses else 0.0
+
+
+@dataclass
+class BurstResult:
+    """Outcome of one open-loop :meth:`AthenaWorkload.login_burst`."""
+
+    posted: int = 0
+    completed: int = 0        # AS_REP came back
+    overloaded: int = 0       # typed KDC_OVERLOADED error reply
+    failed: int = 0           # anything else (lost, host down, ...)
+    makespan: float = 0.0     # sim-seconds from first arrival to drain
+    digest: str = ""          # order-sensitive run fingerprint
+
+    @property
+    def throughput(self) -> float:
+        """Completed logins per simulated second of busy hour."""
+        return self.completed / self.makespan if self.makespan else 0.0
 
 
 class AthenaWorkload:
@@ -152,6 +173,73 @@ class AthenaWorkload:
                 except Exception:
                     self._counter("failure").inc()
         return self._collect(baseline)
+
+    def login_burst(
+        self,
+        stations: List[Workstation],
+        window: float = 1.0,
+        address=None,
+    ) -> BurstResult:
+        """Open-loop 9-AM storm against **one** KDC: every station's AS
+        request is posted into a ``window``-second arrival burst via
+        :meth:`~repro.netsim.network.Host.rpc_async`, then the event
+        runtime drains.  Unlike :meth:`login_storm` (closed-loop: each
+        login completes before the next begins), arrivals here outpace
+        service — this is the driver that exposes queueing, worker-pool
+        scaling, and admission-control shedding at the Section 9 scale.
+
+        Returns a :class:`BurstResult`; its ``digest`` folds each
+        request's outcome and completion instant into one hash, so two
+        same-seed runs can be compared bit-for-bit.
+        """
+        net = self.realm.net
+        if address is None:
+            address = self.realm.master_host.address
+        start = net.clock.now()
+        pendings: List[Tuple[int, object]] = []
+        count = len(stations)
+        for i, ws in enumerate(stations):
+            username, _password = self.random_user()
+            client_principal = Principal(username, "", self.realm.name)
+            offset = (i / count) * window
+
+            def post(ws=ws, client_principal=client_principal) -> None:
+                request = AsRequest(
+                    client=client_principal,
+                    service=tgs_principal(self.realm.name),
+                    requested_life=3600.0,
+                    timestamp=ws.host.clock.now(),
+                )
+                wire = encode_message(MessageType.AS_REQ, request)
+                pendings.append(
+                    (len(pendings), ws.host.rpc_async(address, KERBEROS_PORT, wire))
+                )
+
+            net.runtime.at(start + offset, post, label="workload.login")
+        net.runtime.run_until_idle()
+
+        result = BurstResult(posted=count, makespan=net.clock.now() - start)
+        fingerprint = hashlib.sha256()
+        for index, pending in pendings:
+            outcome = "failed"
+            if pending.error is None and pending.reply is not None:
+                try:
+                    mtype, message = decode_message(pending.reply)
+                except Exception:
+                    mtype, message = None, None
+                if mtype == MessageType.AS_REP:
+                    outcome = "completed"
+                elif (
+                    mtype == MessageType.ERROR
+                    and message.code == ErrorCode.KDC_OVERLOADED
+                ):
+                    outcome = "overloaded"
+            setattr(result, outcome, getattr(result, outcome) + 1)
+            fingerprint.update(
+                f"{index}:{outcome}:{pending.resolved_at!r};".encode()
+            )
+        result.digest = fingerprint.hexdigest()
+        return result
 
     def busy_hour(
         self,

@@ -10,13 +10,15 @@ import pytest
 from repro.core import KerberosClient, KerberosServer, Principal
 from repro.crypto import KeyGenerator
 from repro.database.admin_tools import kdb_init, register_service
-from repro.netsim import Network, Unreachable
+from repro.netsim import Loss, Network, Unreachable
 
 REALM = "ATHENA.MIT.EDU"
 
 
 def build(loss_rate, seed=0, retries=3):
-    net = Network(loss_rate=loss_rate, seed=seed)
+    net = Network(seed=seed)
+    if loss_rate:
+        net.faults.add(Loss(loss_rate))
     gen = KeyGenerator(seed=b"lossy")
     db = kdb_init(REALM, "mpw", gen)
     db.add_principal(Principal("jis", "", REALM), password="pw")

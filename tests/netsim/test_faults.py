@@ -183,29 +183,24 @@ class TestCrashRestart:
             net.crash_host("server", downtime=0.0)
 
 
-class TestLossRateShim:
-    def test_constructor_knob_installs_a_rule(self):
-        net = Network(loss_rate=0.25)
-        assert net.loss_rate == 0.25
-        assert len(net.faults.rules("loss")) == 1
+class TestLossRule:
+    """The loss_rate constructor shim is gone; Loss rules are the API."""
 
-    def test_setter_replaces_the_rule(self):
-        net = Network(loss_rate=0.25)
-        net.loss_rate = 0.5
-        assert net.loss_rate == 0.5
-        assert len(net.faults.rules("loss")) == 1
-        net.loss_rate = 0.0
-        assert net.loss_rate == 0.0
-        assert len(net.faults.rules("loss")) == 0
+    def test_shim_removed(self):
+        with pytest.raises(TypeError):
+            Network(loss_rate=0.25)
+        assert not hasattr(Network(), "loss_rate")
 
-    def test_setter_validates(self):
+    def test_rule_add_and_remove(self):
         net = Network()
-        with pytest.raises(ValueError):
-            net.loss_rate = 1.0
+        rule = net.faults.add(Loss(0.25))
+        assert len(net.faults.rules("loss")) == 1
+        net.faults.remove(rule)
+        assert len(net.faults.rules("loss")) == 0
 
     def test_drops_counted_with_loss_reason(self):
         net, server, client, _ = world(seed=7)
-        net.loss_rate = 0.999999
+        net.faults.add(Loss(0.999999))
         with pytest.raises(Unreachable):
             client.rpc(server.address, 7, b"x")
         assert net.metrics.total("net.drops_total", reason="loss") >= 1

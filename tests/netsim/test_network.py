@@ -4,7 +4,9 @@ import pytest
 
 from repro.netsim import (
     Datagram,
+    FaultError,
     IPAddress,
+    Loss,
     Network,
     NoSuchService,
     SimClock,
@@ -169,15 +171,16 @@ class TestLatencyAndLoss:
         assert net.clock.now() == pytest.approx(0.010)
 
     def test_loss_causes_unreachable(self):
-        net = Network(loss_rate=0.999999, seed=7)
+        net = Network(seed=7)
+        net.faults.add(Loss(0.999999))
         server = net.add_host("s")
         server.bind(1, lambda d: b"ok")
         client = net.add_host("c")
         with pytest.raises(Unreachable):
             client.rpc(server.address, 1, b"x")
 
-    def test_zero_loss_reliable(self):
-        net = Network(loss_rate=0.0)
+    def test_no_loss_rule_reliable(self):
+        net = Network()
         server = net.add_host("s")
         server.bind(1, lambda d: b"ok")
         client = net.add_host("c")
@@ -185,12 +188,13 @@ class TestLatencyAndLoss:
             assert client.rpc(server.address, 1, b"x") == b"ok"
 
     def test_invalid_loss_rate(self):
-        with pytest.raises(ValueError):
-            Network(loss_rate=1.0)
+        with pytest.raises(FaultError):
+            Loss(1.5)
 
     def test_loss_is_deterministic_per_seed(self):
         def run(seed):
-            net = Network(loss_rate=0.5, seed=seed)
+            net = Network(seed=seed)
+            net.faults.add(Loss(0.5))
             server = net.add_host("s")
             server.bind(1, lambda d: b"ok")
             client = net.add_host("c")
