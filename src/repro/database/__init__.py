@@ -29,6 +29,7 @@ from repro.database.db import (
     PrincipalExists,
     ReadOnlyDatabase,
 )
+from repro.database.journal import JournalEntry, UpdateJournal
 from repro.database.masterkey import MasterKey
 from repro.database.schema import DEFAULT_MAX_LIFE, PrincipalRecord
 from repro.database.sqlstore import SqliteStore
@@ -39,6 +40,7 @@ __all__ = [
     "DatabaseError",
     "DEFAULT_MAX_LIFE",
     "FileStore",
+    "JournalEntry",
     "KerberosDatabase",
     "MasterKey",
     "MemoryStore",
@@ -48,4 +50,5 @@ __all__ = [
     "ReadOnlyDatabase",
     "RecordStore",
     "SqliteStore",
+    "UpdateJournal",
 ]

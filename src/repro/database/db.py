@@ -22,6 +22,14 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.crypto import DesKey, keycache, string_to_key
+from repro.database.journal import (
+    DEFAULT_JOURNAL_LIMIT,
+    JournalEntry,
+    OP_DELETE,
+    OP_PUT,
+    UpdateJournal,
+    default_epoch,
+)
 from repro.database.masterkey import MasterKey, MasterKeyError
 from repro.database.schema import (
     DEFAULT_EXPIRATION_DELTA,
@@ -38,7 +46,9 @@ MASTER_VERIFY_KEY = "K.M"
 #: Decoded :class:`PrincipalRecord` objects each database keeps around.
 RECORD_CACHE_SIZE = 4096
 
-_DUMP_MAGIC = b"KDBDUMP1"
+#: Dump format v2: v1 plus the journal position (epoch, seq) the dump
+#: captures, so a slave loading it knows where delta catch-up resumes.
+_DUMP_MAGIC = b"KDBDUMP2"
 
 
 class DatabaseError(Exception):
@@ -68,6 +78,8 @@ class KerberosDatabase:
         master_key: MasterKey,
         store: Optional[RecordStore] = None,
         readonly: bool = False,
+        journal_epoch: Optional[int] = None,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
     ) -> None:
         if not realm:
             raise ValueError("realm must not be empty")
@@ -76,6 +88,23 @@ class KerberosDatabase:
         self.store = store if store is not None else MemoryStore()
         self.readonly = readonly
         self._record_cache = keycache._LruCache(RECORD_CACHE_SIZE)
+        # Writable (master) databases journal every mutation for delta
+        # propagation; read-only copies instead track the journal
+        # position they have applied up to (fed by load_dump/apply_entries).
+        self.journal: Optional[UpdateJournal] = (
+            None
+            if readonly
+            else UpdateJournal(
+                epoch=(
+                    journal_epoch
+                    if journal_epoch is not None
+                    else default_epoch(realm)
+                ),
+                limit=journal_limit,
+            )
+        )
+        self.loaded_epoch: Optional[int] = None
+        self.loaded_seq: int = 0
         if len(self.store) == 0 and not readonly:
             self._install_verifier()
         elif len(self.store) > 0:
@@ -96,7 +125,7 @@ class KerberosDatabase:
             mod_time=0.0,
             mod_by="kdb_init",
         )
-        self.store.put(MASTER_VERIFY_KEY, record.to_bytes())
+        self._journal_put(MASTER_VERIFY_KEY, record.to_bytes(), now=0.0)
 
     def verify_master_key(self) -> None:
         """Check the K.M record opens under our master key."""
@@ -110,6 +139,26 @@ class KerberosDatabase:
             raise DatabaseError(f"master key verification failed: {exc}") from exc
         if recovered != self.master_key.des_key:
             raise DatabaseError("master key verification failed: key mismatch")
+
+    # -- the journaled store API -------------------------------------------------
+    #
+    # Every principal-record mutation on a writable database goes through
+    # these two helpers, which append to the update journal *and* write
+    # the store.  They are the only sanctioned mutation path (an AST lint
+    # bans direct store mutation outside this package), which is what
+    # makes the journal a complete record — the precondition for delta
+    # propagation being equivalent to a full dump.
+
+    def _journal_put(self, key: str, value: bytes, now: float) -> None:
+        if self.journal is not None:
+            self.journal.append(OP_PUT, key, value, now)
+        self.store.put(key, value)
+
+    def _journal_delete(self, key: str, now: float) -> bool:
+        existed = self.store.delete(key)
+        if existed and self.journal is not None:
+            self.journal.append(OP_DELETE, key, b"", now)
+        return existed
 
     # -- guards ----------------------------------------------------------------
 
@@ -219,7 +268,7 @@ class KerberosDatabase:
             mod_time=now,
             mod_by=mod_by,
         )
-        self.store.put(principal.db_key(), record.to_bytes())
+        self._journal_put(principal.db_key(), record.to_bytes(), now=now)
         return record
 
     def change_key(
@@ -243,7 +292,7 @@ class KerberosDatabase:
             mod_time=now,
             mod_by=mod_by,
         )
-        self.store.put(principal.db_key(), updated.to_bytes())
+        self._journal_put(principal.db_key(), updated.to_bytes(), now=now)
         return updated
 
     def set_attributes(
@@ -255,7 +304,7 @@ class KerberosDatabase:
         updated = record.replace(
             attributes=attributes, mod_time=now, mod_by=mod_by
         )
-        self.store.put(principal.db_key(), updated.to_bytes())
+        self._journal_put(principal.db_key(), updated.to_bytes(), now=now)
         return updated
 
     def set_max_life(
@@ -267,13 +316,13 @@ class KerberosDatabase:
         self._writable()
         record = self.get_record(principal)
         updated = record.replace(max_life=max_life, mod_time=now, mod_by=mod_by)
-        self.store.put(principal.db_key(), updated.to_bytes())
+        self._journal_put(principal.db_key(), updated.to_bytes(), now=now)
         return updated
 
-    def delete_principal(self, principal: Principal) -> None:
+    def delete_principal(self, principal: Principal, now: float = 0.0) -> None:
         self._writable()
         self._local(principal)
-        if not self.store.delete(principal.db_key()):
+        if not self._journal_delete(principal.db_key(), now=now):
             raise NoSuchPrincipal(f"no principal {principal} in {self.realm}")
 
     # -- dump / load (Figure 13) -----------------------------------------------------
@@ -281,11 +330,21 @@ class KerberosDatabase:
     def dump(self, now: float = 0.0) -> bytes:
         """Serialize the entire database ("The database is sent, in its
         entirety, to the slave machines").  Keys inside are already sealed
-        under the master key, so the dump is eavesdropper-safe."""
+        under the master key, so the dump is eavesdropper-safe.
+
+        The header carries the journal position ``(epoch, seq)`` the dump
+        captures — the checkpoint a slave resumes delta catch-up from.
+        """
         enc = Encoder()
         enc.raw(_DUMP_MAGIC)
         enc.string(self.realm)
         enc.f64(now)
+        if self.journal is not None:
+            enc.u64(self.journal.epoch).u64(self.journal.last_seq)
+        else:
+            # A replica re-dumping (promotion drills): carry the position
+            # it last applied, so its own downstream stays consistent.
+            enc.u64(self.loaded_epoch or 0).u64(self.loaded_seq)
         entries = list(self.store.items())
         enc.u32(len(entries))
         for key, value in entries:
@@ -297,19 +356,23 @@ class KerberosDatabase:
         """Replace the database contents from a dump (slave update).
 
         Bypasses the read-only guard deliberately: propagation is the one
-        sanctioned way slave contents change.  Returns the record count.
+        sanctioned way slave contents change.  Returns the record count;
+        ``loaded_epoch``/``loaded_seq`` record the journal position the
+        dump captured, from which delta catch-up resumes.
         """
         dec = Decoder(data)
-        if dec.raw(len(_DUMP_MAGIC)) != _DUMP_MAGIC:
-            raise DatabaseError("not a Kerberos database dump")
-        realm = dec.string()
-        if realm != self.realm:
-            raise DatabaseError(
-                f"dump is for realm {realm!r}, this database is {self.realm!r}"
-            )
-        self.dump_time = dec.f64()
-        count = dec.u32()
         try:
+            if dec.raw(len(_DUMP_MAGIC)) != _DUMP_MAGIC:
+                raise DatabaseError("not a Kerberos database dump")
+            realm = dec.string()
+            if realm != self.realm:
+                raise DatabaseError(
+                    f"dump is for realm {realm!r}, this database is {self.realm!r}"
+                )
+            dump_time = dec.f64()
+            epoch = dec.u64()
+            seq = dec.u64()
+            count = dec.u32()
             entries = [(dec.string(), dec.bytes_()) for _ in range(count)]
             dec.expect_eof()
         except DecodeError as exc:
@@ -318,7 +381,32 @@ class KerberosDatabase:
         for key, value in entries:
             self.store.put(key, value)
         self.verify_master_key()
+        self.dump_time = dump_time
+        self.loaded_epoch = epoch
+        self.loaded_seq = seq
         return count
+
+    def apply_entries(self, entries: List[JournalEntry]) -> int:
+        """Apply journal entries to a slave copy (delta update).
+
+        Like :meth:`load_dump`, this deliberately bypasses the read-only
+        guard: delta propagation is the other sanctioned way slave
+        contents change.  The caller (kpropd) is responsible for checksum
+        verification and gap/epoch checking *before* applying; this
+        method only replays.  Returns the number of entries applied and
+        advances ``loaded_seq``.
+        """
+        applied = 0
+        for entry in entries:
+            if entry.op == OP_PUT:
+                self.store.put(entry.key, entry.value)
+            elif entry.op == OP_DELETE:
+                self.store.delete(entry.key)
+            else:
+                raise DatabaseError(f"unknown journal opcode {entry.op}")
+            self.loaded_seq = entry.seq
+            applied += 1
+        return applied
 
     def replica(self, store: Optional[RecordStore] = None) -> "KerberosDatabase":
         """Create an empty read-only copy for a slave machine, then feed it
@@ -329,4 +417,7 @@ class KerberosDatabase:
         slave.store = store if store is not None else MemoryStore()
         slave.readonly = True
         slave._record_cache = keycache._LruCache(RECORD_CACHE_SIZE)
+        slave.journal = None
+        slave.loaded_epoch = None
+        slave.loaded_seq = 0
         return slave

@@ -25,7 +25,9 @@ kind        Python type
 ``bytes``   bytes (length-prefixed)
 ``string``  str (UTF-8, length-prefixed)
 a class     nested :class:`WireStruct` subclass
-``list:K``  list of kind ``K`` (u32 count prefix)
+``list:K``  list of scalar kind ``K`` (u32 count prefix)
+(list, K)   list of any kind ``K`` — including a
+            :class:`WireStruct` subclass (u32 count prefix)
 ==========  ==========================================
 """
 
@@ -71,6 +73,13 @@ _SCALAR_DECODERS = {
 
 
 def _encode_value(enc: Encoder, kind: Any, value: Any) -> None:
+    if isinstance(kind, tuple) and len(kind) == 2 and kind[0] == "list":
+        if not isinstance(value, (list, tuple)):
+            raise EncodeError(f"expected list, got {type(value).__name__}")
+        enc.u32(len(value))
+        for item in value:
+            _encode_value(enc, kind[1], item)
+        return
     if isinstance(kind, str):
         if kind.startswith("list:"):
             inner = kind[len("list:"):]
@@ -97,6 +106,11 @@ def _encode_value(enc: Encoder, kind: Any, value: Any) -> None:
 
 
 def _decode_value(dec: Decoder, kind: Any) -> Any:
+    if isinstance(kind, tuple) and len(kind) == 2 and kind[0] == "list":
+        count = dec.u32()
+        if count > dec.remaining():
+            raise DecodeError(f"list count {count} exceeds remaining bytes")
+        return [_decode_value(dec, kind[1]) for _ in range(count)]
     if isinstance(kind, str):
         if kind.startswith("list:"):
             inner = kind[len("list:"):]

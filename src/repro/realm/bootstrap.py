@@ -29,6 +29,7 @@ from repro.database.admin_tools import (
     register_service,
 )
 from repro.database.db import KerberosDatabase
+from repro.database.journal import default_epoch
 from repro.database.schema import DEFAULT_MAX_LIFE
 from repro.kdbm.server import KdbmServer
 from repro.netsim import Host, IPAddress, Network
@@ -88,6 +89,10 @@ class Realm:
             name, master_password, self.keygen, now=net.clock.now()
         )
         self.acl = AccessControlList()
+        #: Bumped on slave promotion so the new master's update journal
+        #: starts a fresh epoch — slaves then take a full dump rather
+        #: than mistaking the new history for the old one.
+        self._master_generation = 0
 
         # Start the master's servers.
         self.master_host = net.add_host(f"{prefix}-kerberos")
@@ -224,9 +229,11 @@ class Realm:
 
     # -- operations ------------------------------------------------------------------
 
-    def propagate(self):
-        """Run one kprop round to all slaves (Figure 13)."""
-        return self.kprop.propagate()
+    def propagate(self, full: bool = False):
+        """Run one kprop round to all slaves: deltas where the journal
+        can supply them, full Figure 13 dumps otherwise (``full=True``
+        forces full dumps everywhere)."""
+        return self.kprop.propagate(full=full)
 
     def promote_slave(self, index: int = 0) -> SlaveSite:
         """Disaster recovery: turn a slave into the new master.
@@ -244,8 +251,14 @@ class Realm:
         """
         site = self.slaves.pop(index)
         # Reopen the slave's store read-write under the same master key.
+        # The promoted journal starts a new epoch: its sequence numbers
+        # are not a continuation of the lost master's.
+        self._master_generation += 1
         promoted_db = KerberosDatabase(
-            self.name, self.db.master_key, store=site.db.store
+            self.name,
+            self.db.master_key,
+            store=site.db.store,
+            journal_epoch=default_epoch(self.name, self._master_generation),
         )
         site.kdc.db = promoted_db
         site.db = promoted_db
@@ -262,10 +275,16 @@ class Realm:
         return site
 
     def schedule_propagation(self, interval: Optional[float] = None) -> None:
+        """The paper's cadence: periodic full dumps (hourly by default)."""
         if interval is None:
             self.kprop.schedule_hourly()
         else:
             self.kprop.schedule_hourly(interval=interval)
+
+    def schedule_incremental(self, interval: float = 30.0) -> None:
+        """The fast cadence: delta rounds every ``interval`` seconds,
+        alongside (not instead of) the hourly full dump."""
+        self.kprop.schedule_incremental(interval=interval)
 
 
 def link(realm_a: Realm, realm_b: Realm, now: Optional[float] = None) -> DesKey:

@@ -13,5 +13,29 @@ information is used to update the slave's database."*
 
 from repro.replication.kprop import Kprop, PropagationResult
 from repro.replication.kpropd import Kpropd
+from repro.replication.messages import (
+    DeltaBody,
+    DeltaReply,
+    DeltaStatus,
+    DeltaTransfer,
+    PropKind,
+    PropReply,
+    PropTransfer,
+    decode_prop_message,
+    encode_prop_message,
+)
 
-__all__ = ["Kprop", "Kpropd", "PropagationResult"]
+__all__ = [
+    "DeltaBody",
+    "DeltaReply",
+    "DeltaStatus",
+    "DeltaTransfer",
+    "Kprop",
+    "Kpropd",
+    "PropagationResult",
+    "PropKind",
+    "PropReply",
+    "PropTransfer",
+    "decode_prop_message",
+    "encode_prop_message",
+]

@@ -1,16 +1,29 @@
-"""kprop: the master-side propagation program (paper Figure 13).
+"""kprop: the master-side propagation program (paper Figure 13, plus deltas).
 
 The administrator "must arrange that the programs to propagate database
-updates from master to slaves be kicked off periodically" (Section 6.3);
-:meth:`Kprop.schedule_hourly` wires that to the simulated clock at the
-paper's stated cadence ("The master database is dumped every hour").
+updates from master to slaves be kicked off periodically" (Section 6.3).
+Two cadences coexist:
+
+* :meth:`Kprop.schedule_hourly` — the paper's hourly *full* dump
+  ("The master database is dumped every hour"), kept as the safety net
+  and the catch-up path;
+* :meth:`Kprop.schedule_incremental` — a fast cadence (seconds) that
+  ships only the journal entries each slave has not yet applied,
+  shrinking the slave-staleness window from "up to an hour" to the
+  incremental interval at a per-round cost proportional to churn, not
+  database size.
+
+The master keeps a per-slave high-water mark ``(epoch, seq)``;
+:meth:`propagate` chooses full vs. delta per slave and falls back to a
+full dump whenever the slave answers ``NEED_FULL`` (gap, epoch mismatch,
+crash-restart) or the journal has compacted past the slave's position.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.retry import RetryExhausted, RetryPolicy, run_with_failover
 from repro.database.db import KerberosDatabase
@@ -18,7 +31,16 @@ from repro.netsim import Host, IPAddress, NetworkError
 from repro.netsim.clock import HOUR
 from repro.netsim.ports import KPROP_PORT
 from repro.obs import LATENCY_BUCKETS
-from repro.replication.messages import PropReply, PropTransfer
+from repro.replication.messages import (
+    DeltaBody,
+    DeltaReply,
+    DeltaStatus,
+    DeltaTransfer,
+    PropKind,
+    PropReply,
+    PropTransfer,
+    encode_prop_message,
+)
 
 
 @dataclass
@@ -29,14 +51,26 @@ class PropagationResult:
     attempted: int
     succeeded: int
     failures: Dict[str, str] = dc_field(default_factory=dict)
+    #: Per-slave transfer mode this round: "full", "delta", or
+    #: "delta+full" (a delta was refused and a full dump followed).
+    modes: Dict[str, str] = dc_field(default_factory=dict)
 
     @property
     def all_ok(self) -> bool:
         return self.succeeded == self.attempted
 
+    @property
+    def deltas(self) -> int:
+        return sum(1 for m in self.modes.values() if m == "delta")
+
+    @property
+    def fulls(self) -> int:
+        return sum(1 for m in self.modes.values() if m != "delta")
+
 
 class Kprop:
-    """Dumps the master database and pushes it to every slave."""
+    """Pushes the master database to every slave — in full (Figure 13)
+    or as journal deltas, per slave."""
 
     def __init__(
         self,
@@ -55,6 +89,14 @@ class Kprop:
         self.history: List[PropagationResult] = []
         self.metrics = host.network.metrics
         self.tracer = host.network.tracer
+        #: Per-slave applied position ``(epoch, seq)`` as last reported;
+        #: absent until the first successful full dump.
+        self.high_water: Dict[IPAddress, Tuple[int, int]] = {}
+        #: Per-slave ``applied_time`` from the last successful transfer
+        #: (the slave's own clock reading) — the basis of the
+        #: ``repl.slave_lag_seconds`` gauge, so master and slave agree
+        #: on one staleness definition.
+        self.last_applied_time: Dict[IPAddress, float] = {}
         #: One attempt per slave per round by default (the historical
         #: behaviour: a missed slave simply catches up next hour); a
         #: policy adds per-transfer retransmission on lossy links.
@@ -68,68 +110,197 @@ class Kprop:
     def add_slave(self, address) -> None:
         self.slaves.append(IPAddress(address))
 
-    def propagate(self) -> PropagationResult:
-        """One round: dump, checksum under the master key, send to each
-        slave, collect outcomes.  A dead slave does not block the others
-        (it simply misses this round and catches up on the next)."""
+    # -- rounds -----------------------------------------------------------
+
+    def propagate(self, full: bool = False) -> PropagationResult:
+        """One round: choose full vs. delta per slave, send, collect
+        outcomes.  A dead slave does not block the others (it simply
+        misses this round and catches up on the next).  ``full=True``
+        forces the Figure 13 full dump to every slave (the hourly
+        safety-net cadence)."""
         with self.tracer.span(
             "kprop.round", master=self.host.name, slaves=len(self.slaves)
         ) as span:
-            result = self._propagate_inner()
+            result = self._propagate_inner(force_full=full)
         self.metrics.histogram(
             "kprop.round_seconds", LATENCY_BUCKETS,
             {"master": self.host.name},
         ).observe(span.duration)
         return result
 
-    def _propagate_inner(self) -> PropagationResult:
+    def _propagate_inner(self, force_full: bool) -> PropagationResult:
         now = self.host.clock.now()
-        dump = self.db.dump(now=now)
-        transfer = PropTransfer(
-            checksum=self.db.master_key.checksum(dump),
-            dump=dump,
-        ).to_bytes()
         labels = {"master": self.host.name}
         self.metrics.counter("kprop.rounds_total", labels).inc()
+        # The full transfer is built lazily, once per round, and shared
+        # by every slave that needs it.
+        full_wire: Optional[bytes] = None
+
+        def full_transfer() -> bytes:
+            nonlocal full_wire
+            if full_wire is None:
+                dump = self.db.dump(now=now)
+                full_wire = encode_prop_message(
+                    PropKind.FULL,
+                    PropTransfer(
+                        checksum=self.db.master_key.checksum(dump), dump=dump
+                    ),
+                )
+            return full_wire
 
         result = PropagationResult(time=now, attempted=len(self.slaves), succeeded=0)
         for address in self.slaves:
+            delta_wire = (
+                None if force_full else self._delta_wire_for(address, now)
+            )
             try:
-                raw, _, _ = run_with_failover(
-                    self.retry_policy,
-                    self.host.clock,
-                    [address],
-                    lambda addr: self.host.rpc(addr, self.port, transfer),
-                    rng=self._retry_rng,
-                    metrics=self.metrics,
-                    op="kprop",
-                    retry_on=(NetworkError,),
-                )
-                reply = PropReply.from_bytes(raw)
+                if delta_wire is not None:
+                    ok = self._send_delta(address, delta_wire, result, labels)
+                    if ok is None:  # NEED_FULL: fall back within the round
+                        result.modes[str(address)] = "delta+full"
+                        self._send_full(address, full_transfer(), result, labels)
+                else:
+                    result.modes[str(address)] = "full"
+                    self._send_full(address, full_transfer(), result, labels)
             except RetryExhausted as exc:
                 result.failures[str(address)] = f"unreachable: {exc.last_error}"
                 self.metrics.counter(
                     "kprop.transfers_total",
                     {**labels, "result": "unreachable"},
                 ).inc()
-                continue
-            self.metrics.counter("kprop.bytes_total", labels).inc(
-                len(transfer)
+            self._update_lag_gauge(address, now)
+        if self.db.journal is not None:
+            self.metrics.gauge("repl.journal_depth", labels).set(
+                self.db.journal.depth()
             )
-            if reply.ok:
-                result.succeeded += 1
-                self.metrics.counter(
-                    "kprop.transfers_total", {**labels, "result": "ok"}
-                ).inc()
-            else:
-                result.failures[str(address)] = reply.text
-                self.metrics.counter(
-                    "kprop.transfers_total", {**labels, "result": "rejected"}
-                ).inc()
         self.history.append(result)
         return result
 
+    # -- per-slave transfers ----------------------------------------------
+
+    def _delta_wire_for(self, address: IPAddress, now: float) -> Optional[bytes]:
+        """The encoded delta for one slave, or None when only a full dump
+        can serve it (no high-water mark, epoch moved on, or the journal
+        compacted past its position)."""
+        journal = self.db.journal
+        if journal is None:
+            return None
+        mark = self.high_water.get(address)
+        if mark is None or mark[0] != journal.epoch:
+            return None
+        entries = journal.entries_since(mark[1])
+        if entries is None:
+            return None
+        body = DeltaBody(
+            epoch=journal.epoch,
+            from_seq=mark[1],
+            to_seq=entries[-1].seq if entries else mark[1],
+            time=now,
+            entries=entries,
+        ).to_bytes()
+        return encode_prop_message(
+            PropKind.DELTA,
+            DeltaTransfer(checksum=self.db.master_key.checksum(body), body=body),
+        )
+
+    def _rpc(self, address: IPAddress, wire: bytes) -> bytes:
+        raw, _, _ = run_with_failover(
+            self.retry_policy,
+            self.host.clock,
+            [address],
+            lambda addr: self.host.rpc(addr, self.port, wire),
+            rng=self._retry_rng,
+            metrics=self.metrics,
+            op="kprop",
+            retry_on=(NetworkError,),
+        )
+        return raw
+
+    def _send_delta(
+        self,
+        address: IPAddress,
+        wire: bytes,
+        result: PropagationResult,
+        labels: Dict[str, str],
+    ) -> Optional[bool]:
+        """Returns True on success, None when the slave wants a full
+        dump, and records a failure otherwise."""
+        reply = DeltaReply.from_bytes(self._rpc(address, wire))
+        status = DeltaStatus(reply.status)
+        if status == DeltaStatus.NEED_FULL:
+            self.high_water.pop(address, None)
+            self.metrics.counter(
+                "repl.delta_fallbacks_total", labels
+            ).inc()
+            return None
+        if status == DeltaStatus.REJECTED:
+            result.modes[str(address)] = "delta"
+            result.failures[str(address)] = reply.text
+            self.metrics.counter(
+                "kprop.transfers_total", {**labels, "result": "rejected"}
+            ).inc()
+            return False
+        result.modes[str(address)] = "delta"
+        result.succeeded += 1
+        self.high_water[address] = (self.db.journal.epoch, reply.applied_seq)
+        self.last_applied_time[address] = reply.applied_time
+        self.metrics.counter("repl.delta_bytes_total", labels).inc(len(wire))
+        self.metrics.counter("kprop.bytes_total", labels).inc(len(wire))
+        self.metrics.counter(
+            "kprop.transfers_total", {**labels, "result": "ok"}
+        ).inc()
+        return True
+
+    def _send_full(
+        self,
+        address: IPAddress,
+        wire: bytes,
+        result: PropagationResult,
+        labels: Dict[str, str],
+    ) -> bool:
+        reply = PropReply.from_bytes(self._rpc(address, wire))
+        self.metrics.counter("kprop.bytes_total", labels).inc(len(wire))
+        self.metrics.counter("repl.full_dumps_total", labels).inc()
+        if not reply.ok:
+            result.failures[str(address)] = reply.text
+            self.metrics.counter(
+                "kprop.transfers_total", {**labels, "result": "rejected"}
+            ).inc()
+            return False
+        result.succeeded += 1
+        journal = self.db.journal
+        if journal is not None:
+            self.high_water[address] = (journal.epoch, journal.last_seq)
+        self.last_applied_time[address] = reply.applied_time
+        self.metrics.counter(
+            "kprop.transfers_total", {**labels, "result": "ok"}
+        ).inc()
+        return True
+
+    def _update_lag_gauge(self, address: IPAddress, now: float) -> None:
+        """``repl.slave_lag_seconds``: sim-clock time since this slave's
+        last *applied* update, by the slave's own report — the same
+        definition as :meth:`Kpropd.staleness`.  Unset until the slave
+        has applied at least once."""
+        applied = self.last_applied_time.get(address)
+        if applied is not None:
+            self.metrics.gauge(
+                "repl.slave_lag_seconds",
+                {"master": self.host.name, "slave": str(address)},
+            ).set(now - applied)
+
+    # -- cadences ---------------------------------------------------------
+
     def schedule_hourly(self, interval: float = HOUR) -> None:
-        """Kick off propagation every ``interval`` seconds of simulated
-        time (the paper's hourly dump)."""
+        """Kick off a *full-dump* round every ``interval`` seconds of
+        simulated time (the paper's hourly dump — kept as the safety
+        net under incremental propagation)."""
+        self.host.clock.reference.call_every(
+            interval, lambda: self.propagate(full=True)
+        )
+
+    def schedule_incremental(self, interval: float = 30.0) -> None:
+        """Kick off an incremental round every ``interval`` seconds:
+        deltas for slaves that are current, full dumps for ones that
+        are not.  Run alongside :meth:`schedule_hourly`."""
         self.host.clock.reference.call_every(interval, self.propagate)

@@ -29,6 +29,7 @@ MODULES = [
     "repro.apps.register",
     "repro.apps.nfs.protocol",
     "repro.database.schema",
+    "repro.database.journal",
     "repro.principal",
 ]
 
@@ -73,6 +74,8 @@ _SCALARS = {
 
 
 def strategy_for(kind):
+    if isinstance(kind, tuple) and len(kind) == 2 and kind[0] == "list":
+        return st.lists(strategy_for(kind[1]), max_size=4)
     if isinstance(kind, str):
         if kind.startswith("list:"):
             return st.lists(strategy_for(kind[5:]), max_size=4)

@@ -1,0 +1,338 @@
+"""Frozen byte-exact encodings of every protocol message (Figures 2-13).
+
+The property tests in :mod:`tests.encode.test_all_wire_structs` prove
+that encoders and decoders agree with *each other*; they cannot notice a
+change that breaks both sides symmetrically (reordered fields, a widened
+integer, a different length prefix).  These vectors pin the wire bytes
+themselves: every message of the paper's figures, built from fixed
+inputs with the deterministic crypto, compared hex-for-hex against
+fixtures checked into ``golden_vectors.json``.
+
+A vector failing means the wire format changed.  If the change is
+intentional (a protocol revision), regenerate the fixtures::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python tests/encode/test_golden_vectors.py
+
+and review the diff of ``golden_vectors.json`` in the same commit as the
+format change.  Without the environment flag the script refuses to
+write, so fixtures cannot be clobbered by accident.
+
+Mutation smoke-check (run by hand when touching this suite): swapping
+the ``timestamp``/``life`` fields of ``Ticket.FIELDS`` fails the
+``fig3_*`` vectors, every vector embedding a sealed ticket, and
+``test_builds_are_decodable``; changing ``PropKind.DELTA`` to 3 fails
+``fig13_delta_envelope``; adding a field to ``Authenticator`` turns the
+suite red at vector construction.  Each perturbation was verified to
+fail this suite while the round-trip fuzz suite stayed green on the
+same mutant — exactly the gap these vectors exist to close.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.authenticator import Authenticator, build_authenticator
+from repro.core.messages import (
+    ApReply,
+    ApRequest,
+    AsRequest,
+    ErrorReply,
+    KdcReply,
+    KdcReplyBody,
+    PreauthAsRequest,
+    TgsRequest,
+    build_preauth,
+)
+from repro.core.safe_priv import krb_mk_priv, krb_mk_safe
+from repro.core.ticket import Ticket, seal_ticket
+from repro.crypto import cbc_mac, string_to_key
+from repro.database import KerberosDatabase, MasterKey
+from repro.database.journal import OP_DELETE, OP_PUT, JournalEntry, default_epoch
+from repro.database.schema import PrincipalRecord
+from repro.kdbm.messages import (
+    AdminOperation,
+    AdminReplyBody,
+    AdminRequestBody,
+    KdbmRequest,
+)
+from repro.netsim import IPAddress
+from repro.principal import Principal
+from repro.replication.messages import (
+    DeltaBody,
+    DeltaReply,
+    DeltaStatus,
+    DeltaTransfer,
+    PropKind,
+    PropReply,
+    PropTransfer,
+    encode_prop_message,
+)
+
+FIXTURE_PATH = Path(__file__).with_name("golden_vectors.json")
+
+# -- fixed inputs (never change these: the vectors derive from them) ----------
+
+REALM = "ATHENA.MIT.EDU"
+USER = Principal("jis", "", REALM)
+TGS = Principal("krbtgt", REALM, REALM)
+SERVICE = Principal("rlogin", "priam", REALM)
+ADMIN_SERVER = Principal("changepw", "kerberos", REALM)
+
+K_USER = string_to_key("golden-user-pw")
+K_SERVICE = string_to_key("golden-service-pw")
+K_TGS = string_to_key("golden-tgs-pw")
+K_SESSION = string_to_key("golden-session")
+
+WS_ADDR = IPAddress("18.72.0.15")
+T0 = 1000.0
+LIFE = 5 * 3600.0
+
+
+def _ticket() -> Ticket:
+    return Ticket(
+        server=SERVICE,
+        client=USER,
+        address=WS_ADDR.as_int,
+        timestamp=T0,
+        life=LIFE,
+        session_key=K_SESSION.key_bytes,
+    )
+
+
+def _golden_db() -> KerberosDatabase:
+    db = KerberosDatabase(REALM, MasterKey.from_password("golden-master"))
+    db.add_principal(USER, password="golden-user-pw", now=T0)
+    db.add_principal(SERVICE, key=K_SERVICE, now=T0 + 1)
+    return db
+
+
+def build_vectors() -> dict:
+    """Every Figure 2-13 message, from fixed inputs.  Deterministic:
+    ``seal``/``cbc_mac`` use no randomness, and keys derive from fixed
+    passwords."""
+    vectors = {}
+
+    def add(name, encoded):
+        vectors[name] = bytes(encoded).hex()
+
+    # Figure 2: the database record (one row, key sealed in the master key).
+    db = _golden_db()
+    add("fig2_principal_record", db.store.get("jis"))
+    add(
+        "fig2_record_struct",
+        PrincipalRecord(
+            name="jis", instance="", sealed_key=b"\x01" * 16, key_version=1,
+            expiration=T0 + 365 * 86400.0, max_life=LIFE, attributes=0,
+            mod_time=T0, mod_by="kadmin",
+        ).to_bytes(),
+    )
+
+    # Figure 3: the ticket, plaintext and sealed in the server's key.
+    ticket = _ticket()
+    add("fig3_ticket", ticket.to_bytes())
+    sealed_ticket = seal_ticket(ticket, K_SERVICE)
+    add("fig3_sealed_ticket", sealed_ticket)
+
+    # Figure 4: the authenticator, plaintext and sealed in the session key.
+    add(
+        "fig4_authenticator",
+        Authenticator(
+            client=USER, address=WS_ADDR.as_int, timestamp=T0, checksum=7
+        ).to_bytes(),
+    )
+    auth = build_authenticator(USER, WS_ADDR, T0, K_SESSION, checksum=7)
+    add("fig4_sealed_authenticator", auth)
+
+    # Figure 5: getting the initial (ticket-granting) ticket.
+    add(
+        "fig5_as_request",
+        AsRequest(
+            client=USER, service=TGS, requested_life=LIFE, timestamp=T0
+        ).to_bytes(),
+    )
+    add(
+        "fig5_preauth_as_request",
+        PreauthAsRequest(
+            client=USER, service=TGS, requested_life=LIFE, timestamp=T0,
+            preauth=build_preauth(K_USER, T0),
+        ).to_bytes(),
+    )
+    tgt = seal_ticket(
+        Ticket(
+            server=TGS, client=USER, address=WS_ADDR.as_int,
+            timestamp=T0, life=LIFE, session_key=K_SESSION.key_bytes,
+        ),
+        K_TGS,
+    )
+    reply_body = KdcReplyBody(
+        session_key=K_SESSION.key_bytes, server=TGS, issue_time=T0,
+        life=LIFE, kvno=1, request_timestamp=T0, ticket=tgt,
+    )
+    add("fig5_kdc_reply_body", reply_body.to_bytes())
+    add("fig5_as_reply", KdcReply.build(USER, reply_body, K_USER).to_bytes())
+
+    # Figure 8: requesting a service ticket from the TGS.
+    add(
+        "fig8_tgs_request",
+        TgsRequest(
+            service=SERVICE, requested_life=LIFE, timestamp=T0 + 10,
+            tgt_realm=REALM, tgt=tgt,
+            authenticator=build_authenticator(USER, WS_ADDR, T0 + 10, K_SESSION),
+        ).to_bytes(),
+    )
+
+    # Figures 6-7: requesting a service / mutual authentication.
+    add(
+        "fig6_ap_request",
+        ApRequest(
+            ticket=sealed_ticket, authenticator=auth, mutual=True, kvno=1
+        ).to_bytes(),
+    )
+    add("fig7_ap_reply", ApReply.build(T0, K_SESSION).to_bytes())
+
+    # Error replies (any server, all exchanges).
+    add("error_reply", ErrorReply(code=32, text="ticket expired").to_bytes())
+
+    # Section 6.2: safe and private application messages.
+    add(
+        "safe_message",
+        krb_mk_safe(b"golden safe payload", K_SESSION, WS_ADDR, T0).to_bytes(),
+    )
+    add(
+        "priv_message",
+        krb_mk_priv(b"golden private payload", K_SESSION, WS_ADDR, T0).to_bytes(),
+    )
+
+    # Figure 12: the administration protocol.
+    admin_body = AdminRequestBody(
+        operation=AdminOperation.CHANGE_PASSWORD, target=USER,
+        new_password="golden-new-pw", max_life=0.0,
+    )
+    add("fig12_admin_request_body", admin_body.to_bytes())
+    admin_ap = ApRequest(
+        ticket=seal_ticket(
+            Ticket(
+                server=ADMIN_SERVER, client=USER, address=WS_ADDR.as_int,
+                timestamp=T0, life=255.0, session_key=K_SESSION.key_bytes,
+            ),
+            K_SERVICE,
+        ),
+        authenticator=auth, mutual=False, kvno=1,
+    )
+    add(
+        "fig12_kdbm_request",
+        KdbmRequest(
+            ap_request=admin_ap.to_bytes(),
+            private_body=krb_mk_priv(
+                admin_body.to_bytes(), K_SESSION, WS_ADDR, T0
+            ).to_bytes(),
+        ).to_bytes(),
+    )
+    add(
+        "fig12_admin_reply_body",
+        AdminReplyBody(ok=True, code=0, text="password changed").to_bytes(),
+    )
+
+    # Figure 13: database propagation — full dump and delta.
+    dump = db.dump(now=T0 + 60)
+    add("fig13_full_dump", dump)
+    full = PropTransfer(checksum=db.master_key.checksum(dump), dump=dump)
+    add("fig13_prop_transfer", full.to_bytes())
+    add("fig13_full_envelope", encode_prop_message(PropKind.FULL, full))
+    add(
+        "fig13_prop_reply",
+        PropReply(ok=True, records=2, applied_time=T0 + 61, text="").to_bytes(),
+    )
+
+    entries = [
+        JournalEntry(seq=3, time=T0 + 70, op=OP_PUT, key="jis",
+                     value=db.store.get("jis")),
+        JournalEntry(seq=4, time=T0 + 80, op=OP_DELETE, key="old-user",
+                     value=b""),
+    ]
+    add("fig13_journal_entry", entries[0].to_bytes())
+    delta_body = DeltaBody(
+        epoch=default_epoch(REALM), from_seq=2, to_seq=4, time=T0 + 90,
+        entries=entries,
+    )
+    add("fig13_delta_body", delta_body.to_bytes())
+    delta = DeltaTransfer(
+        checksum=db.master_key.checksum(delta_body.to_bytes()),
+        body=delta_body.to_bytes(),
+    )
+    add("fig13_delta_transfer", delta.to_bytes())
+    add("fig13_delta_envelope", encode_prop_message(PropKind.DELTA, delta))
+    add(
+        "fig13_delta_reply",
+        DeltaReply(
+            status=DeltaStatus.OK, applied_seq=4, applied_time=T0 + 91, text=""
+        ).to_bytes(),
+    )
+
+    # The raw checksum primitive the Figure 13 trust model rests on.
+    add("cbc_mac_primitive", cbc_mac(K_SESSION, b"golden checksum input"))
+
+    return vectors
+
+
+def load_fixtures() -> dict:
+    assert FIXTURE_PATH.exists(), (
+        f"{FIXTURE_PATH} missing — generate it with "
+        "REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python "
+        "tests/encode/test_golden_vectors.py"
+    )
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+FIXTURES = load_fixtures() if FIXTURE_PATH.exists() else {}
+VECTORS = build_vectors()
+
+
+def test_fixture_file_exists():
+    load_fixtures()
+
+
+def test_vector_sets_match():
+    """No vector silently added or dropped without regenerating."""
+    assert set(VECTORS) == set(FIXTURES)
+
+
+@pytest.mark.parametrize("name", sorted(VECTORS))
+def test_golden(name):
+    assert name in FIXTURES, f"new vector {name!r}: regenerate fixtures"
+    assert VECTORS[name] == FIXTURES[name], (
+        f"wire encoding of {name!r} changed; if intentional, regenerate "
+        "fixtures and review the hex diff"
+    )
+
+
+def test_vectors_are_deterministic():
+    """Building twice gives identical bytes — no hidden randomness, so
+    the fixtures are reproducible on any machine."""
+    assert build_vectors() == VECTORS
+
+
+def test_builds_are_decodable():
+    """The frozen bytes still parse (fixtures are not write-only)."""
+    ticket_hex = FIXTURES.get("fig3_ticket")
+    if ticket_hex:
+        assert Ticket.from_bytes(bytes.fromhex(ticket_hex)) == _ticket()
+
+
+def regenerate() -> None:
+    FIXTURE_PATH.write_text(
+        json.dumps(build_vectors(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {len(VECTORS)} vectors to {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    if os.environ.get("REPRO_REGEN_GOLDEN") != "1":
+        raise SystemExit(
+            "refusing to regenerate golden vectors without "
+            "REPRO_REGEN_GOLDEN=1 (a format change must be deliberate)"
+        )
+    regenerate()

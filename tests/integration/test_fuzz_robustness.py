@@ -3,7 +3,23 @@
 An open network delivers arbitrary datagrams to every port.  No server
 may crash, hang, or corrupt state on malformed input — each must answer
 with a protocol error (or drop) and keep serving legitimate clients.
+
+The seeded-mutation classes at the bottom target the propagation
+(kprop/kpropd) and administration (KDBM) planes specifically: they take
+*valid* wire messages, apply deterministic bit flips / truncations /
+splices, and require typed protocol errors only — never ``struct.error``
+or ``IndexError`` leaking out of a decoder.
+
+Mutation smoke-check (run by hand when touching these classes): removing
+the short-read guard from ``repro.encode.buffer.Decoder._take`` — so
+truncated reads fall through to raw ``struct.error`` — fails
+``test_decoders_raise_typed_errors_only``,
+``test_kdbm_request_decoder_is_typed``, and
+``test_kpropd_never_crashes_on_random_bytes``.  The suite demonstrably
+detects an untyped error path, not just total crashes.
 """
+
+import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -119,3 +135,207 @@ class TestNastyPayloads:
         before = realm.kdc.errors
         world["attacker"].rpc(realm.master_host.address, 750, b"\x01junk")
         assert realm.kdc.errors == before + 1
+
+
+# -- seeded mutation fuzzing of the propagation and admin planes --------------
+
+#: Untyped exceptions a decoder must never leak — a ``struct.error`` or
+#: ``IndexError`` escaping means some byte layout was trusted unchecked.
+UNTYPED = (AssertionError, IndexError, KeyError, TypeError, UnicodeDecodeError)
+
+FUZZ_SEED = 0x1988
+MUTATIONS_PER_MESSAGE = 60
+
+
+def mutations(data: bytes, seed: int, count: int = MUTATIONS_PER_MESSAGE):
+    """Deterministic corruption stream: bit flips, truncations, and
+    garbage splices of a valid message.  Same seed → same stream, so a
+    failure reproduces exactly."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.45 and data:
+            flipped = bytearray(data)
+            i = rng.randrange(len(flipped))
+            flipped[i] ^= 1 << rng.randrange(8)
+            yield bytes(flipped)
+        elif roll < 0.80:
+            yield data[: rng.randrange(len(data) + 1)]
+        else:
+            i = rng.randrange(len(data) + 1)
+            junk = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+            yield data[:i] + junk + data[i:]
+
+
+@pytest.fixture(scope="module")
+def prop_world():
+    """A realm with a slave (so kpropd is live) plus captured-valid
+    kprop and KDBM wire messages to mutate."""
+    import struct
+
+    from repro.database.journal import OP_PUT
+    from repro.kdbm.client import KdbmClient
+    from repro.replication.messages import (
+        DeltaBody,
+        DeltaTransfer,
+        PropKind,
+        PropTransfer,
+        encode_prop_message,
+    )
+
+    net = Network(seed=FUZZ_SEED)
+    realm = Realm(net, REALM, n_slaves=1)
+    realm.add_user("jis", "jis-pw")
+    realm.add_admin("jis", "jis-admin-pw")
+    realm.propagate()
+
+    # A valid full-dump transfer, exactly as kprop would send it.
+    dump = realm.db.dump(now=net.clock.now())
+    full_wire = encode_prop_message(
+        PropKind.FULL,
+        PropTransfer(checksum=realm.db.master_key.checksum(dump), dump=dump),
+    )
+
+    # A valid delta transfer continuing from seq 0.
+    journal = realm.db.journal
+    body = DeltaBody(
+        epoch=journal.epoch,
+        from_seq=0,
+        to_seq=journal.last_seq,
+        time=net.clock.now(),
+        entries=list(journal.entries_since(0)),
+    )
+    delta_wire = encode_prop_message(
+        PropKind.DELTA,
+        DeltaTransfer(
+            checksum=realm.db.master_key.checksum(body.to_bytes()),
+            body=body.to_bytes(),
+        ),
+    )
+    assert struct is not None  # imported for the error-type checks below
+
+    # A real KDBM request, captured off the wire during a password change.
+    kdbm_payloads = []
+
+    def tap(d):
+        if d.dst_port == 751:
+            kdbm_payloads.append(d.payload)
+
+    net.add_tap(tap)
+    ws = realm.workstation()
+    KdbmClient(ws.client, realm.master_host.address).change_password(
+        Principal("jis", "", REALM), "jis-pw", "jis-pw-2"
+    )
+    net.remove_tap(tap)
+    assert kdbm_payloads, "no KDBM datagram captured"
+
+    attacker = net.add_host("prop-attacker")
+    return dict(
+        net=net,
+        realm=realm,
+        attacker=attacker,
+        full_wire=full_wire,
+        delta_wire=delta_wire,
+        kdbm_wire=kdbm_payloads[0],
+    )
+
+
+class TestPropagationFuzz:
+    """kprop/kpropd: every mutated transfer draws a typed reply and the
+    slave database stays intact."""
+
+    @pytest.mark.parametrize("which", ["full_wire", "delta_wire"])
+    def test_kpropd_survives_mutated_transfers(self, prop_world, which):
+        import struct
+
+        slave = prop_world["realm"].slaves[0]
+        attacker = prop_world["attacker"]
+        before = list(slave.db.store.items())
+        for mutant in mutations(prop_world[which], seed=FUZZ_SEED):
+            if mutant == prop_world[which]:
+                continue  # the identity mutation is a legitimate transfer
+            try:
+                reply = attacker.rpc(slave.host.address, 754, mutant)
+            except (struct.error, *UNTYPED) as exc:  # pragma: no cover
+                pytest.fail(f"untyped {type(exc).__name__} leaked: {exc}")
+            assert isinstance(reply, bytes) and reply
+        # Corruption applied nothing: the slave kept its previous copy.
+        assert list(slave.db.store.items()) == before
+
+    def test_propagation_still_works_after_the_barrage(self, prop_world):
+        realm = prop_world["realm"]
+        realm.add_user("survivor", "pw")
+        result = realm.propagate()
+        assert result.all_ok
+        assert realm.slaves[0].db.exists(Principal("survivor", "", REALM))
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(
+        max_examples=50,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_kpropd_never_crashes_on_random_bytes(self, prop_world, payload):
+        reply = prop_world["attacker"].rpc(
+            prop_world["realm"].slaves[0].host.address, 754, payload
+        )
+        assert isinstance(reply, bytes) and reply
+
+    def test_decoders_raise_typed_errors_only(self, prop_world):
+        """Below the daemon: the message decoders themselves must raise
+        DecodeError (or parse), never a bare struct/index error."""
+        from repro.encode import DecodeError
+        from repro.replication.messages import decode_prop_message
+
+        for source in ("full_wire", "delta_wire"):
+            for mutant in mutations(prop_world[source], seed=FUZZ_SEED + 1):
+                try:
+                    decode_prop_message(mutant)
+                except DecodeError:
+                    pass
+
+
+class TestKdbmFuzz:
+    """The admin port: mutated requests draw error replies (or typed
+    errors), never corrupt the database, and the server keeps serving."""
+
+    def test_kdbm_survives_mutated_requests(self, prop_world):
+        import struct
+
+        realm = prop_world["realm"]
+        attacker = prop_world["attacker"]
+        key_before = realm.db.principal_key(Principal("jis", "", REALM))
+        for mutant in mutations(prop_world["kdbm_wire"], seed=FUZZ_SEED + 2):
+            if mutant == prop_world["kdbm_wire"]:
+                continue  # replaying the original intact is replay-cache fodder
+            try:
+                reply = attacker.rpc(realm.master_host.address, 751, mutant)
+            except (struct.error, *UNTYPED) as exc:  # pragma: no cover
+                pytest.fail(f"untyped {type(exc).__name__} leaked: {exc}")
+            # An error envelope or an empty drop — both are typed
+            # refusals; a crash would have surfaced above.
+            assert isinstance(reply, bytes)
+        assert realm.db.principal_key(Principal("jis", "", REALM)) == key_before
+
+    def test_kdbm_request_decoder_is_typed(self, prop_world):
+        from repro.encode import DecodeError
+        from repro.kdbm.messages import KdbmRequest
+
+        for mutant in mutations(prop_world["kdbm_wire"], seed=FUZZ_SEED + 3):
+            try:
+                KdbmRequest.from_bytes(mutant)
+            except DecodeError:
+                pass
+
+    def test_admin_still_works_after_the_barrage(self, prop_world):
+        realm = prop_world["realm"]
+        from repro.kdbm.client import KdbmClient
+
+        ws = realm.workstation()
+        KdbmClient(ws.client, realm.master_host.address).change_password(
+            Principal("jis", "", REALM), "jis-pw-2", "jis-pw-3"
+        )
+        from repro.crypto import string_to_key
+
+        assert realm.db.principal_key(
+            Principal("jis", "", REALM)
+        ) == string_to_key("jis-pw-3")

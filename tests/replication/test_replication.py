@@ -6,7 +6,12 @@ from repro.core import Principal
 from repro.crypto import string_to_key
 from repro.netsim import Network
 from repro.realm import Realm
-from repro.replication.messages import PropReply, PropTransfer
+from repro.replication.messages import (
+    PropKind,
+    PropReply,
+    PropTransfer,
+    encode_prop_message,
+)
 
 REALM = "ATHENA.MIT.EDU"
 
@@ -123,7 +128,9 @@ class TestTamperRejection:
             dump=fake_dump,
         )
         slave = realm.slaves[0]
-        raw = imposter.rpc(slave.host.address, 754, transfer.to_bytes())
+        raw = imposter.rpc(
+            slave.host.address, 754, encode_prop_message(PropKind.FULL, transfer)
+        )
         reply = PropReply.from_bytes(raw)
         assert not reply.ok
         assert "checksum" in reply.text
@@ -139,7 +146,7 @@ class TestTamperRejection:
         is not useful to an eavesdropper" — no cleartext keys inside."""
         captured = []
         net.add_tap(lambda d: captured.append(d.payload))
-        realm.propagate()
+        realm.propagate(full=True)
         jis_key = string_to_key("jis-pw").key_bytes
         assert any(len(p) > 200 for p in captured)  # the dump did travel
         for payload in captured:
