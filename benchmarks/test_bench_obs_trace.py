@@ -1,0 +1,171 @@
+"""Exp OBS — distributed tracing: storm completeness + overhead gate.
+
+The tentpole acceptance for the tracing plane, measured on a Section 9
+login storm against a queued KDC:
+
+1. **Completeness** — every posted login is a trace: completed logins'
+   trees contain the queue-wait and KDC handler spans plus both wire
+   transit legs; shed logins are joined to an ``overload_shed`` audit
+   event by trace ID.  Nothing is silently untraced.
+2. **Overhead** — the same storm with ``net.tracer.enabled = False``
+   (detached spans, no propagation, no transit spans) must not be more
+   than 10% faster: tracing's wall-clock cost is gated, not hoped about.
+3. **Determinism** — two same-seed traced runs export byte-identical
+   Chrome trace-event JSON.
+
+Results (with run history) land in ``BENCH_OBS_TRACE.json``.
+"""
+
+import hashlib
+import time
+from pathlib import Path
+
+from repro.netsim import Network
+from repro.obs import render_chrome_trace
+from repro.realm import Realm
+from repro.runtime import WorkQueueConfig
+from repro.workload import AthenaWorkload
+
+from benchmarks.bench_util import REALM, write_bench_artifact
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_OBS_TRACE.json"
+
+SEED = 1988
+N_USERS = 64
+N_STATIONS = 128
+#: Arrivals all land in this window — faster than two workers drain, so
+#: queueing (and some shedding) genuinely happens.
+BURST_WINDOW = 0.05
+WORKERS = 2
+ROUNDS = 5
+#: Acceptance ceiling: traced wall time / untraced wall time.
+OVERHEAD_GATE = 1.10
+
+
+def _run_storm(traced: bool):
+    """One fresh world + login burst; returns (wall_s, result, net)."""
+    net = Network(seed=SEED)
+    realm = Realm(
+        net, REALM, seed=b"obs-trace",
+        kdc_queue=WorkQueueConfig(workers=WORKERS),
+    )
+    net.tracer.enabled = traced
+    workload = AthenaWorkload(realm, n_users=N_USERS, n_services=0, seed=SEED)
+    stations = workload.workstations(N_STATIONS, spread_kdcs=False)
+    t0 = time.perf_counter()
+    result = workload.login_burst(stations, window=BURST_WINDOW)
+    wall = time.perf_counter() - t0
+    return wall, result, net
+
+
+def _ab_times(rounds=ROUNDS):
+    """Min-of-rounds wall time for traced and untraced storms, legs
+    interleaved so machine noise hits both alike."""
+    traced, untraced = [], []
+    for _ in range(rounds):
+        traced.append(_run_storm(traced=True)[0])
+        untraced.append(_run_storm(traced=False)[0])
+    return min(traced), min(untraced)
+
+
+def test_bench_obs_trace_gate():
+    # -- completeness over one traced storm ------------------------------
+    _, result, net = _run_storm(traced=True)
+    tracer, audit = net.tracer, net.audit
+
+    rids = tracer.request_ids()
+    names_by_rid = {
+        rid: {s.name for s in tracer.by_request(rid)} for rid in rids
+    }
+    complete = [
+        rid for rid, names in names_by_rid.items()
+        if {"workload.login", "kdc.queue.wait", "kdc.as",
+            "net.transit"} <= names
+    ]
+    shed_audits = audit.events("overload_shed")
+    shed_rids = {e.trace_id for e in shed_audits}
+
+    print("\nExp OBS — login-storm trace completeness "
+          f"({N_STATIONS} stations, {WORKERS} workers):")
+    print(f"  posted {result.posted}: {result.completed} completed, "
+          f"{result.overloaded} shed, {result.failed} failed")
+    print(f"  traces recorded: {len(rids)}; "
+          f"full queue-wait/handler/transit trees: {len(complete)}; "
+          f"shed joined to audit: {len(shed_rids & set(names_by_rid))}")
+
+    # Every posted login rooted a trace; every completed login's trace
+    # has the full breakdown; every shed login is audit-joined.
+    assert len(rids) == result.posted
+    assert len(complete) == result.completed
+    assert result.overloaded > 0, "storm never shed — queue not stressed"
+    assert len(shed_audits) == result.overloaded
+    assert shed_rids <= set(names_by_rid)
+    assert all(rid for rid in shed_rids), "shed audit lost its trace ID"
+
+    # Per-span breakdown attrs actually populated on the handler spans.
+    kdc_spans = [s for s in tracer.spans if s.name == "kdc.as"]
+    assert kdc_spans
+    assert all(
+        "queue_wait" in s.attrs and "batch_size" in s.attrs
+        and "service_time" in s.attrs and "crypto_ops" in s.attrs
+        for s in kdc_spans
+    )
+
+    # -- same-seed determinism: byte-identical export --------------------
+    export_a = render_chrome_trace(tracer)
+    _, _, net_b = _run_storm(traced=True)
+    export_b = render_chrome_trace(net_b.tracer)
+    assert export_a == export_b, "same seed produced different trace export"
+    export_sha = hashlib.sha256(export_a.encode()).hexdigest()
+
+    # -- overhead gate, interleaved A/B ----------------------------------
+    traced_s, untraced_s = _ab_times()
+    if traced_s / untraced_s > OVERHEAD_GATE:
+        # Shared-machine escalation: re-measure before failing.
+        traced_s, untraced_s = _ab_times(rounds=2 * ROUNDS)
+    ratio = traced_s / untraced_s
+    print(f"  storm wall time: untraced {untraced_s * 1e3:.1f} ms, "
+          f"traced {traced_s * 1e3:.1f} ms "
+          f"({ratio:.3f}x, gate ≤{OVERHEAD_GATE}x)")
+
+    snap = write_bench_artifact(
+        net.metrics,
+        ARTIFACT,
+        now=net.clock.now(),
+        seed=SEED,
+        extra={
+            "experiment": "OBS",
+            "gates": {"overhead_max": OVERHEAD_GATE},
+            "storm": {
+                "stations": N_STATIONS,
+                "workers": WORKERS,
+                "window_s": BURST_WINDOW,
+                "posted": result.posted,
+                "completed": result.completed,
+                "overloaded": result.overloaded,
+                "failed": result.failed,
+            },
+            "completeness": {
+                "traces": len(rids),
+                "full_breakdown_trees": len(complete),
+                "shed_audit_events": len(shed_audits),
+            },
+            "overhead": {
+                "traced_s": traced_s,
+                "untraced_s": untraced_s,
+                "ratio": round(ratio, 4),
+            },
+            "export": {
+                "bytes": len(export_a),
+                "sha256": export_sha,
+            },
+        },
+    )
+    print(f"  artifact: {ARTIFACT.name} "
+          f"({len(snap['history'])} run(s) in history)")
+
+    assert ratio <= OVERHEAD_GATE, (
+        f"tracing overhead {ratio:.3f}x exceeds the "
+        f"{OVERHEAD_GATE}x acceptance ceiling"
+    )
+    assert snap["history"][-1]["summary"]["experiment"] == "OBS"

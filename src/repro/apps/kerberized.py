@@ -138,6 +138,13 @@ class KerberizedServer(Service):
     def ports(self):
         return {self.port: self._dispatch}
 
+    def on_attach(self) -> None:
+        # Third-host observability: handler spans join the propagated
+        # trace, and refused authentications land in the audit log.
+        self.tracer = self.host.network.tracer
+        self.audit = self.host.network.audit
+        self.replay_cache.bind_audit(self.audit, self.host.name)
+
     # -- subclass hooks ------------------------------------------------------
 
     def handle(self, session: AppSession, data: bytes) -> bytes:
@@ -157,17 +164,29 @@ class KerberizedServer(Service):
             return CallReply(ok=False, payload=b"", text="empty request").to_bytes()
         kind, body = datagram.payload[0], datagram.payload[1:]
         try:
-            if kind == _Kind.OPEN:
-                return self._handle_open(OpenRequest.from_bytes(body), datagram)
-            if kind == _Kind.CALL:
-                return self._handle_call(CallRequest.from_bytes(body), datagram)
-            if kind == _Kind.CLOSE:
-                return self._handle_close(CallRequest.from_bytes(body), datagram)
-        except DecodeError as exc:
+            verb = _Kind(kind).name.lower()
+        except ValueError:
+            verb = "other"
+        with self.tracer.span_under(
+            datagram.trace,
+            f"app.{verb}",
+            host=self.host.name,
+            service=str(self.service),
+        ):
+            try:
+                if kind == _Kind.OPEN:
+                    return self._handle_open(OpenRequest.from_bytes(body), datagram)
+                if kind == _Kind.CALL:
+                    return self._handle_call(CallRequest.from_bytes(body), datagram)
+                if kind == _Kind.CLOSE:
+                    return self._handle_close(CallRequest.from_bytes(body), datagram)
+            except DecodeError as exc:
+                return CallReply(
+                    ok=False, payload=b"", text=f"undecodable request: {exc}"
+                ).to_bytes()
             return CallReply(
-                ok=False, payload=b"", text=f"undecodable request: {exc}"
+                ok=False, payload=b"", text="unknown request kind"
             ).to_bytes()
-        return CallReply(ok=False, payload=b"", text="unknown request kind").to_bytes()
 
     def _handle_open(self, request: OpenRequest, datagram) -> bytes:
         now = self.host.clock.now()
@@ -184,6 +203,12 @@ class KerberizedServer(Service):
             )
         except (KerberosError, DecodeError) as exc:
             self.auth_failures += 1
+            self.audit.emit(
+                "auth_failure",
+                host=self.host.name,
+                trace=datagram.trace,
+                detail=f"open refused for {self.service}: {exc}",
+            )
             return OpenReply(
                 ok=False, session_id=0, ap_reply=b"", text=str(exc)
             ).to_bytes()

@@ -94,6 +94,8 @@ class NfsServer(Service):
         # registry, labelled by server host and auth mode so the three
         # designs can be compared from one snapshot.
         self.metrics = host.network.metrics
+        self.tracer = host.network.tracer
+        self.audit = host.network.audit
         self._labels = {"server": host.name, "mode": self.mode.value}
         self.credmap = CredentialMap(
             metrics=self.metrics, labels={"server": host.name}
@@ -101,6 +103,8 @@ class NfsServer(Service):
         self.replay_cache = ReplayCache(
             metrics=self.metrics,
             labels={"server": host.name, "service": "nfs"},
+            audit=self.audit,
+            host=host.name,
         )
         self.metrics.counter("nfs.access_errors_total", self._labels)
         self.metrics.counter("nfs.kerberos_verifications_total", self._labels)
@@ -191,22 +195,31 @@ class NfsServer(Service):
             "nfs.rpc_total", {**self._labels, "op": op.name}
         ).inc()
 
-        cred = self._resolve_credential(request, datagram)
-        if cred is None:
-            self.metrics.counter(
-                "nfs.access_errors_total", self._labels
-            ).inc()
-            return NfsReply(
-                ok=False, data=b"", names=[], text="NFS access error"
-            ).to_bytes()
+        with self.tracer.span_under(
+            datagram.trace,
+            "nfs.rpc",
+            host=self.host.name,
+            op=op.name,
+            mode=self.mode.value,
+        ):
+            cred = self._resolve_credential(request, datagram)
+            if cred is None:
+                self.metrics.counter(
+                    "nfs.access_errors_total", self._labels
+                ).inc()
+                return NfsReply(
+                    ok=False, data=b"", names=[], text="NFS access error"
+                ).to_bytes()
 
-        try:
-            return self._apply(op, request, cred).to_bytes()
-        except FsError as exc:
-            self.metrics.counter(
-                "nfs.access_errors_total", self._labels
-            ).inc()
-            return NfsReply(ok=False, data=b"", names=[], text=str(exc)).to_bytes()
+            try:
+                return self._apply(op, request, cred).to_bytes()
+            except FsError as exc:
+                self.metrics.counter(
+                    "nfs.access_errors_total", self._labels
+                ).inc()
+                return NfsReply(
+                    ok=False, data=b"", names=[], text=str(exc)
+                ).to_bytes()
 
     def _apply(self, op: NfsOp, request: NfsRequest, cred: NfsCredential) -> NfsReply:
         fs = self.fs

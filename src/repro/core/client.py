@@ -222,7 +222,10 @@ class KerberosClient:
         (kpasswd/kadmin, which 'must use the authentication service
         itself', Section 5.1).  The resulting credential is cached."""
         with self.tracer.span(
-            "client.as_exchange", client=str(client), service=str(service)
+            "client.as_exchange",
+            client=str(client),
+            service=str(service),
+            host=self.host.name,
         ) as span:
             cred = self._as_exchange(client, password, service, life)
         self.metrics.histogram(
@@ -352,6 +355,7 @@ class KerberosClient:
             "client.tgs_exchange",
             service=str(service),
             kdc_realm=kdc_realm,
+            host=self.host.name,
         ) as span:
             cred = self._tgs_exchange_inner(kdc_realm, tgt, service, life)
         self.metrics.histogram(
@@ -416,7 +420,9 @@ class KerberosClient:
         ticket first if needed.  Returns (request, credential, the
         authenticator timestamp — needed to verify a mutual reply)."""
         cred = self.get_credential(service)
-        with self.tracer.span("client.ap_request", service=str(service)):
+        with self.tracer.span(
+            "client.ap_request", service=str(service), host=self.host.name
+        ):
             now = self._auth_now()
             request = krb_mk_req(
                 ticket_blob=cred.ticket,

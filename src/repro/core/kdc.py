@@ -110,14 +110,16 @@ class KerberosServer(Service):
 
     def on_attach(self) -> None:
         host = self.host
-        # Metrics and tracing (Figure 10 / Section 9) live in the
-        # network's registry; this server's series carry a `server` label
-        # so master and slave load can be told apart.
+        # Metrics, tracing, and the audit plane (Figure 10 / Section 9)
+        # live on the network; this server's series carry a `server`
+        # label so master and slave load can be told apart.
         self.metrics = host.network.metrics
         self.tracer = host.network.tracer
+        self.audit = host.network.audit
         self._labels = {"server": host.name}
         self.replay_cache = ReplayCache(
-            window=self.skew, metrics=self.metrics, labels=self._labels
+            window=self.skew, metrics=self.metrics, labels=self._labels,
+            audit=self.audit, host=host.name,
         )
         for kind in ("as", "tgs"):
             self.metrics.counter(
@@ -135,6 +137,7 @@ class KerberosServer(Service):
                 label="kdc.queue",
                 metrics=self.metrics,
                 labels=self._labels,
+                tracer=self.tracer,
             )
 
     def on_detach(self) -> None:
@@ -189,7 +192,7 @@ class KerberosServer(Service):
         if self.workqueue is None:
             return self._serve(datagram)
         deferred = DeferredReply()
-        if not self.workqueue.submit((datagram, deferred)):
+        if not self.workqueue.submit((datagram, deferred), trace=datagram.trace):
             # Admission control: answer *now* with a typed overload
             # error instead of letting the request rot in a full queue.
             err = error_for_code(
@@ -197,6 +200,12 @@ class KerberosServer(Service):
                 f"KDC {self.host.name} shed the request (queue full)",
             )
             self._outcome("shed", err.code.name)
+            self.audit.emit(
+                "overload_shed",
+                host=self.host.name,
+                trace=datagram.trace,
+                detail=f"queue full (limit {self.queue_config.queue_limit})",
+            )
             return encode_message(
                 MessageType.ERROR, ErrorReply.from_error(err)
             )
@@ -215,10 +224,23 @@ class KerberosServer(Service):
             for _datagram, deferred in batch:
                 deferred.resolve(None)
             return
+        # Per-item queue wait, from the queue's batch metadata (enqueue
+        # → service start); the batch's service cost is shared evenly.
+        meta = self.workqueue.current_batch
+        dispatched = self.workqueue.current_batch_dispatched_at
+        waits = [None] * len(batch)
+        if meta is not None and dispatched is not None:
+            waits = [dispatched - entry.enqueued_at for entry in meta]
+        service_each = self.queue_config.batch_cost(len(batch)) / len(batch)
         self._batch_records = {}
         try:
-            for datagram, deferred in batch:
-                deferred.resolve(self._serve(datagram))
+            for (datagram, deferred), wait in zip(batch, waits):
+                deferred.resolve(self._serve(
+                    datagram,
+                    queue_wait=wait,
+                    batch_size=len(batch),
+                    service_time=service_each,
+                ))
         finally:
             self._batch_records = None
 
@@ -236,8 +258,20 @@ class KerberosServer(Service):
             ).inc()
         return record
 
-    def _serve(self, datagram) -> bytes:
+    def _serve(
+        self,
+        datagram,
+        queue_wait=None,
+        batch_size=None,
+        service_time=None,
+    ) -> bytes:
+        """Answer one request.  The handler span parents to the
+        datagram's *propagated* trace context (:meth:`Tracer.span_under`)
+        — not the pumping caller's stack — and carries the latency
+        breakdown: queue wait, batch size, per-item service time, and
+        the crypto work (key-schedule touches) the request cost."""
         kind = "other"
+        self._serving_principal = ""
         try:
             mtype, message = decode_message(datagram.payload)
             if mtype in (MessageType.AS_REQ, MessageType.PREAUTH_AS_REQ):
@@ -248,7 +282,20 @@ class KerberosServer(Service):
                 self.metrics.counter(
                     "kdc.requests_total", {**self._labels, "kind": kind}
                 ).inc()
-            with self.tracer.span(f"kdc.{kind}", server=self.host.name):
+            # AS requests name their client in the clear; TGS handlers
+            # fill the principal in once the TGT authenticates it.
+            self._serving_principal = str(getattr(message, "client", "") or "")
+            with self.tracer.span_under(
+                datagram.trace,
+                f"kdc.{kind}",
+                server=self.host.name,
+                host=self.host.name,
+            ) as span:
+                if queue_wait is not None:
+                    span.attrs["queue_wait"] = round(queue_wait, 9)
+                    span.attrs["batch_size"] = batch_size
+                    span.attrs["service_time"] = round(service_time, 9)
+                crypto_before = self.metrics.total("crypto.keyschedule_total")
                 if kind == "as":
                     reply = self._handle_as(message, datagram)
                 elif kind == "tgs":
@@ -258,11 +305,43 @@ class KerberosServer(Service):
                         ErrorCode.KDC_GEN_ERR,
                         f"KDC does not handle {mtype.name} messages",
                     )
+                span.attrs["crypto_ops"] = int(
+                    self.metrics.total("crypto.keyschedule_total")
+                    - crypto_before
+                )
             self._outcome(kind, "OK")
+            self.audit.emit(
+                "auth_success",
+                host=self.host.name,
+                principal=self._serving_principal,
+                trace=datagram.trace,
+                detail=f"kind={kind}",
+            )
             return reply
         except KerberosError as err:
             self._outcome(kind, err.code.name)
+            self._audit_failure(kind, err, datagram)
             return encode_message(MessageType.ERROR, ErrorReply.from_error(err))
+
+    def _audit_failure(self, kind: str, err: KerberosError, datagram) -> None:
+        """Map a failed exchange to its audit event.  Replays are
+        already reported by the replay cache itself; a PREAUTH_REQUIRED
+        bounce is normal negotiation (the client retries with proof),
+        not a security event."""
+        if err.code in (ErrorCode.RD_AP_REPEAT, ErrorCode.KDC_PREAUTH_REQUIRED):
+            return
+        event = (
+            "preauth_failure"
+            if err.code == ErrorCode.KDC_PREAUTH_FAILED
+            else "auth_failure"
+        )
+        self.audit.emit(
+            event,
+            host=self.host.name,
+            principal=self._serving_principal,
+            trace=datagram.trace,
+            detail=f"kind={kind} code={err.code.name}",
+        )
 
     # -- shared pieces -----------------------------------------------------------
 
@@ -431,6 +510,7 @@ class KerberosServer(Service):
             skew=self.skew,
         )
         client = context.client  # realm preserved from the TGT (Sec. 7.2)
+        self._serving_principal = str(client)
 
         service_record = self._lookup_service(request.service, now)
         # Section 5.1: "the ticket-granting service will not issue

@@ -37,12 +37,18 @@ class ReplayCache:
         window: float = CLOCK_SKEW,
         metrics=None,
         labels: Optional[Mapping[str, object]] = None,
+        audit=None,
+        host: str = "",
     ) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.window = float(window)
         self._seen: Set[_Entry] = set()
         self._order: Deque[Tuple[float, _Entry]] = deque()
+        #: The security-event log a caught replay is reported to (the
+        #: Section 4.3 "can be discarded" moment is an audit event).
+        self._audit = audit
+        self._host = host
         if metrics is not None:
             base = dict(labels or {})
             self._fresh = metrics.counter(
@@ -57,6 +63,12 @@ class ReplayCache:
             self._size = metrics.gauge("replay.entries", base)
         else:
             self._fresh = self._replayed = self._evictions = self._size = None
+
+    def bind_audit(self, audit, host: str) -> None:
+        """Late-wire the audit log (caches built before their host is
+        known — e.g. in a Service ``__init__`` — bind at attach time)."""
+        self._audit = audit
+        self._host = host
 
     def seen_before(self, client: str, address: int, timestamp: float) -> bool:
         """Has this exact (client, addr, timestamp) already been presented?"""
@@ -90,6 +102,13 @@ class ReplayCache:
         if entry in self._seen:
             if self._replayed is not None:
                 self._replayed.inc()
+            if self._audit is not None:
+                self._audit.emit(
+                    "replay_detected",
+                    host=self._host,
+                    principal=client,
+                    detail=f"reused authenticator ts={timestamp:.3f}",
+                )
             return False
         self._store(entry, timestamp, now)
         if self._fresh is not None:

@@ -85,9 +85,22 @@ class KdbmServer(Service):
     def ports(self):
         return {self.port: self._handle}
 
+    def on_attach(self) -> None:
+        # Section 5.1: "All requests ... whether permitted or denied,
+        # are logged" — the realm audit plane gets the denials too.
+        self.tracer = self.host.network.tracer
+        self.audit = self.host.network.audit
+        self.replay_cache.bind_audit(self.audit, self.host.name)
+
     # -- request handling -------------------------------------------------
 
     def _handle(self, datagram) -> bytes:
+        with self.tracer.span_under(
+            datagram.trace, "kdbm.request", host=self.host.name
+        ):
+            return self._handle_inner(datagram)
+
+    def _handle_inner(self, datagram) -> bytes:
         now = self.host.clock.now()
         try:
             request = KdbmRequest.from_bytes(datagram.payload)
@@ -121,7 +134,9 @@ class KdbmServer(Service):
                     skew=self.skew,
                 )
             )
-            reply = self._dispatch(context.client, body, now)
+            reply = self._dispatch(
+                context.client, body, now, trace=datagram.trace
+            )
         except KerberosError as err:
             self._log(now, str(context.client), "?", "?", False, str(err))
             reply = AdminReplyBody(ok=False, code=int(err.code), text=err.message)
@@ -144,7 +159,11 @@ class KdbmServer(Service):
         return self.acl.check(requester)
 
     def _dispatch(
-        self, requester: Principal, body: AdminRequestBody, now: float
+        self,
+        requester: Principal,
+        body: AdminRequestBody,
+        now: float,
+        trace=None,
     ) -> AdminReplyBody:
         op = AdminOperation(body.operation)
         target = body.target
@@ -162,6 +181,13 @@ class KdbmServer(Service):
 
         if not permitted:
             self._log(now, str(requester), op_name, str(target), False, "denied")
+            self.audit.emit(
+                "acl_denial",
+                host=self.host.name,
+                principal=str(requester),
+                trace=trace,
+                detail=f"{op_name} {target} denied",
+            )
             return AdminReplyBody(
                 ok=False,
                 code=int(ErrorCode.KDBM_DENIED),

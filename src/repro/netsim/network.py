@@ -32,13 +32,13 @@ the single source of truth for every instrumented layer); the legacy
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.netsim.address import IPAddress
 from repro.netsim.clock import HostClock, SimClock
 from repro.netsim.faults import FaultPlane, Partition, Verdict
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import AuditLog, MetricsRegistry, Tracer
+from repro.obs.tracing import Span, TraceContext
 from repro.runtime import EventScheduler
 
 
@@ -54,32 +54,72 @@ class NoSuchService(NetworkError):
     """The destination host is up but nothing listens on the port."""
 
 
-@dataclass(frozen=True)
 class Datagram:
-    """One packet on the wire.  Attackers see exactly this.
+    """One packet on the wire.  Attackers see exactly this — except
+    ``trace``, which is **out-of-band simulation metadata**: the
+    propagated :class:`repro.obs.TraceContext` of the sending span.  It
+    is not wire bytes (payloads and the golden vectors are untouched),
+    and it is not attacker-visible or forgeable — hand-crafted or
+    replayed datagrams travel context-less, which is exactly how they
+    show up in the trace tree: as orphans.
 
-    ``__slots__`` is declared manually (not via ``dataclass(slots=True)``,
-    which needs 3.10+): datagrams are the highest-volume allocation in
-    any simulation, and the fields have no defaults so the manual form
-    is safe.
+    Slotted by hand: datagrams are the highest-volume allocation in any
+    simulation.
     """
 
-    __slots__ = ("src", "src_port", "dst", "dst_port", "payload")
+    __slots__ = ("src", "src_port", "dst", "dst_port", "payload", "trace")
 
-    src: IPAddress
-    src_port: int
-    dst: IPAddress
-    dst_port: int
-    payload: bytes
+    def __init__(
+        self,
+        src: IPAddress,
+        src_port: int,
+        dst: IPAddress,
+        dst_port: int,
+        payload: bytes,
+        trace: Optional[TraceContext] = None,
+    ) -> None:
+        self.src = src
+        self.src_port = src_port
+        self.dst = dst
+        self.dst_port = dst_port
+        self.payload = payload
+        self.trace = trace
 
     def reply_with(self, payload: bytes) -> "Datagram":
-        """Build the response datagram travelling the reverse path."""
+        """Build the response datagram travelling the reverse path (the
+        reply leg stays in the request's trace)."""
         return Datagram(
             src=self.dst,
             src_port=self.dst_port,
             dst=self.src,
             dst_port=self.src_port,
             payload=payload,
+            trace=self.trace,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Wire-field equality only: two datagrams carrying the same
+        bytes over the same path are the same packet to any observer,
+        whatever sim-side metadata rides along."""
+        if not isinstance(other, Datagram):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.src_port == other.src_port
+            and self.dst == other.dst
+            and self.dst_port == other.dst_port
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.src, self.src_port, self.dst, self.dst_port, self.payload)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Datagram({self.src}:{self.src_port} -> "
+            f"{self.dst}:{self.dst_port}, {len(self.payload)}B)"
         )
 
 
@@ -289,10 +329,14 @@ class Network:
         self._taps: List[Tap] = []
         self._interceptors: List[Interceptor] = []
         self._next_octet = 1
-        #: The realm-wide observability pair: every instrumented layer
+        #: The realm-wide observability planes: every instrumented layer
         #: (KDC, caches, propagation, NFS ...) records here.
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.clock)
+        self.tracer.metrics = self.metrics
+        #: The append-only security-event log (auth failures, replays,
+        #: tampered propagation ...); see :mod:`repro.obs.audit`.
+        self.audit = AuditLog(self.clock, metrics=self.metrics)
         self.stats = NetworkStats(self.metrics)
         #: The discrete-event runtime every datagram leg is scheduled on.
         self.runtime = EventScheduler(self.clock, seed=seed)
@@ -468,6 +512,7 @@ class Network:
             dst=IPAddress(dst),
             dst_port=port,
             payload=bytes(payload),
+            trace=self.tracer.propagation_context(),
         )
         return self._post(datagram, one_way=False)
 
@@ -483,6 +528,7 @@ class Network:
             dst=IPAddress(dst),
             dst_port=port,
             payload=bytes(payload),
+            trace=self.tracer.propagation_context(),
         )
         pending = self._post(datagram, one_way=True)
         self._pump(pending, None)
@@ -510,12 +556,37 @@ class Network:
         """Schedule the request leg; the wire's propagation delay is the
         network latency (jitter rules add more at arrival)."""
         pending = PendingRpc(one_way=one_way)
+        transit = self._transit_span(datagram, "request")
         self.runtime.after(
             self.latency,
-            lambda: self._arrive(datagram, pending),
+            lambda: self._arrive(datagram, pending, transit),
             label="net.request",
         )
         return pending
+
+    def _transit_span(
+        self, datagram: Datagram, leg: str
+    ) -> Optional[Span]:
+        """A non-stack span covering one wire leg — the "net transit"
+        slice of a traced exchange.  Only traced datagrams get one."""
+        if not self.tracer.enabled or datagram.trace is None:
+            return None
+        return self.tracer.open_span(
+            "net.transit",
+            context=datagram.trace,
+            leg=leg,
+            dst=str(datagram.dst),
+            port=datagram.dst_port,
+        )
+
+    def _end_transit(
+        self, transit: Optional[Span], dropped: Optional[str] = None
+    ) -> None:
+        if transit is None:
+            return
+        if dropped is not None:
+            transit.attrs["dropped"] = dropped
+        self.tracer.close_span(transit)
 
     def _pump(self, pending: PendingRpc, timeout: Optional[float]) -> None:
         """Run runtime events until ``pending`` resolves.  Gives up —
@@ -550,7 +621,12 @@ class Network:
                 self.clock.now(),
             )
 
-    def _arrive(self, datagram: Datagram, pending: PendingRpc) -> None:
+    def _arrive(
+        self,
+        datagram: Datagram,
+        pending: PendingRpc,
+        transit: Optional[Span] = None,
+    ) -> None:
         """The request leg lands: faults, taps, interceptors, then the
         handler (possibly after jitter's extra delay)."""
         verdict = self.faults.inspect(datagram, to_service=True)
@@ -558,6 +634,7 @@ class Network:
             self.metrics.counter(
                 "net.drops_total", {"reason": verdict.drop_reason}
             ).inc()
+            self._end_transit(transit, dropped=verdict.drop_reason)
             self._lost(datagram, pending)
             return
         for tap in self._taps:
@@ -568,9 +645,11 @@ class Network:
                 self.metrics.counter(
                     "net.drops_total", {"reason": "intercepted"}
                 ).inc()
+                self._end_transit(transit, dropped="intercepted")
                 self._lost(datagram, pending)
                 return
             datagram = result
+        self._end_transit(transit)
         port = {"port": datagram.dst_port}
         self.metrics.counter("net.datagrams_total", port).inc()
         self.metrics.counter("net.bytes_total", port).inc(
@@ -661,14 +740,19 @@ class Network:
             )
             return
         reply = request.reply_with(payload)
+        transit = self._transit_span(reply, "reply")
         self.runtime.after(
             self.latency,
-            lambda: self._arrive_reply(reply, request, pending),
+            lambda: self._arrive_reply(reply, request, pending, transit),
             label="net.reply",
         )
 
     def _arrive_reply(
-        self, reply: Datagram, request: Datagram, pending: PendingRpc
+        self,
+        reply: Datagram,
+        request: Datagram,
+        pending: PendingRpc,
+        transit: Optional[Span] = None,
     ) -> None:
         """The reply leg lands back at the caller."""
         verdict = self.faults.inspect(reply, to_service=False)
@@ -676,6 +760,7 @@ class Network:
             self.metrics.counter(
                 "net.drops_total", {"reason": verdict.drop_reason}
             ).inc()
+            self._end_transit(transit, dropped=verdict.drop_reason)
             pending._fail(
                 Unreachable(
                     f"reply from {request.dst}:{request.dst_port} was lost"
@@ -691,6 +776,7 @@ class Network:
                 self.metrics.counter(
                     "net.drops_total", {"reason": "intercepted"}
                 ).inc()
+                self._end_transit(transit, dropped="intercepted")
                 pending._fail(
                     Unreachable(
                         f"reply from {request.dst}:{request.dst_port} was lost"
@@ -699,6 +785,7 @@ class Network:
                 )
                 return
             reply = result
+        self._end_transit(transit)
         port = {"port": reply.dst_port}
         self.metrics.counter("net.datagrams_total", port).inc()
         self.metrics.counter("net.bytes_total", port).inc(len(reply.payload))

@@ -1,27 +1,50 @@
-"""repro.obs — realm-wide metrics and structured tracing.
+"""repro.obs — realm-wide metrics, tracing, audit, and flight recording.
 
-The observability layer for the reproduction: a dependency-free metrics
-registry (:class:`MetricsRegistry` — counters, gauges, histograms keyed
-by name + label tuples) and a span tracer (:class:`Tracer`) that threads
-one request ID through a full AS→TGS→AP exchange on the simulated
-clock.  Exporters render Prometheus-style text, ``BENCH_*.json``
-snapshot artifacts, and indented span trees correlated with
-:class:`repro.trace.ProtocolTracer` output.
+The observability layer for the reproduction, four planes deep:
 
-Every :class:`repro.netsim.network.Network` owns one registry and one
-tracer (``net.metrics`` / ``net.tracer``); the instrumented layers —
-netsim, the KDC, the replay and credential caches, kprop/kpropd, the
-NFS server — all record into them.  See ``docs/OBSERVABILITY.md`` for
-the metric and span schema.
+* a dependency-free metrics registry (:class:`MetricsRegistry` —
+  counters, gauges, histograms keyed by name + label tuples);
+* a span tracer (:class:`Tracer`) whose :class:`TraceContext` propagates
+  across simulated wire hops as out-of-band datagram metadata, so one
+  Figure 9 login yields a single cross-host trace tree with net-transit,
+  queue-wait, and service breakdown;
+* an append-only security-event log (:class:`AuditLog` — auth
+  success/failure, preauth failure, replay detected, ACL denial,
+  tampered propagation, overload shed);
+* a flight recorder (:class:`FlightRecorder`) sampling registry gauges
+  into a bounded ring on the event-driven clock.
+
+Exporters render Prometheus-style text, ``BENCH_*.json`` snapshot
+artifacts, indented span trees, Chrome trace-event JSON
+(Perfetto-loadable), and per-exchange-type percentile digests;
+``python -m repro.obs.report`` merges all planes into one realm report.
+
+Every :class:`repro.netsim.network.Network` owns one registry, tracer,
+and audit log (``net.metrics`` / ``net.tracer`` / ``net.audit``); the
+instrumented layers — netsim, the KDC, the replay and credential
+caches, kprop/kpropd, the KDBM, the NFS server — all record into them.
+See ``docs/OBSERVABILITY.md`` for the metric, span, and audit schema.
 
 Smoke test: ``python -m repro.obs.selfcheck``.
 """
 
+from repro.obs.audit import (
+    AUDIT_KINDS,
+    AuditError,
+    AuditEvent,
+    AuditLog,
+)
 from repro.obs.export import (
+    chrome_trace_events,
+    format_digests,
     format_span_tree,
+    render_chrome_trace,
     render_prometheus,
+    span_digests,
+    write_chrome_trace,
     write_json_snapshot,
 )
+from repro.obs.flight import FlightRecorder, series_key
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,7 +53,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     labels_key,
 )
-from repro.obs.tracing import Span, Tracer, TracingError
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    TracingError,
+)
 
 #: Simulated-seconds latency buckets for client exchanges and KDC work
 #: (one network hop is milliseconds; a propagation round can take longer).
@@ -45,7 +73,12 @@ LIFETIME_BUCKETS = (
 )
 
 __all__ = [
+    "AUDIT_KINDS",
+    "AuditError",
+    "AuditEvent",
+    "AuditLog",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
@@ -53,10 +86,17 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "Span",
+    "TraceContext",
     "Tracer",
     "TracingError",
+    "chrome_trace_events",
+    "format_digests",
     "format_span_tree",
     "labels_key",
+    "render_chrome_trace",
     "render_prometheus",
+    "series_key",
+    "span_digests",
+    "write_chrome_trace",
     "write_json_snapshot",
 ]

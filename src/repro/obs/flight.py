@@ -1,0 +1,146 @@
+"""The flight recorder: periodic gauge samples in a bounded ring.
+
+Counters and histograms accumulate; gauges — queue depths, replay-cache
+sizes, busy workers — are *instantaneous* and vanish unless somebody
+looks at the right moment.  The flight recorder is that somebody: it
+samples every registry gauge at a fixed simulated-time cadence into a
+bounded ring buffer, so after an incident (an overload collapse, a
+propagation stall) the last N ticks of system state are still there to
+read — an aircraft flight recorder for the realm.
+
+Sampling rides the :class:`~repro.netsim.clock.SimClock` callback queue
+that the :class:`~repro.runtime.EventScheduler` advances: the tick fires
+whenever scheduler-driven time crosses a sample boundary.  Deliberately
+*not* a self-rescheduling scheduler event — that would keep the
+scheduler's queue permanently non-empty and ``run_until_idle()`` would
+never return.  No wall clock, no randomness: two same-seed runs record
+identical rings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Default cadence (simulated seconds) and ring capacity: at one sample
+#: per second, ~4 busy-hour minutes of state survive.
+DEFAULT_INTERVAL = 1.0
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Samples registry gauges on the event-driven clock into a ring.
+
+    ``prefixes`` restricts sampling to gauge names starting with any of
+    the given strings (None = every gauge).  Each sample is ``(time,
+    {series_key: value})`` where the series key is
+    ``name{label=value,...}`` — stable across runs because the registry
+    sorts instruments deterministically.
+    """
+
+    def __init__(
+        self,
+        registry,
+        scheduler,
+        interval: float = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+        prefixes: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.registry = registry
+        self.clock = scheduler.clock
+        self.interval = float(interval)
+        self.capacity = capacity
+        self.prefixes = tuple(prefixes) if prefixes is not None else None
+        self.samples: Deque[Tuple[float, Dict[str, float]]] = deque(
+            maxlen=capacity
+        )
+        self.taken = 0
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FlightRecorder":
+        """Take one sample now, then one per ``interval`` as simulated
+        time advances.  Idempotent."""
+        if self._running:
+            return self
+        self._running = True
+        self.sample()
+        self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling; the already-scheduled tick becomes a no-op.
+        The recorded ring stays readable."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        self.clock.call_at(self.clock.now() + self.interval, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample()
+        self._schedule_next()
+
+    # -- sampling ------------------------------------------------------------
+
+    def _wanted(self, name: str) -> bool:
+        if self.prefixes is None:
+            return True
+        return any(name.startswith(p) for p in self.prefixes)
+
+    def sample(self) -> Dict[str, float]:
+        """Take one sample immediately (also called by the tick)."""
+        values: Dict[str, float] = {}
+        for gauge in self.registry.gauges():
+            if not self._wanted(gauge.name):
+                continue
+            values[series_key(gauge.name, gauge.labels)] = gauge.value
+        self.samples.append((self.clock.now(), values))
+        self.taken += 1
+        self.registry.counter("obs.samples_total").inc()
+        return values
+
+    # -- queries -------------------------------------------------------------
+
+    def series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """The ring pivoted to per-series time series: ``{series_key:
+        [(time, value), ...]}``.  A series appears from the first sample
+        in which its gauge existed."""
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for when, values in self.samples:
+            for key, value in values.items():
+                out.setdefault(key, []).append((when, value))
+        return out
+
+    def to_dicts(self) -> List[dict]:
+        """Plain-data form for JSON artifacts."""
+        return [
+            {"time": when, "values": dict(sorted(values.items()))}
+            for when, values in self.samples
+        ]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def series_key(name: str, labels) -> str:
+    """``name{k=v,...}`` — the flight recorder's stable series identity.
+    ``labels`` is the instrument's sorted label tuple."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_INTERVAL",
+    "FlightRecorder",
+    "series_key",
+]

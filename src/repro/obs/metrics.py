@@ -16,6 +16,7 @@ under the seeded :class:`repro.netsim.clock.SimClock`.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Labels as stored: a sorted tuple of (key, value) string pairs.
@@ -159,6 +160,27 @@ class Histogram(Instrument):
             out.append((bound, running))
         return out
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the bucket boundaries.
+
+        Returns the smallest boundary whose cumulative count covers the
+        rank — i.e. an upper bound on the true quantile, as precise as
+        the bucket layout.  An empty histogram estimates 0.0; a rank
+        that falls in the implicit ``+Inf`` bucket returns ``inf`` (the
+        layout cannot bound it).
+        """
+        if not 0.0 < q <= 1.0:
+            raise MetricsError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        running = 0
+        for bound, n in zip(self.boundaries, self.bucket_counts):
+            running += n
+            if running >= rank:
+                return bound
+        return math.inf
+
     def zero(self) -> None:
         self.bucket_counts = [0] * len(self.boundaries)
         self.sum = 0.0
@@ -242,6 +264,16 @@ class MetricsRegistry:
             inst
             for (n, _), inst in self._instruments.items()
             if name is None or n == name
+        ]
+        out.sort(key=lambda i: (i.name, i.labels))
+        return out
+
+    def gauges(self) -> List[Gauge]:
+        """Every gauge, deterministically sorted — what the flight
+        recorder samples each tick."""
+        out = [
+            inst for inst in self._instruments.values()
+            if isinstance(inst, Gauge)
         ]
         out.sort(key=lambda i: (i.name, i.labels))
         return out

@@ -119,7 +119,10 @@ class Kprop:
         forces the Figure 13 full dump to every slave (the hourly
         safety-net cadence)."""
         with self.tracer.span(
-            "kprop.round", master=self.host.name, slaves=len(self.slaves)
+            "kprop.round",
+            master=self.host.name,
+            host=self.host.name,
+            slaves=len(self.slaves),
         ) as span:
             result = self._propagate_inner(force_full=full)
         self.metrics.histogram(

@@ -71,6 +71,8 @@ class Kpropd(Service):
 
     def on_attach(self) -> None:
         self.metrics = self.host.network.metrics
+        self.tracer = self.host.network.tracer
+        self.audit = self.host.network.audit
         self._labels = {"slave": self.host.name}
         for result in ("applied", "rejected", "need_full"):
             self.metrics.counter(
@@ -103,21 +105,25 @@ class Kpropd(Service):
         self.metrics.counter("kpropd.bytes_total", self._labels).inc(
             len(datagram.payload)
         )
-        try:
-            kind, transfer = decode_prop_message(datagram.payload)
-        except DecodeError as exc:
-            return self._reject(f"undecodable transfer: {exc}")
-        if kind == PropKind.FULL:
-            return self._handle_full(transfer)
-        return self._handle_delta(transfer)
+        with self.tracer.span_under(
+            datagram.trace, "kpropd.apply", host=self.host.name
+        ):
+            try:
+                kind, transfer = decode_prop_message(datagram.payload)
+            except DecodeError as exc:
+                return self._reject(f"undecodable transfer: {exc}")
+            if kind == PropKind.FULL:
+                return self._handle_full(transfer, trace=datagram.trace)
+            return self._handle_delta(transfer, trace=datagram.trace)
 
     # -- full dumps (Figure 13) -------------------------------------------
 
-    def _handle_full(self, transfer: PropTransfer) -> bytes:
+    def _handle_full(self, transfer: PropTransfer, trace=None) -> bytes:
         # The paper's core check: recompute the keyed checksum over the
         # received bytes and compare.  Only the holder of the master
         # database key can produce a matching one.
         if not self.db.master_key.verify_checksum(transfer.dump, transfer.checksum):
+            self._audit_tamper("full dump checksum mismatch", trace)
             return self._reject(
                 "checksum mismatch: transfer tampered with or not from the master"
             )
@@ -138,6 +144,16 @@ class Kpropd(Service):
             text=f"loaded {records} records",
         ).to_bytes()
 
+    def _audit_tamper(self, detail: str, trace) -> None:
+        """A failed keyed checksum is the one rejection that implies an
+        attacker (or corruption) rather than mere staleness."""
+        self.audit.emit(
+            "tampered_propagation",
+            host=self.host.name,
+            trace=trace,
+            detail=detail,
+        )
+
     def _reject(self, reason: str) -> bytes:
         self.metrics.counter(
             "kpropd.updates_total", {**self._labels, "result": "rejected"}
@@ -149,10 +165,11 @@ class Kpropd(Service):
 
     # -- deltas -----------------------------------------------------------
 
-    def _handle_delta(self, transfer: DeltaTransfer) -> bytes:
+    def _handle_delta(self, transfer: DeltaTransfer, trace=None) -> bytes:
         # Same trust model as the full dump: the master-key MAC over the
         # body is the only thing that makes these bytes the master's.
         if not self.db.master_key.verify_checksum(transfer.body, transfer.checksum):
+            self._audit_tamper("delta checksum mismatch", trace)
             return self._reject_delta(
                 "checksum mismatch: delta tampered with or not from the master"
             )

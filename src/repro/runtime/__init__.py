@@ -16,10 +16,11 @@ from repro.runtime.scheduler import (
     ScheduledEvent,
     SchedulerError,
 )
-from repro.runtime.workqueue import WorkQueue, WorkQueueConfig
+from repro.runtime.workqueue import QueuedItem, WorkQueue, WorkQueueConfig
 
 __all__ = [
     "EventScheduler",
+    "QueuedItem",
     "ScheduledEvent",
     "SchedulerError",
     "WorkQueue",

@@ -24,11 +24,27 @@ concurrency is event ordering on the seeded scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+from typing import Callable, Generic, List, NamedTuple, Optional, Sequence, TypeVar
 
 from repro.runtime.scheduler import EventScheduler
 
 T = TypeVar("T")
+
+#: Wait-time histogram boundaries (simulated seconds): queue waits range
+#: from sub-batch (~ms) to shed-adjacent pileups.
+WAIT_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0,
+)
+
+
+class QueuedItem(NamedTuple):
+    """One queue entry plus the observability it carries: the propagated
+    trace context of the datagram that produced it and its enqueue time
+    — what makes queue *wait* separable from *service* in a trace."""
+
+    item: object
+    trace: object
+    enqueued_at: float
 
 
 @dataclass(frozen=True)
@@ -80,6 +96,7 @@ class WorkQueue(Generic[T]):
         label: str = "workqueue",
         metrics=None,
         labels: Optional[dict] = None,
+        tracer=None,
     ) -> None:
         self.scheduler = scheduler
         self.config = config
@@ -87,13 +104,20 @@ class WorkQueue(Generic[T]):
         self._shed = shed
         self.label = label
         self.metrics = metrics
+        self.tracer = tracer
         self._labels = dict(labels or {})
-        self._queue: List[T] = []
+        self._queue: List[QueuedItem] = []
         self._busy_workers = 0
         self.submitted = 0
         self.shed_count = 0
         self.completed = 0
         self.batches = 0
+        #: Metadata of the batch currently inside the ``process``
+        #: callback (aligned with the items it received), plus the time
+        #: the batch entered service — how the owner annotates its spans
+        #: with queue-wait and batch size.
+        self.current_batch: Optional[List[QueuedItem]] = None
+        self.current_batch_dispatched_at: Optional[float] = None
 
     # -- instrumentation ---------------------------------------------------
 
@@ -111,10 +135,14 @@ class WorkQueue(Generic[T]):
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, item: T) -> bool:
+    def submit(self, item: T, trace=None) -> bool:
         """Queue one item.  Returns False (and calls ``shed``) when the
         queue is at its limit — admission control, not an exception,
-        because the caller still owes the peer an overload reply."""
+        because the caller still owes the peer an overload reply.
+
+        ``trace`` is the propagated :class:`repro.obs.TraceContext` of
+        the request this item answers; the queue emits a per-item
+        ``<label>.wait`` span under it covering enqueue → service."""
         if len(self._queue) >= self.config.queue_limit:
             self.shed_count += 1
             self._count("shed_total")
@@ -122,7 +150,9 @@ class WorkQueue(Generic[T]):
                 self._shed(item)
             return False
         self.submitted += 1
-        self._queue.append(item)
+        self._queue.append(
+            QueuedItem(item, trace, self.scheduler.clock.now())
+        )
         self._count("submitted_total")
         self._gauge_depth()
         self._dispatch()
@@ -151,18 +181,51 @@ class WorkQueue(Generic[T]):
             self.batches += 1
             self._count("batches_total")
             self._gauge_depth()
+            dispatched_at = self.scheduler.clock.now()
+            self._observe_waits(batch, dispatched_at)
             self.scheduler.after(
                 self.config.batch_cost(len(batch)),
-                lambda b=batch: self._complete(b),
+                lambda b=batch, t=dispatched_at: self._complete(b, t),
                 label=f"{self.label}.batch",
             )
 
-    def _complete(self, batch: List[T]) -> None:
+    def _observe_waits(
+        self, batch: List[QueuedItem], dispatched_at: float
+    ) -> None:
+        """Queue wait ends when the batch enters service: record a
+        histogram observation and (for traced items) a non-stack span
+        covering the residency, so the wait shows up in the trace tree
+        next to the handler span it delayed."""
+        for entry in batch:
+            wait = dispatched_at - entry.enqueued_at
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    f"{self.label}.wait_seconds", WAIT_BUCKETS, self._labels
+                ).observe(wait)
+            if (
+                self.tracer is not None
+                and self.tracer.enabled
+                and entry.trace is not None
+            ):
+                span = self.tracer.open_span(
+                    f"{self.label}.wait",
+                    context=entry.trace,
+                    start=entry.enqueued_at,
+                )
+                self.tracer.close_span(span, end=dispatched_at)
+
+    def _complete(
+        self, batch: List[QueuedItem], dispatched_at: Optional[float] = None
+    ) -> None:
         self._busy_workers -= 1
         self.completed += len(batch)
+        self.current_batch = batch
+        self.current_batch_dispatched_at = dispatched_at
         try:
-            self._process(batch)
+            self._process([entry.item for entry in batch])
         finally:
+            self.current_batch = None
+            self.current_batch_dispatched_at = None
             # More work may have queued while this batch was in service.
             self._dispatch()
 
@@ -170,10 +233,10 @@ class WorkQueue(Generic[T]):
         """Crash semantics: empty the queue (in-flight batches are the
         workers' problem — their completions must check host state).
         Returns the dropped items so the owner can fail their replies."""
-        dropped = list(self._queue)
+        dropped = [entry.item for entry in self._queue]
         self._queue.clear()
         self._gauge_depth()
         return dropped
 
 
-__all__ = ["WorkQueue", "WorkQueueConfig"]
+__all__ = ["QueuedItem", "WorkQueue", "WorkQueueConfig"]

@@ -43,7 +43,18 @@ class Replayer:
         matter, since replies are sealed in keys the attacker lacks)."""
         if not self.captured:
             raise ValueError("nothing captured to replay")
-        return self.net.inject(self.captured[index])
+        original = self.captured[index]
+        # Byte-identical on the wire — but the attacker cannot forge the
+        # sim-side trace context, so the replay arrives context-less and
+        # shows up as an orphan (empty trace_id) in the audit log.
+        forged = Datagram(
+            src=original.src,
+            src_port=original.src_port,
+            dst=original.dst,
+            dst_port=original.dst_port,
+            payload=original.payload,
+        )
+        return self.net.inject(forged)
 
     def replay_from(self, index: int, source_address) -> Optional[bytes]:
         """Replay with a rewritten source address (attacking from the

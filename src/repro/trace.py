@@ -9,11 +9,13 @@ sealed, like they would for any observer).
     ... run protocol ...
     print(tracer.format())
 
-When spans are open on the network's :class:`repro.obs.Tracer`, each
-datagram is also tagged with the active request ID, so trace lines can
-be correlated with the structured span tree (``rid=req-000001`` on the
-line matches ``Span.request_id``); :func:`correlated_report` renders
-both views merged.
+Each datagram is tagged with the trace ID it *carries* — the propagated
+:class:`repro.obs.TraceContext` stamped on it by the sender — so trace
+lines correlate with the structured span tree (``rid=req-000001`` on the
+line matches ``Span.request_id``; trace IDs and request IDs are one
+scheme).  Datagrams sent outside any span carry no context and land in
+the orphan section.  :func:`correlated_report` renders both views
+merged.
 """
 
 from __future__ import annotations
@@ -112,6 +114,10 @@ class ProtocolTracer:
         net.add_tap(self._tap)
 
     def _on_datagram(self, datagram: Datagram) -> None:
+        # Correlation comes from the datagram itself: the propagated
+        # trace context it carries, not whatever span happens to be open
+        # on the tap's stack when it crosses the wire.
+        trace = datagram.trace
         self.records.append(
             TraceRecord(
                 time=self.net.clock.now(),
@@ -122,7 +128,7 @@ class ProtocolTracer:
                 description=describe_payload(
                     datagram.payload, datagram.dst_port, datagram.src_port
                 ),
-                request_id=self.net.tracer.current_request_id,
+                request_id=None if trace is None else trace.trace_id,
             )
         )
 

@@ -211,9 +211,20 @@ class AthenaWorkload:
                     timestamp=ws.host.clock.now(),
                 )
                 wire = encode_message(MessageType.AS_REQ, request)
-                pendings.append(
-                    (len(pendings), ws.host.rpc_async(address, KERBEROS_PORT, wire))
-                )
+                # Each login is its own trace root: the async post stamps
+                # the datagram with this span's context, so the KDC's
+                # queue-wait/handler spans and both transit legs join it.
+                with net.tracer.span(
+                    "workload.login",
+                    user=client_principal.name,
+                    host=ws.host.name,
+                ):
+                    pendings.append(
+                        (
+                            len(pendings),
+                            ws.host.rpc_async(address, KERBEROS_PORT, wire),
+                        )
+                    )
 
             net.runtime.at(start + offset, post, label="workload.login")
         net.runtime.run_until_idle()

@@ -1,0 +1,130 @@
+"""The flight recorder: cadence, bounded ring, prefix filters, determinism."""
+
+import pytest
+
+from repro.netsim import SimClock
+from repro.obs import FlightRecorder, MetricsRegistry, series_key
+from repro.runtime import EventScheduler
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def world():
+    clock = SimClock()
+    scheduler = EventScheduler(clock)
+    registry = MetricsRegistry()
+    return clock, scheduler, registry
+
+
+def drive(scheduler, registry, ticks, gap=1.0):
+    """Schedule ``ticks`` gauge updates ``gap`` seconds apart and run.
+
+    Updates land at half-gap offsets (0.5, 1.5, ...) so they never tie
+    with whole-second sample boundaries — a tied tick samples before the
+    same-instant scheduler event runs."""
+    for i in range(ticks):
+        scheduler.at(
+            (i + 0.5) * gap,
+            lambda i=i: registry.gauge("kdc.queue_depth").set(i + 1),
+            label="drive",
+        )
+    scheduler.run_until_idle()
+
+
+class TestSampling:
+    def test_start_samples_immediately_then_per_interval(self, world):
+        clock, scheduler, registry = world
+        registry.gauge("kdc.queue_depth").set(3)
+        recorder = FlightRecorder(registry, scheduler, interval=1.0).start()
+        assert len(recorder) == 1  # the start() sample at t=0
+        drive(scheduler, registry, ticks=4)  # last update at t=3.5
+        # run_until_idle returned (the self-rescheduling tick rides the
+        # SimClock, not the scheduler queue) with one sample per second.
+        assert [when for when, _ in recorder.samples] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_samples_capture_gauge_values_at_tick_time(self, world):
+        clock, scheduler, registry = world
+        registry.gauge("kdc.queue_depth").set(0)
+        recorder = FlightRecorder(registry, scheduler, interval=1.0).start()
+        drive(scheduler, registry, ticks=3)
+        series = recorder.series()["kdc.queue_depth"]
+        assert series == [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+
+    def test_labelled_gauges_get_stable_series_keys(self, world):
+        clock, scheduler, registry = world
+        registry.gauge("replay.entries", {"server": "kdc-1"}).set(7)
+        recorder = FlightRecorder(registry, scheduler).start()
+        (sample,) = [values for _, values in recorder.samples]
+        assert sample == {"replay.entries{server=kdc-1}": 7.0}
+
+    def test_prefix_filter(self, world):
+        clock, scheduler, registry = world
+        registry.gauge("kdc.queue_depth").set(1)
+        registry.gauge("replay.entries").set(2)
+        recorder = FlightRecorder(
+            registry, scheduler, prefixes=("kdc.",)
+        ).start()
+        (sample,) = [values for _, values in recorder.samples]
+        assert list(sample) == ["kdc.queue_depth"]
+
+    def test_samples_counted_in_registry(self, world):
+        clock, scheduler, registry = world
+        recorder = FlightRecorder(registry, scheduler, interval=1.0).start()
+        drive(scheduler, registry, ticks=2)  # clock reaches 1.5
+        assert registry.total("obs.samples_total") == recorder.taken == 2
+
+
+class TestBounds:
+    def test_ring_keeps_only_the_last_capacity_samples(self, world):
+        clock, scheduler, registry = world
+        registry.gauge("kdc.queue_depth").set(0)
+        recorder = FlightRecorder(
+            registry, scheduler, interval=1.0, capacity=3
+        ).start()
+        drive(scheduler, registry, ticks=10)  # clock reaches 9.5
+        assert recorder.taken == 10
+        assert [when for when, _ in recorder.samples] == [7.0, 8.0, 9.0]
+
+    def test_stop_halts_sampling_but_keeps_the_ring(self, world):
+        clock, scheduler, registry = world
+        recorder = FlightRecorder(registry, scheduler, interval=1.0).start()
+        drive(scheduler, registry, ticks=2)
+        recorder.stop()
+        taken = recorder.taken
+        drive(scheduler, registry, ticks=3, gap=10.0)
+        assert recorder.taken == taken
+        assert len(recorder) == taken
+
+    def test_bad_parameters_rejected(self, world):
+        clock, scheduler, registry = world
+        with pytest.raises(ValueError):
+            FlightRecorder(registry, scheduler, interval=0.0)
+        with pytest.raises(ValueError):
+            FlightRecorder(registry, scheduler, capacity=0)
+
+
+class TestDeterminism:
+    def test_same_run_same_ring(self):
+        def run():
+            clock = SimClock()
+            scheduler = EventScheduler(clock)
+            registry = MetricsRegistry()
+            recorder = FlightRecorder(
+                registry, scheduler, interval=0.5
+            ).start()
+            drive(scheduler, registry, ticks=6, gap=0.7)
+            return recorder.to_dicts()
+
+        assert run() == run()
+
+
+class TestSeriesKey:
+    def test_unlabelled_is_bare_name(self):
+        assert series_key("kdc.queue_depth", ()) == "kdc.queue_depth"
+
+    def test_labels_render_sorted_tuple(self):
+        key = series_key(
+            "replay.entries", (("server", "kdc-1"), ("site", "slave"))
+        )
+        assert key == "replay.entries{server=kdc-1,site=slave}"

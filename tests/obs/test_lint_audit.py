@@ -1,0 +1,74 @@
+"""Audit-plane lint: :class:`repro.obs.audit.AuditEvent` may only be
+constructed inside ``repro/obs/audit.py``.
+
+Every security event must flow through :meth:`AuditLog.emit` — that is
+where the kind vocabulary is enforced, the sequence number and simulated
+timestamp are stamped, and the ``audit.events_total`` series is counted.
+A hand-rolled ``AuditEvent(...)`` anywhere else would bypass all three,
+so an AST walk bans it the same way the no-wallclock lint bans ambient
+time."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.obs
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: The one module allowed to construct the record type.
+ALLOWED = {"obs/audit.py"}
+
+
+def _constructions(path: Path) -> list:
+    """Line numbers of ``AuditEvent(...)`` calls (bare or attribute)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "AuditEvent":
+            found.append(node.lineno)
+    return found
+
+
+def test_audit_events_only_constructed_in_the_audit_module():
+    modules = sorted(SRC.rglob("*.py"))
+    assert modules, f"no modules found under {SRC}"
+    bad = {}
+    for path in modules:
+        rel = str(path.relative_to(SRC))
+        if rel in ALLOWED:
+            continue
+        lines = _constructions(path)
+        if lines:
+            bad[rel] = lines
+    assert not bad, (
+        "AuditEvent constructed outside repro/obs/audit.py "
+        "(emit through AuditLog.emit instead):\n"
+        + "\n".join(f"  {mod}:{line}" for mod, ls in bad.items() for line in ls)
+    )
+
+
+def test_the_audit_module_itself_constructs_the_event():
+    """Sanity: the walk finds the one legitimate construction site."""
+    assert _constructions(SRC / "obs" / "audit.py")
+
+
+def test_lint_catches_a_planted_construction(tmp_path):
+    planted = tmp_path / "offender.py"
+    planted.write_text(
+        "from repro.obs.audit import AuditEvent\n"
+        "import repro.obs.audit as audit\n"
+        "e1 = AuditEvent(1, 0.0, 'auth_failure', 'h', '', '', '')\n"
+        "e2 = audit.AuditEvent(2, 0.0, 'auth_failure', 'h', '', '', '')\n"
+        "ok = audit.AuditLog(None)\n"
+    )
+    assert _constructions(planted) == [3, 4]

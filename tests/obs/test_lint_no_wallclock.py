@@ -115,6 +115,21 @@ def test_lint_covers_the_resilience_modules():
     assert "netsim/faults.py" in modules
 
 
+def test_lint_covers_the_observability_modules():
+    """The tracing/audit/flight planes promise byte-identical same-seed
+    output — ambient time anywhere in them would break that, so they
+    must sit inside the linted tree too."""
+    modules = {str(p.relative_to(SRC)) for p in SRC.rglob("*.py")}
+    for module in (
+        "obs/tracing.py",
+        "obs/audit.py",
+        "obs/flight.py",
+        "obs/export.py",
+        "obs/report.py",
+    ):
+        assert module in modules
+
+
 def test_lint_catches_a_violation(tmp_path):
     """The walk itself works — it flags a planted offender."""
     planted = tmp_path / "offender.py"

@@ -129,6 +129,56 @@ class TestHistogram:
             registry.total("h")
 
 
+class TestHistogramEdges:
+    def test_identical_reregistration_returns_same_instrument(self, registry):
+        first = registry.histogram("h", (1.0, 2.0), {"kind": "as"})
+        again = registry.histogram("h", (1.0, 2.0), {"kind": "as"})
+        assert again is first
+        # Same name, same bounds, different labels: a sibling series.
+        sibling = registry.histogram("h", (1.0, 2.0), {"kind": "tgs"})
+        assert sibling is not first
+
+    def test_different_bounds_rejected_even_for_new_label_set(self, registry):
+        registry.histogram("h", (1.0, 2.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("h", (1.0, 2.0, 4.0), {"kind": "as"})
+
+    def test_empty_histogram_percentile_is_zero(self, registry):
+        hist = registry.histogram("h", (1.0, 2.0))
+        assert hist.percentile(0.5) == 0.0
+        assert hist.percentile(1.0) == 0.0
+
+    def test_percentile_quantile_must_be_in_range(self, registry):
+        hist = registry.histogram("h", (1.0,))
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(MetricsError):
+                hist.percentile(bad)
+
+    def test_percentile_nearest_rank_on_bucket_bounds(self, registry):
+        hist = registry.histogram("h", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(v)
+        # Ranks 1..4 land in buckets 1.0, 2.0, 2.0, 4.0.
+        assert hist.percentile(0.25) == 1.0
+        assert hist.percentile(0.5) == 2.0
+        assert hist.percentile(1.0) == 4.0
+
+    def test_percentile_above_all_bounds_is_inf(self, registry):
+        import math
+
+        hist = registry.histogram("h", (1.0,))
+        hist.observe(99.0)
+        assert hist.percentile(0.5) == math.inf
+
+    def test_empty_histogram_exports_zero_series(self, registry):
+        registry.histogram("lat_seconds", (0.5, 1.0))
+        text = render_prometheus(registry)
+        assert 'lat_seconds_bucket{le="0.5"} 0' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 0' in text
+        assert "lat_seconds_sum 0" in text
+        assert "lat_seconds_count 0" in text
+
+
 class TestQueries:
     def test_total_sums_over_label_filter(self, registry):
         registry.counter("x.total", {"kind": "as", "code": "OK"}).inc(2)
@@ -225,3 +275,31 @@ class TestPrometheusRender:
         registry.counter("x.total", {"k": "2"})
         text = render_prometheus(registry)
         assert text.count("# TYPE x_total counter") == 1
+
+    def test_label_values_escaped_per_spec(self, registry):
+        """Quotes, backslashes, and newlines in label values render as
+        ``\\"``, ``\\\\``, and ``\\n`` — not raw, which would corrupt
+        the exposition format."""
+        registry.counter(
+            "x.total", {"detail": 'say "hi"\\now\nplease'}
+        ).inc()
+        text = render_prometheus(registry)
+        assert (
+            'x_total{detail="say \\"hi\\"\\\\now\\nplease"} 1' in text
+        )
+        assert "\nplease" not in text  # no raw newline inside a label
+
+    def test_histogram_series_order_is_spec_deterministic(self, registry):
+        """Per series: buckets ascending, then +Inf, then _sum, then
+        _count — the order scrapers expect, stable across runs."""
+        hist = registry.histogram("h.seconds", (0.5, 1.0))
+        hist.observe(0.25)
+        text = render_prometheus(registry)
+        positions = [
+            text.index('h_seconds_bucket{le="0.5"}'),
+            text.index('h_seconds_bucket{le="1"}'),
+            text.index('h_seconds_bucket{le="+Inf"}'),
+            text.index("h_seconds_sum"),
+            text.index("h_seconds_count"),
+        ]
+        assert positions == sorted(positions)

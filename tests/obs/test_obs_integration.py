@@ -41,8 +41,9 @@ class TestFigure9SpanTree:
         assert len(rids) == 1
 
     def test_span_tree_shape(self, world):
-        """Parent span with one child per exchange; KDC handler spans
-        nest inside the client exchanges that triggered them."""
+        """Parent span with one child per exchange; each exchange holds
+        its two wire legs (request/reply transit) bracketing the KDC
+        handler span the request triggered on the other host."""
         net, realm, service = world
         run_flow(net, realm, service)
         (root,) = net.tracer.roots()
@@ -52,8 +53,46 @@ class TestFigure9SpanTree:
             "client.as_exchange", "client.tgs_exchange", "client.ap_request",
         ]
         as_span, tgs_span, _ = children
-        assert [s.name for s in net.tracer.children(as_span)] == ["kdc.as"]
-        assert [s.name for s in net.tracer.children(tgs_span)] == ["kdc.tgs"]
+        assert [s.name for s in net.tracer.children(as_span)] == [
+            "net.transit", "kdc.as", "net.transit",
+        ]
+        assert [s.name for s in net.tracer.children(tgs_span)] == [
+            "net.transit", "kdc.tgs", "net.transit",
+        ]
+        legs = [
+            s.attrs["leg"]
+            for s in net.tracer.children(as_span)
+            if s.name == "net.transit"
+        ]
+        assert legs == ["request", "reply"]
+
+    def test_trace_spans_three_hosts(self, world):
+        """The acceptance shape: one chaos-free Figure 9 flow is a single
+        trace whose spans cover client, KDC, and service hosts."""
+        from repro.apps.kerberized import KerberizedChannel, KerberizedServer
+
+        net, realm, service = world
+
+        class Echo(KerberizedServer):
+            def handle(self, session, data):
+                return data
+
+        app_host = net.add_host("priam")
+        Echo(service, realm.srvtab_for(service), app_host, 5000)
+        ws = realm.workstation()
+        with net.tracer.span("user.session", user="jis"):
+            ws.client.kinit("jis", "jis-pw")
+            channel = KerberizedChannel(
+                ws.client, service, app_host.address, 5000
+            )
+            channel.call(b"ls")
+            channel.close()
+        (rid,) = net.tracer.request_ids()
+        hosts = net.tracer.hosts(rid)
+        assert len(hosts) >= 3
+        assert ws.host.name in hosts
+        assert realm.master_host.name in hosts
+        assert "priam" in hosts
 
     def test_spans_time_on_the_sim_clock(self, world):
         net, realm, service = world
