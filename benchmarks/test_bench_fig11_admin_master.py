@@ -35,7 +35,7 @@ def test_bench_fig11_admin_roundtrip(benchmark):
 
     print("\nFigure 11 — master-only administration:")
     with pytest.raises(ReadOnlyDatabase):
-        KdbmServer(realm.slaves[0].db, realm.acl, realm.slaves[0].host, port=9999)
+        KdbmServer(realm.slaves[0].db, realm.acl, port=9999).attach(realm.slaves[0].host)
     print("  KDBM refuses to start on a slave (read-only copy)")
 
     realm.net.set_down(realm.master_host.name)

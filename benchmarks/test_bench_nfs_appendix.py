@@ -40,9 +40,9 @@ def build_fileserver(mode: AuthMode, seed: bytes):
     nfs_service, _ = realm.add_service("nfs", "helios")
     mount_service, _ = realm.add_service("mountd", "helios")
     srvtab = realm.srvtab_for(nfs_service, mount_service)
-    server = NfsServer(host, mode=mode, service=nfs_service, srvtab=srvtab)
+    server = NfsServer(mode=mode, service=nfs_service, srvtab=srvtab).attach(host)
     server.passwd.add("jis", 1001, [100])
-    MountDaemon(server, mount_service, srvtab, host)
+    MountDaemon(server, mount_service, srvtab).attach(host)
     server.fs.install_home("jis", 1001, 100)
     server.fs.create("/u/jis/data", NfsCredential(uid=1001, gids=(100,)))
     server.fs.write("/u/jis/data", b"x" * 1024, NfsCredential(uid=1001))

@@ -26,7 +26,7 @@ def build_athena():
     realm.add_user("bcn", "bcn-password")
 
     hesiod_host = net.add_host("hesiod")
-    hesiod = HesiodServer(hesiod_host)
+    hesiod = HesiodServer().attach(hesiod_host)
     hesiod.add_user("jis", 1001, [100], "helios", "/u/jis", "Jeff Schiller")
     hesiod.add_user("bcn", 1002, [100], "helios", "/u/bcn", "Cliff Neuman")
 
@@ -34,10 +34,10 @@ def build_athena():
     nfs_service, _ = realm.add_service("nfs", "helios")
     mount_service, _ = realm.add_service("mountd", "helios")
     srvtab = realm.srvtab_for(nfs_service, mount_service)
-    nfs = NfsServer(fs_host, mode=AuthMode.MAPPED, service=nfs_service, srvtab=srvtab)
+    nfs = NfsServer(mode=AuthMode.MAPPED, service=nfs_service, srvtab=srvtab).attach(fs_host)
     nfs.passwd.add("jis", 1001, [100])
     nfs.passwd.add("bcn", 1002, [100])
-    MountDaemon(nfs, mount_service, srvtab, fs_host)
+    MountDaemon(nfs, mount_service, srvtab).attach(fs_host)
     nfs.fs.install_home("jis", 1001, 100)
     nfs.fs.install_home("bcn", 1002, 100)
     return net, realm, hesiod_host, fs_host, nfs, mount_service

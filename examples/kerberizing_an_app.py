@@ -74,7 +74,7 @@ def main() -> None:
     service, _ = realm.add_service("fortune", "fortunehost")
     srvtab = realm.srvtab_for(service)
     # ...and the programmer swaps the handler for a KerberizedServer.
-    KerberizedFortuneServer(service, srvtab, server_host, port=1718)
+    KerberizedFortuneServer(service, srvtab, port=1718).attach(server_host)
     print("Registered fortune.fortunehost, extracted srvtab, server up.\n")
 
     print("=== AFTER ===")

@@ -23,7 +23,7 @@ def main() -> None:
     realm.add_user("jis", "jis-pw")
     pop_service, _ = realm.add_service("pop", "po10")
     pop_host = net.add_host("po10")
-    pop = PopServer(pop_service, realm.srvtab_for(pop_service), pop_host)
+    pop = PopServer(pop_service, realm.srvtab_for(pop_service)).attach(pop_host)
     pop.deliver("jis", b"Subject: hello\r\n\r\nfrom the wire")
 
     tracer = ProtocolTracer(net)

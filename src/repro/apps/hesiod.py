@@ -55,15 +55,29 @@ class HesiodReply(WireStruct):
     FIELDS = (field("found", "bool"), field("entry_bytes", "bytes"))
 
 
+#: Name prefix under which realm→KDC-list records live, the way real
+#: Hesiod keeps service records under reserved names.  A query for
+#: ``_kerberos.<REALM>`` answers with a :class:`HesiodKdcRecord` —
+#: this is the client-discovery channel the realm supervisor re-points
+#: after promoting a new master.
+KDC_RECORD_PREFIX = "_kerberos."
+
+
+class HesiodKdcRecord(WireStruct):
+    """The KDC list for one realm, current master first."""
+
+    FIELDS = (field("realm", "string"), field("addresses", "list:string"))
+
+
 class HesiodServer(Service):
     """Serves user directory entries, in the clear."""
 
-    def __init__(self, host: Optional[Host] = None, port: int = HESIOD_PORT) -> None:
+    def __init__(self, port: int = HESIOD_PORT) -> None:
         super().__init__()
         self.port = port
         self._entries: Dict[str, HesiodEntry] = {}
+        self._kdc_lists: Dict[str, List[str]] = {}
         self.queries = 0
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}
@@ -93,9 +107,28 @@ class HesiodServer(Service):
     def local_lookup(self, username: str) -> Optional[HesiodEntry]:
         return self._entries.get(username)
 
+    # -- realm KDC records ----------------------------------------------------
+
+    def set_kdc_list(self, realm: str, addresses) -> None:
+        """Publish (or replace) the KDC list served for ``realm``.  The
+        order is the clients' failover order: current master first."""
+        self._kdc_lists[realm] = [str(IPAddress(a)) for a in addresses]
+
+    def kdc_list(self, realm: str) -> List[str]:
+        return list(self._kdc_lists.get(realm, []))
+
     def _handle(self, datagram) -> bytes:
         self.queries += 1
         query = HesiodQuery.from_bytes(datagram.payload)
+        if query.username.startswith(KDC_RECORD_PREFIX):
+            realm = query.username[len(KDC_RECORD_PREFIX):]
+            addresses = self._kdc_lists.get(realm)
+            if addresses is None:
+                return HesiodReply(found=False, entry_bytes=b"").to_bytes()
+            record = HesiodKdcRecord(realm=realm, addresses=list(addresses))
+            return HesiodReply(
+                found=True, entry_bytes=record.to_bytes()
+            ).to_bytes()
         entry = self._entries.get(query.username)
         if entry is None:
             return HesiodReply(found=False, entry_bytes=b"").to_bytes()
@@ -115,3 +148,21 @@ def hesiod_lookup(
     if not reply.found:
         return None
     return HesiodEntry.from_bytes(reply.entry_bytes)
+
+
+def hesiod_kdcs(
+    host: Host, hesiod_address, realm: str, port: int = HESIOD_PORT
+) -> Optional[List[IPAddress]]:
+    """Client-side KDC discovery: ask Hesiod which KDCs serve ``realm``
+    (what a workstation runs at login time, and again when its
+    configured KDCs stop answering)."""
+    raw = host.rpc(
+        IPAddress(hesiod_address),
+        port,
+        HesiodQuery(username=KDC_RECORD_PREFIX + realm).to_bytes(),
+    )
+    reply = HesiodReply.from_bytes(raw)
+    if not reply.found:
+        return None
+    record = HesiodKdcRecord.from_bytes(reply.entry_bytes)
+    return [IPAddress(a) for a in record.addresses]

@@ -46,7 +46,7 @@ from repro.core.safe_priv import (
 )
 from repro.crypto import DesKey
 from repro.encode import DecodeError, WireStruct, field
-from repro.netsim import Host, IPAddress
+from repro.netsim import IPAddress
 from repro.principal import Principal
 
 
@@ -118,7 +118,6 @@ class KerberizedServer(Service):
         self,
         service: Principal,
         srvtab: SrvTab,
-        host: Optional[Host] = None,
         port: int = 0,
         skew: float = CLOCK_SKEW,
     ) -> None:
@@ -133,7 +132,6 @@ class KerberizedServer(Service):
         self.sessions: Dict[int, AppSession] = {}
         self._next_session = 1
         self.auth_failures = 0
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._dispatch}

@@ -23,10 +23,8 @@ from repro.core.messages import ApRequest
 from repro.core.replay import ReplayCache
 from repro.core.service import Service
 from repro.encode import DecodeError
-from repro.netsim import Host
 from repro.netsim.ports import MOUNTD_PORT
 from repro.principal import Principal
-from typing import Optional
 
 
 class MountDaemon(Service):
@@ -37,7 +35,6 @@ class MountDaemon(Service):
         nfs_server: NfsServer,
         service: Principal,
         srvtab: SrvTab,
-        host: Optional[Host] = None,
         port: int = MOUNTD_PORT,
     ) -> None:
         super().__init__()
@@ -47,7 +44,6 @@ class MountDaemon(Service):
         self.port = port
         self.replay_cache = ReplayCache()
         self.mappings_installed = 0
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}

@@ -65,7 +65,6 @@ class NfsServer(Service):
 
     def __init__(
         self,
-        host: Optional[Host] = None,
         fs: Optional[FileSystem] = None,
         mode: AuthMode = AuthMode.MAPPED,
         unmapped_policy: UnmappedPolicy = UnmappedPolicy.FRIENDLY,
@@ -83,7 +82,6 @@ class NfsServer(Service):
         # KERBEROS_RPC mode needs the service identity and key.
         self.service = service
         self.srvtab = srvtab
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}

@@ -23,7 +23,6 @@ from repro.apps.kerberized import (
 from repro.core.applib import SrvTab
 from repro.core.client import KerberosClient
 from repro.core.errors import ErrorCode, KerberosError
-from repro.netsim import Host
 from repro.netsim.ports import POP_PORT
 from repro.principal import Principal
 
@@ -35,10 +34,9 @@ class PopServer(KerberizedServer):
         self,
         service: Principal,
         srvtab: SrvTab,
-        host: Host,
         port: int = POP_PORT,
     ) -> None:
-        super().__init__(service, srvtab, host, port)
+        super().__init__(service, srvtab, port)
         self._mailboxes: Dict[str, List[bytes]] = {}
 
     def deliver(self, username: str, message: bytes) -> None:

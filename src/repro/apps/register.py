@@ -17,7 +17,6 @@ before the user has any Kerberos key.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.apps.sms import sms_validate
 from repro.core.errors import KerberosError
@@ -26,7 +25,7 @@ from repro.core.safe_priv import PrivMessage, krb_mk_priv, krb_rd_priv
 from repro.crypto import string_to_key
 from repro.database.db import KerberosDatabase, PrincipalExists
 from repro.encode import DecodeError, WireStruct, field
-from repro.netsim import Host, IPAddress
+from repro.netsim import IPAddress
 from repro.netsim.ports import REGISTER_PORT
 from repro.principal import Principal, PrincipalError
 
@@ -61,7 +60,6 @@ class RegisterServer(Service):
     def __init__(
         self,
         db: KerberosDatabase,
-        host: Optional[Host] = None,
         sms_address=None,
         port: int = REGISTER_PORT,
     ) -> None:
@@ -72,7 +70,6 @@ class RegisterServer(Service):
         self.sms_address = IPAddress(sms_address)
         self.port = port
         self.registrations = 0
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}

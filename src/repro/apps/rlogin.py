@@ -62,17 +62,14 @@ class RloginServer(KerberizedServer):
         self,
         service: Principal,
         srvtab: SrvTab,
-        host: Optional[Host] = None,
         port: int = KSHELL_PORT,
     ) -> None:
-        # Initialize state before the base class may auto-attach (the
-        # deprecation shim calls ports() and on_attach at construction).
         self.accounts: Dict[str, Callable[[str], str]] = {}
         # .rhosts entries: local_user -> {(remote_user, remote_host_addr)}
         self.rhosts: Dict[str, Set[Tuple[str, IPAddress]]] = {}
         self.kerberos_logins = 0
         self.rhosts_logins = 0
-        super().__init__(service, srvtab, host, port)
+        super().__init__(service, srvtab, port)
 
     def ports(self):
         # Two ports: the Kerberized protocol and the legacy .rhosts

@@ -8,11 +8,11 @@ one question — is this (name, MIT id) pair a real affiliate?
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.service import Service
 from repro.encode import WireStruct, field
-from repro.netsim import Host, IPAddress
+from repro.netsim import IPAddress
 from repro.netsim.ports import SMS_PORT
 
 
@@ -27,11 +27,10 @@ class SmsReply(WireStruct):
 class SmsServer(Service):
     """Registry of valid MIT affiliates."""
 
-    def __init__(self, host: Optional[Host] = None, port: int = SMS_PORT) -> None:
+    def __init__(self, port: int = SMS_PORT) -> None:
         super().__init__()
         self.port = port
         self._affiliates: Dict[str, str] = {}  # mit_id -> fullname
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}

@@ -22,7 +22,6 @@ from repro.core.applib import SrvTab
 from repro.core.client import KerberosClient
 from repro.core.errors import ErrorCode, KerberosError
 from repro.encode import WireStruct, field
-from repro.netsim import Host
 from repro.netsim.ports import ZEPHYR_PORT
 from repro.principal import Principal
 
@@ -46,10 +45,9 @@ class ZephyrServer(KerberizedServer):
         self,
         service: Principal,
         srvtab: SrvTab,
-        host: Host,
         port: int = ZEPHYR_PORT,
     ) -> None:
-        super().__init__(service, srvtab, host, port)
+        super().__init__(service, srvtab, port)
         self._queues: Dict[str, List[Notice]] = {}
 
     def handle(self, session, data: bytes) -> bytes:

@@ -114,6 +114,19 @@ class KerberosClient:
     def principal(self) -> Optional[Principal]:
         return self.cache.owner
 
+    def set_kdcs(self, realm: str, addresses: Sequence) -> None:
+        """Re-point this client's KDC list for ``realm`` — the discovery
+        update a workstation picks up (from Hesiod or its config) after
+        a slave promotion.  Order matters: the first address is tried
+        first, so put the current master at the head."""
+        if not addresses:
+            raise ValueError(f"need at least one KDC address for {realm}")
+        self._directory[realm] = [IPAddress(a) for a in addresses]
+
+    def kdcs(self, realm: str) -> List[IPAddress]:
+        """The client's current KDC list for ``realm`` (copy)."""
+        return list(self._directory.get(realm, []))
+
     # -- KDC transport with failover (Figure 10) -----------------------------
 
     def _ask_kdc(self, realm: str, build_payload, op: str = "kdc") -> bytes:

@@ -48,7 +48,7 @@ from repro.core.replay import CLOCK_SKEW, ReplayCache
 from repro.core.ticket import Ticket, seal_ticket
 from repro.database.db import KerberosDatabase, NoSuchPrincipal
 from repro.database.schema import PrincipalRecord
-from repro.netsim import DeferredReply, Host, IPAddress
+from repro.netsim import DeferredReply, IPAddress
 from repro.netsim.ports import KERBEROS_PORT
 from repro.obs import LIFETIME_BUCKETS
 from repro.principal import Principal, tgs_principal
@@ -81,7 +81,6 @@ class KerberosServer(Service):
     def __init__(
         self,
         database: KerberosDatabase,
-        host: Optional[Host] = None,
         keygen: Optional[KeyGenerator] = None,
         skew: float = CLOCK_SKEW,
         port: int = KERBEROS_PORT,
@@ -103,7 +102,6 @@ class KerberosServer(Service):
         self.queue_config = queue
         self.workqueue: Optional[WorkQueue] = None
         self._batch_records = None
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}

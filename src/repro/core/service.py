@@ -18,9 +18,11 @@ must let them rebuild.
   :meth:`on_crash`, :meth:`on_restart` — are driven by the network
   (``Network.set_down/set_up`` and the crash/restart fault helpers).
 
-Deprecation shim (one release): constructors still accept a ``host``
-argument and auto-attach, so ``KerberosServer(db, host, keygen)`` keeps
-working; new code should construct detached and call ``attach(host)``.
+Construction is always detached: build the daemon, then
+``attach(host)`` (the call chains, so
+``KerberosServer(db, keygen=kg).attach(host)`` reads naturally).  The
+constructor-``host`` auto-attach shim that eased the original migration
+was kept exactly one release and is gone.
 
 Direct ``Host.bind`` calls outside :mod:`repro.netsim` and this module
 are banned by the AST lint suite (tests and attacker tooling excepted —
@@ -94,13 +96,6 @@ class Service:
         for port in self.ports():
             host.unbind(port)
         host.unregister_service(self)
-
-    def _maybe_attach(self, host) -> None:
-        """Constructor-side deprecation shim: attach when a host was
-        passed the pre-Service way (``host=None`` means 'construct
-        detached', the new style)."""
-        if host is not None:
-            self.attach(host)
 
     # -- hooks (no-ops by default) -------------------------------------------
 

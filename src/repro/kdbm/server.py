@@ -18,7 +18,7 @@ authentication continues — when the master is down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.applib import krb_rd_req
 from repro.core.errors import ErrorCode, KerberosError
@@ -39,7 +39,6 @@ from repro.kdbm.messages import (
     AdminRequestBody,
     KdbmRequest,
 )
-from repro.netsim import Host
 from repro.netsim.ports import KDBM_PORT
 from repro.principal import Principal, kdbm_principal
 
@@ -63,7 +62,6 @@ class KdbmServer(Service):
         self,
         database: KerberosDatabase,
         acl: AccessControlList,
-        host: Optional[Host] = None,
         skew: float = CLOCK_SKEW,
         port: int = KDBM_PORT,
     ) -> None:
@@ -80,7 +78,6 @@ class KdbmServer(Service):
         self.service = kdbm_principal(database.realm)
         self.replay_cache = ReplayCache(window=skew)
         self.log: List[KdbmLogEntry] = []
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}

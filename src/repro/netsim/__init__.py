@@ -40,6 +40,7 @@ from repro.netsim.network import (
     Datagram,
     DeferredReply,
     Host,
+    HostDown,
     Network,
     NetworkError,
     NoSuchService,
@@ -72,6 +73,7 @@ __all__ = [
     "FaultRule",
     "Host",
     "HostClock",
+    "HostDown",
     "IPAddress",
     "Jitter",
     "Loss",

@@ -50,6 +50,14 @@ class Unreachable(NetworkError):
     """The destination host is down, unknown, or the packet was lost."""
 
 
+class HostDown(Unreachable):
+    """The destination host itself is down — a crash, not a lossy wire.
+
+    Subclassing :class:`Unreachable` keeps every existing retry/failover
+    path working unchanged, while callers that care (scenario SLO
+    verdicts, the burst driver) can tell "KDC dead" from "KDC slow"."""
+
+
 class NoSuchService(NetworkError):
     """The destination host is up but nothing listens on the port."""
 
@@ -709,8 +717,10 @@ class Network:
     def _handle_at_destination(self, datagram: Datagram):
         """Hand a datagram that survived transit to its bound service."""
         host = self._hosts_by_addr.get(datagram.dst)
-        if host is None or not host.up:
+        if host is None:
             raise Unreachable(f"host {datagram.dst} is unreachable")
+        if not host.up:
+            raise HostDown(f"host {datagram.dst} ({host.name}) is down")
         handler = host.handler_for(datagram.dst_port)
         if handler is None:
             raise NoSuchService(

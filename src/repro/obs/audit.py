@@ -39,7 +39,11 @@ from typing import List, Optional
 #: ``tampered_propagation`` — kpropd rejected a transfer whose checksum
 #:   did not verify;
 #: ``overload_shed``    — admission control refused a request (queue
-#:   full).
+#:   full);
+#: ``master_promoted``  — the realm supervisor (or an administrator)
+#:   promoted a slave to master after sustained master death;
+#: ``slave_rejoined``   — a demoted former master came back up and was
+#:   readmitted to the propagation set as a slave.
 AUDIT_KINDS = (
     "auth_success",
     "auth_failure",
@@ -48,6 +52,8 @@ AUDIT_KINDS = (
     "acl_denial",
     "tampered_propagation",
     "overload_shed",
+    "master_promoted",
+    "slave_rejoined",
 )
 
 #: Recorded-event ceiling; beyond it the log drops (and counts) rather

@@ -8,5 +8,6 @@ workstations with client libraries.
 """
 
 from repro.realm.bootstrap import Realm, Workstation, link
+from repro.realm.supervisor import RealmSupervisor, SupervisorConfig
 
-__all__ = ["Realm", "Workstation", "link"]
+__all__ = ["Realm", "RealmSupervisor", "SupervisorConfig", "Workstation", "link"]

@@ -33,6 +33,7 @@ from repro.database.journal import default_epoch
 from repro.database.schema import DEFAULT_MAX_LIFE
 from repro.kdbm.server import KdbmServer
 from repro.netsim import Host, IPAddress, Network
+from repro.netsim.clock import HOUR
 from repro.principal import Principal
 from repro.replication.kprop import Kprop
 from repro.replication.kpropd import Kpropd
@@ -98,12 +99,11 @@ class Realm:
         self.master_host = net.add_host(f"{prefix}-kerberos")
         self.kdc = KerberosServer(
             self.db,
-            self.master_host,
             self.keygen.fork(b"kdc-master"),
             workers=self.kdc_workers,
             queue=self.kdc_queue,
-        )
-        self.kdbm = KdbmServer(self.db, self.acl, self.master_host)
+        ).attach(self.master_host)
+        self.kdbm = KdbmServer(self.db, self.acl).attach(self.master_host)
 
         # Slaves with propagation.
         self.slaves: List[SlaveSite] = []
@@ -115,6 +115,12 @@ class Realm:
 
         self._service_keys: Dict[str, DesKey] = {}
         self._ws_count = 0
+        #: Every workstation built via :meth:`workstation`, so discovery
+        #: re-pointing after a promotion can reach all of them.
+        self.workstations: List[Workstation] = []
+        #: Optional Hesiod server publishing this realm's KDC list (see
+        #: :meth:`publish_kdcs`); republished on :meth:`repoint_clients`.
+        self.hesiod = None
 
     # -- topology ---------------------------------------------------------------
 
@@ -123,12 +129,11 @@ class Realm:
         slave_db = self.db.replica()
         kdc = KerberosServer(
             slave_db,
-            host,
             self.keygen.fork(hostname.encode()),
             workers=self.kdc_workers,
             queue=self.kdc_queue,
-        )
-        kpropd = Kpropd(slave_db, host)
+        ).attach(host)
+        kpropd = Kpropd(slave_db).attach(host)
         site = SlaveSite(host=host, db=slave_db, kdc=kdc, kpropd=kpropd)
         self.slaves.append(site)
         self.kprop.add_slave(host.address)
@@ -156,7 +161,9 @@ class Realm:
         client = KerberosClient(
             host, self.name, self.kdc_addresses(), retry_policy=retry_policy
         )
-        return Workstation(host=host, client=client)
+        ws = Workstation(host=host, client=client)
+        self.workstations.append(ws)
+        return ws
 
     def partition_master(self):
         """Cut the master off from everyone (Figure 10's "the master
@@ -235,7 +242,9 @@ class Realm:
         forces full dumps everywhere)."""
         return self.kprop.propagate(full=full)
 
-    def promote_slave(self, index: int = 0) -> SlaveSite:
+    def promote_slave(
+        self, index: int = 0, demote_old: bool = False
+    ) -> SlaveSite:
         """Disaster recovery: turn a slave into the new master.
 
         The procedure an Athena administrator would run after losing the
@@ -245,10 +254,21 @@ class Realm:
         write-side services (KDBM, kprop) on that host.  The old master,
         if it ever returns, must be rebuilt as a slave.
 
+        With ``demote_old=True`` (what the realm supervisor passes) the
+        rebuild happens now: the old master's KDBM retires, its KDC is
+        re-pointed at an empty read-only replica of the new master's
+        database, and a fresh kpropd joins the propagation set — so when
+        the machine restarts it answers the first delta with NEED_FULL
+        and catches up through the ordinary full-dump-then-deltas path,
+        with no second epoch conflict.
+
         Returns the promoted site; ``self.master_host``/``kdbm``/``kprop``
         are repointed.  Clients keep working throughout: their KDC lists
         already include the promoted host.
         """
+        old_master_host = self.master_host
+        old_kdc = self.kdc
+        old_kdbm = self.kdbm
         site = self.slaves.pop(index)
         # Reopen the slave's store read-write under the same master key.
         # The promoted journal starts a new epoch: its sequence numbers
@@ -267,24 +287,63 @@ class Realm:
         self.db = promoted_db
         self.master_host = site.host
         self.kdc = site.kdc
-        self.kdbm = KdbmServer(promoted_db, self.acl, site.host)
+        self.kdbm = KdbmServer(promoted_db, self.acl).attach(site.host)
         self.kprop = Kprop(
             promoted_db, site.host,
             slave_addresses=[s.host.address for s in self.slaves],
         )
+        if demote_old:
+            self._demote_to_slave(old_master_host, old_kdc, old_kdbm)
         return site
 
+    def _demote_to_slave(self, host: Host, kdc, kdbm) -> SlaveSite:
+        """Rebuild the (usually dead) old master as a slave of the new
+        one.  Bindings are mutable while a host is down, so this runs at
+        promotion time; the machine comes back already wearing its new
+        role and catches up via NEED_FULL → full dump → deltas."""
+        if kdbm.attached:
+            kdbm.detach()  # writes only ever land on the current master
+        replica = self.db.replica()
+        kdc.db = replica
+        kpropd = Kpropd(replica).attach(host)
+        site = SlaveSite(host=host, db=replica, kdc=kdc, kpropd=kpropd)
+        self.slaves.append(site)
+        self.kprop.add_slave(host.address)
+        return site
+
+    def repoint_clients(self) -> None:
+        """Push the current KDC list (master first) to every workstation
+        this realm built, and republish it through Hesiod if attached —
+        the discovery update that makes ``run_with_failover`` find the
+        new master after a promotion."""
+        addresses = self.kdc_addresses()
+        for ws in self.workstations:
+            ws.client.set_kdcs(self.name, addresses)
+        if self.hesiod is not None:
+            self.hesiod.set_kdc_list(self.name, addresses)
+
+    def publish_kdcs(self, hesiod) -> None:
+        """Register a :class:`~repro.apps.hesiod.HesiodServer` as this
+        realm's discovery channel and publish the current KDC list."""
+        self.hesiod = hesiod
+        hesiod.set_kdc_list(self.name, self.kdc_addresses())
+
     def schedule_propagation(self, interval: Optional[float] = None) -> None:
-        """The paper's cadence: periodic full dumps (hourly by default)."""
-        if interval is None:
-            self.kprop.schedule_hourly()
-        else:
-            self.kprop.schedule_hourly(interval=interval)
+        """The paper's cadence: periodic full dumps (hourly by default).
+
+        Scheduled against ``self.kprop`` *at fire time*, so a cadence
+        installed before a promotion keeps driving whichever kprop is
+        current — not the dead master's."""
+        period = HOUR if interval is None else interval
+        self.net.clock.call_every(
+            period, lambda: self.kprop.propagate(full=True)
+        )
 
     def schedule_incremental(self, interval: float = 30.0) -> None:
         """The fast cadence: delta rounds every ``interval`` seconds,
-        alongside (not instead of) the hourly full dump."""
-        self.kprop.schedule_incremental(interval=interval)
+        alongside (not instead of) the hourly full dump.  Resolves
+        ``self.kprop`` at fire time, like :meth:`schedule_propagation`."""
+        self.net.clock.call_every(interval, lambda: self.kprop.propagate())
 
 
 def link(realm_a: Realm, realm_b: Realm, now: Optional[float] = None) -> DesKey:

@@ -22,7 +22,6 @@ from typing import List, Optional
 from repro.core.service import Service
 from repro.database.db import DatabaseError, KerberosDatabase
 from repro.encode import DecodeError
-from repro.netsim import Host
 from repro.netsim.ports import KPROP_PORT
 from repro.replication.messages import (
     DeltaBody,
@@ -43,7 +42,6 @@ class Kpropd(Service):
     def __init__(
         self,
         database: KerberosDatabase,
-        host: Optional[Host] = None,
         port: int = KPROP_PORT,
     ) -> None:
         super().__init__()
@@ -64,7 +62,6 @@ class Kpropd(Service):
         # full-dump catch-up (the safe answer after losing state).
         self.applied_epoch: Optional[int] = None
         self.applied_seq: int = 0
-        self._maybe_attach(host)
 
     def ports(self):
         return {self.port: self._handle}

@@ -1,0 +1,40 @@
+"""Fleet-scale chaos scenario engine.
+
+A *campaign* is a named, parameterized, fully deterministic drill: it
+composes the fault plane (:mod:`repro.netsim.faults`), the event
+runtime, the realm supervisor, and :class:`repro.workload.AthenaWorkload`
+into one declarative run that ends in SLO verdicts and a per-station
+outcome digest.  The library (:mod:`repro.scenarios.library`) ships the
+drills the paper's deployment story implies — the morning login storm,
+a slave outage at peak, the master assassination the supervisor must
+survive, a rolling KDC upgrade, a clock-skew epidemic, and lossy-WAN
+degradation.
+
+Run them from code (:func:`repro.scenarios.run`) or from the command
+line (``python -m repro.scenarios``).
+"""
+
+from repro.scenarios.engine import (
+    Campaign,
+    CampaignResult,
+    SloCheck,
+    SloSpec,
+    StationRecord,
+    campaign,
+    get,
+    names,
+    run,
+)
+from repro.scenarios import library  # noqa: F401  (registers the campaigns)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "SloCheck",
+    "SloSpec",
+    "StationRecord",
+    "campaign",
+    "get",
+    "names",
+    "run",
+]

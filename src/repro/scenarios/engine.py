@@ -1,0 +1,278 @@
+"""The campaign engine: registry, SLO evaluation, outcome accounting.
+
+A campaign body is a plain function ``fn(seed, params) -> CampaignResult``
+registered with the :func:`campaign` decorator.  The engine owns the
+cross-cutting mechanics — parameter merging, SLO verdicts, latency
+percentiles, and the per-station outcome digest that makes two
+same-seed runs comparable byte-for-byte.
+
+Everything a result carries is derived from the simulated clock and the
+seeded RNG, never from wall time, so ``run(name, seed)`` is a pure
+function: same name, same seed, same parameters → identical
+:meth:`CampaignResult.summary`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import KerberosError
+from repro.core.retry import RetryExhausted
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.999999) - 1))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective: a named observation with a bound.
+
+    ``kind`` is the comparison: ``"min"`` passes when the observation is
+    at least the threshold (success rates, event counts), ``"max"`` when
+    it is at most the threshold (latencies, recovery times, promotion
+    budgets).
+    """
+
+    name: str
+    kind: str            # "min" | "max"
+    threshold: float
+    description: str = ""
+
+    def check(self, observed: float) -> "SloCheck":
+        if self.kind == "min":
+            passed = observed >= self.threshold
+        elif self.kind == "max":
+            passed = observed <= self.threshold
+        else:
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        return SloCheck(
+            name=self.name,
+            kind=self.kind,
+            threshold=self.threshold,
+            observed=observed,
+            passed=passed,
+            description=self.description,
+        )
+
+
+@dataclass
+class SloCheck:
+    """An SLO evaluated against one campaign run."""
+
+    name: str
+    kind: str
+    threshold: float
+    observed: float
+    passed: bool
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "observed": round(self.observed, 6),
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class StationRecord:
+    """What one workstation experienced during the drill."""
+
+    station: str
+    user: str
+    outcome: str         # "ok" or a typed failure label
+    latency: float       # sim-seconds for this station's operation
+
+
+@dataclass
+class CampaignResult:
+    """The declarative verdict of one campaign run."""
+
+    name: str
+    seed: int
+    params: Dict[str, object]
+    makespan: float = 0.0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    checks: List[SloCheck] = field(default_factory=list)
+    digest: str = ""
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def summary(self) -> dict:
+        """The artifact/CLI view; deterministic for a given (name, seed)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+            "makespan": round(self.makespan, 6),
+            "outcomes": {k: self.outcomes[k] for k in sorted(self.outcomes)},
+            "latency_p50": round(self.latency_p50, 6),
+            "latency_p95": round(self.latency_p95, 6),
+            "latency_p99": round(self.latency_p99, 6),
+            "checks": [c.as_dict() for c in self.checks],
+            "passed": self.passed,
+            "digest": self.digest,
+            "notes": {k: self.notes[k] for k in sorted(self.notes)},
+        }
+
+    # -- accounting helpers (campaign bodies call these) --------------------
+
+    def account(self, records: Sequence[StationRecord]) -> None:
+        """Fold per-station records into outcome counts, percentiles
+        (over successful operations), and the run digest."""
+        counts: Dict[str, int] = {}
+        for record in records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        self.outcomes = counts
+        ok_latencies = [r.latency for r in records if r.outcome == "ok"]
+        self.latency_p50 = percentile(ok_latencies, 0.50)
+        self.latency_p95 = percentile(ok_latencies, 0.95)
+        self.latency_p99 = percentile(ok_latencies, 0.99)
+        fingerprint = hashlib.sha256()
+        for record in records:
+            fingerprint.update(
+                f"{record.station}:{record.user}:{record.outcome}:"
+                f"{record.latency!r};".encode()
+            )
+        self.digest = fingerprint.hexdigest()
+
+    def evaluate(
+        self, slos: Sequence[SloSpec], observations: Mapping[str, float]
+    ) -> None:
+        """Check every SLO against its named observation (missing → 0)."""
+        self.checks = [
+            slo.check(float(observations.get(slo.name, 0.0))) for slo in slos
+        ]
+
+    def success_rate(self) -> float:
+        total = sum(self.outcomes.values())
+        return self.outcomes.get("ok", 0) / total if total else 0.0
+
+
+def classify_failure(exc: Exception) -> str:
+    """A stable label for a failed station operation."""
+    if isinstance(exc, RetryExhausted):
+        return "unavailable"
+    if isinstance(exc, KerberosError):
+        return f"refused:{exc.code.name}"
+    return f"error:{type(exc).__name__}"
+
+
+def login_job(
+    net,
+    ws,
+    username: str,
+    password: str,
+    records: List[StationRecord],
+) -> Callable[[], None]:
+    """A schedulable closed-loop login for one station: kdestroy + kinit,
+    outcome and latency recorded, failures contained (a dead KDC must
+    not unwind the event loop)."""
+
+    def job() -> None:
+        started = net.clock.now()
+        try:
+            ws.client.kdestroy()
+            ws.client.kinit(username, password)
+            outcome = "ok"
+        except Exception as exc:
+            outcome = classify_failure(exc)
+        records.append(
+            StationRecord(
+                station=ws.host.name,
+                user=username,
+                outcome=outcome,
+                latency=net.clock.now() - started,
+            )
+        )
+
+    return job
+
+
+# -- the registry -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A registered drill: metadata plus the body that runs it."""
+
+    name: str
+    description: str
+    defaults: Tuple[Tuple[str, object], ...]
+    slos: Tuple[SloSpec, ...]
+    body: Callable[[int, Dict[str, object]], CampaignResult]
+
+    def run(self, seed: int = 1988, **overrides: object) -> CampaignResult:
+        params: Dict[str, object] = dict(self.defaults)
+        unknown = set(overrides) - set(params)
+        if unknown:
+            raise KeyError(
+                f"campaign {self.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; knows {sorted(params)}"
+            )
+        params.update(overrides)
+        result = self.body(seed, params)
+        result.name = self.name
+        result.seed = seed
+        result.params = params
+        return result
+
+
+_REGISTRY: Dict[str, Campaign] = {}
+
+
+def campaign(
+    name: str,
+    description: str,
+    defaults: Optional[Mapping[str, object]] = None,
+    slos: Sequence[SloSpec] = (),
+):
+    """Decorator: register ``fn(seed, params) -> CampaignResult``."""
+
+    def register(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"campaign {name!r} already registered")
+        _REGISTRY[name] = Campaign(
+            name=name,
+            description=description,
+            defaults=tuple(sorted((defaults or {}).items())),
+            slos=tuple(slos),
+            body=fn,
+        )
+        return fn
+
+    return register
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Campaign:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no campaign {name!r}; available: {', '.join(names())}"
+        ) from None
+
+
+def run(name: str, seed: int = 1988, **overrides: object) -> CampaignResult:
+    """Run one named campaign at a seed; deterministic end to end."""
+    return get(name).run(seed, **overrides)

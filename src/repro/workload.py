@@ -17,6 +17,7 @@ from typing import List, Tuple
 
 from repro.core.errors import ErrorCode
 from repro.core.messages import AsRequest, MessageType, decode_message, encode_message
+from repro.netsim import HostDown
 from repro.netsim.ports import KERBEROS_PORT
 from repro.principal import Principal, tgs_principal
 from repro.realm import Realm, Workstation
@@ -47,9 +48,15 @@ class BurstResult:
     posted: int = 0
     completed: int = 0        # AS_REP came back
     overloaded: int = 0       # typed KDC_OVERLOADED error reply
-    failed: int = 0           # anything else (lost, host down, ...)
+    timed_out: int = 0        # lost or unanswered (plain Unreachable)
+    host_down: int = 0        # destination KDC was crashed (HostDown)
     makespan: float = 0.0     # sim-seconds from first arrival to drain
     digest: str = ""          # order-sensitive run fingerprint
+
+    @property
+    def failed(self) -> int:
+        """All non-completions other than typed overload shedding."""
+        return self.timed_out + self.host_down
 
     @property
     def throughput(self) -> float:
@@ -232,7 +239,14 @@ class AthenaWorkload:
         result = BurstResult(posted=count, makespan=net.clock.now() - start)
         fingerprint = hashlib.sha256()
         for index, pending in pendings:
-            outcome = "failed"
+            # HostDown (a crashed KDC refused the datagram) is a
+            # different postmortem than a lost packet or a reply that
+            # never came — scenario SLOs charge them separately.
+            outcome = (
+                "host_down"
+                if isinstance(pending.error, HostDown)
+                else "timed_out"
+            )
             if pending.error is None and pending.reply is not None:
                 try:
                     mtype, message = decode_message(pending.reply)

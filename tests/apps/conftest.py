@@ -21,7 +21,7 @@ class AthenaWorld:
 
         # Hesiod.
         self.hesiod_host = self.net.add_host("hesiod")
-        self.hesiod = HesiodServer(self.hesiod_host)
+        self.hesiod = HesiodServer().attach(self.hesiod_host)
         self.hesiod.add_user("jis", 1001, [100], "fs1", "/u/jis", "Jeff Schiller")
         self.hesiod.add_user("bcn", 1002, [100], "fs1", "/u/bcn", "Cliff Neuman")
 
@@ -31,16 +31,15 @@ class AthenaWorld:
         self.mount_service, _ = self.realm.add_service("mountd", "fs1")
         srvtab = self.realm.srvtab_for(self.nfs_service, self.mount_service)
         self.nfs_server = NfsServer(
-            self.fs_host,
             mode=AuthMode.MAPPED,
             service=self.nfs_service,
             srvtab=srvtab,
-        )
+        ).attach(self.fs_host)
         self.nfs_server.passwd.add("jis", 1001, [100])
         self.nfs_server.passwd.add("bcn", 1002, [100])
         self.mountd = MountDaemon(
-            self.nfs_server, self.mount_service, srvtab, self.fs_host
-        )
+            self.nfs_server, self.mount_service, srvtab
+        ).attach(self.fs_host)
         self.nfs_server.fs.install_home("jis", 1001, 100)
         self.nfs_server.fs.install_home("bcn", 1002, 100)
 

@@ -26,7 +26,9 @@ class EchoServer(KerberizedServer):
 def echo(world):
     service, _ = world.realm.add_service("echo", "echohost")
     host = world.net.add_host("echohost")
-    server = EchoServer(service, world.realm.srvtab_for(service), host, PORT)
+    server = EchoServer(
+        service, world.realm.srvtab_for(service), PORT
+    ).attach(host)
     return service, host, server
 
 

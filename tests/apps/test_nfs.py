@@ -25,12 +25,12 @@ def make_server(world, mode, policy=UnmappedPolicy.FRIENDLY, hostname="fsx"):
     mount_service, _ = world.realm.add_service("mountd", hostname)
     srvtab = world.realm.srvtab_for(nfs_service, mount_service)
     server = NfsServer(
-        host, mode=mode, unmapped_policy=policy,
+        mode=mode, unmapped_policy=policy,
         service=nfs_service, srvtab=srvtab,
-    )
+    ).attach(host)
     server.passwd.add("jis", 1001, [100])
     server.passwd.add("bcn", 1002, [100])
-    mountd = MountDaemon(server, mount_service, srvtab, host)
+    mountd = MountDaemon(server, mount_service, srvtab).attach(host)
     server.fs.install_home("jis", 1001, 100)
     server.fs.install_home("bcn", 1002, 100)
     # Seed a file in each home.

@@ -13,7 +13,7 @@ from tests.apps.conftest import REALM
 def post_office(world):
     service, _ = world.realm.add_service("pop", "mailhost")
     host = world.net.add_host("mailhost")
-    server = PopServer(service, world.realm.srvtab_for(service), host)
+    server = PopServer(service, world.realm.srvtab_for(service)).attach(host)
     server.deliver("jis", b"From: bcn\r\n\r\nlunch?")
     server.deliver("jis", b"From: treese\r\n\r\nmeeting at 3")
     server.deliver("bcn", b"From: jis\r\n\r\nsure")
@@ -24,7 +24,7 @@ def post_office(world):
 def zephyr(world):
     service, _ = world.realm.add_service("zephyr", "zhost")
     host = world.net.add_host("zhost")
-    server = ZephyrServer(service, world.realm.srvtab_for(service), host)
+    server = ZephyrServer(service, world.realm.srvtab_for(service)).attach(host)
     return service, host, server
 
 

@@ -14,11 +14,11 @@ from tests.apps.conftest import REALM
 def signup(world):
     """SMS + register server on the master machine."""
     sms_host = world.net.add_host("sms")
-    sms = SmsServer(sms_host)
+    sms = SmsServer().attach(sms_host)
     sms.add_affiliate("Barbara C. Newuser", "912345678")
     register = RegisterServer(
-        world.realm.db, world.realm.master_host, sms_host.address
-    )
+        world.realm.db, sms_host.address
+    ).attach(world.realm.master_host)
     return sms_host, sms, register
 
 

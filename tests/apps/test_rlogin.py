@@ -12,7 +12,7 @@ def priam(world):
     """The timesharing machine priam with its rlogin daemon."""
     service, _ = world.realm.add_service("rcmd", "priam")
     host = world.net.add_host("priam")
-    server = RloginServer(service, world.realm.srvtab_for(service), host)
+    server = RloginServer(service, world.realm.srvtab_for(service)).attach(host)
     server.add_account("jis")
     server.add_account("bcn")
     return service, host, server

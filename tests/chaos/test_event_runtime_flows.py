@@ -47,7 +47,7 @@ def run_figures_on_event_runtime(seed):
     realm.propagate()
 
     priam = net.add_host("priam")
-    rlogind = RloginServer(rcmd, realm.srvtab_for(rcmd), priam)
+    rlogind = RloginServer(rcmd, realm.srvtab_for(rcmd)).attach(priam)
     rlogind.add_account("jis")
 
     # The hostile world: some KDC-bound requests vanish, some arrive

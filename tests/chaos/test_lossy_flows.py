@@ -41,7 +41,7 @@ def run_figures_5_through_13(seed):
     realm.propagate()
 
     priam = net.add_host("priam")
-    rlogind = RloginServer(rcmd, realm.srvtab_for(rcmd), priam)
+    rlogind = RloginServer(rcmd, realm.srvtab_for(rcmd)).attach(priam)
     rlogind.add_account("jis")
 
     # The hostile link: 10% of KDC-bound requests vanish, and half of

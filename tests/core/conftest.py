@@ -35,7 +35,7 @@ def kdc_host(net):
 
 @pytest.fixture
 def kdc(db, kdc_host, keygen):
-    return KerberosServer(db, kdc_host, keygen.fork(b"kdc"))
+    return KerberosServer(db, keygen.fork(b"kdc")).attach(kdc_host)
 
 
 @pytest.fixture

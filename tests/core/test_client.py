@@ -53,10 +53,10 @@ class TestFailover:
     def test_second_kdc_used_when_first_down(self, net, db, keygen, ws):
         master_host = net.add_host("kerberos-master")
         slave_host = net.add_host("kerberos-1")
-        KerberosServer(db, master_host, keygen.fork(b"m"))
+        KerberosServer(db, keygen.fork(b"m")).attach(master_host)
         slave_db = db.replica()
         slave_db.load_dump(db.dump())
-        KerberosServer(slave_db, slave_host, keygen.fork(b"s"))
+        KerberosServer(slave_db, keygen.fork(b"s")).attach(slave_host)
 
         client = KerberosClient(
             ws, REALM, [master_host.address, slave_host.address]
@@ -67,7 +67,7 @@ class TestFailover:
 
     def test_all_kdcs_down(self, net, db, keygen, ws):
         host = net.add_host("kerberos-only")
-        KerberosServer(db, host, keygen.fork(b"m"))
+        KerberosServer(db, keygen.fork(b"m")).attach(host)
         client = KerberosClient(ws, REALM, [host.address])
         net.set_down("kerberos-only")
         with pytest.raises(Unreachable):

@@ -39,8 +39,8 @@ def world():
     service_key = register_service(db_l, service, gen)
     link_realms(db_a, db_l, gen)
 
-    KerberosServer(db_a, athena_kdc, gen.fork(b"a"))
-    KerberosServer(db_l, lcs_kdc, gen.fork(b"l"))
+    KerberosServer(db_a, gen.fork(b"a")).attach(athena_kdc)
+    KerberosServer(db_l, gen.fork(b"l")).attach(lcs_kdc)
     client = KerberosClient(
         ws,
         ATHENA,
@@ -121,7 +121,7 @@ class TestCrossRealmFailures:
         db_u = kdb_init(UW, "u-pw", gen)
         service = Principal("rlogin", "june", UW)
         register_service(db_u, service, gen)
-        KerberosServer(db_u, uw_kdc, gen.fork(b"u"))
+        KerberosServer(db_u, gen.fork(b"u")).attach(uw_kdc)
         world["client"]._directory[UW] = [uw_kdc.address]
 
         world["client"].kinit("jis", "jis-pw")
@@ -141,7 +141,7 @@ class TestCrossRealmFailures:
         uw_kdc = world["net"].add_host("uw2-kdc")
         service = Principal("rlogin", "x", UW)
         register_service(db_l2, service, gen)
-        KerberosServer(db_l2, uw_kdc, gen.fork(b"u2"))
+        KerberosServer(db_l2, gen.fork(b"u2")).attach(uw_kdc)
         world["client"]._directory[UW] = [uw_kdc.address]
 
         world["client"].kinit("jis", "jis-pw")
@@ -164,7 +164,7 @@ class TestCrossRealmFailures:
         uw_kdc = world["net"].add_host("uw3-kdc")
         db_u = kdb_init(UW, "u3-pw", gen)
         link_realms(world["db_l"], db_u, gen)
-        KerberosServer(db_u, uw_kdc, gen.fork(b"u3"))
+        KerberosServer(db_u, gen.fork(b"u3")).attach(uw_kdc)
 
         client = world["client"]
         client._directory[UW] = [uw_kdc.address]

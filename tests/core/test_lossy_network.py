@@ -25,7 +25,7 @@ def build(loss_rate, seed=0, retries=3):
     service = Principal("rlogin", "priam", REALM)
     register_service(db, service, gen)
     kdc_host = net.add_host("kerberos")
-    KerberosServer(db, kdc_host, gen.fork(b"kdc"))
+    KerberosServer(db, gen.fork(b"kdc")).attach(kdc_host)
     ws = net.add_host("ws")
     client = KerberosClient(ws, REALM, [kdc_host.address], retries=retries)
     return net, client, service

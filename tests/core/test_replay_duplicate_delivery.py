@@ -28,7 +28,7 @@ def world():
     service = Principal("rlogin", "priam", REALM)
     register_service(db, service, gen)
     kdc_host = net.add_host("kerberos")
-    kdc = KerberosServer(db, kdc_host, gen.fork(b"kdc"))
+    kdc = KerberosServer(db, gen.fork(b"kdc")).attach(kdc_host)
     ws = net.add_host("ws")
     client = KerberosClient(ws, REALM, [kdc_host.address])
     return net, kdc, client, service

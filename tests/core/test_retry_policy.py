@@ -134,6 +134,70 @@ class TestRunWithFailover:
         assert exc_info.value.attempts == 3
         assert clock.now() <= 4.0
 
+    def test_deadline_exactly_on_backoff_boundary_stops(self):
+        """A retry whose backoff lands *exactly* on the deadline is not
+        started: the policy promises no attempt begins at or past it."""
+        clock = SimClock()
+        with pytest.raises(RetryExhausted) as exc_info:
+            run_with_failover(
+                RetryPolicy(
+                    max_attempts=5, base_delay=2.0, multiplier=1.0,
+                    deadline=2.0,
+                ),
+                clock, ["a"],
+                lambda e: (_ for _ in ()).throw(Boom()),
+                retry_on=(Boom,),
+            )
+        # elapsed(0) + backoff(2.0) == deadline(2.0): boundary counts
+        # as overrun, so only the initial attempt ran and no time passed.
+        assert exc_info.value.attempts == 1
+        assert clock.now() == 0.0
+
+    def test_deadline_just_past_boundary_allows_the_retry(self):
+        clock = SimClock()
+        with pytest.raises(RetryExhausted) as exc_info:
+            run_with_failover(
+                RetryPolicy(
+                    max_attempts=2, base_delay=2.0, multiplier=1.0,
+                    deadline=2.5,
+                ),
+                clock, ["a"],
+                lambda e: (_ for _ in ()).throw(Boom()),
+                retry_on=(Boom,),
+            )
+        assert exc_info.value.attempts == 2
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_same_seed_failover_trajectory_is_identical(self):
+        """With jittered backoff, two same-seed runs visit the same
+        endpoints at the same simulated instants; the endpoint *order*
+        is pure round-robin regardless of seed."""
+
+        def trajectory(seed):
+            clock = SimClock()
+            visits = []
+
+            def attempt(endpoint):
+                visits.append((endpoint, clock.now()))
+                raise Boom(endpoint)
+
+            with pytest.raises(RetryExhausted):
+                run_with_failover(
+                    RetryPolicy(max_attempts=6, base_delay=1.0, jitter=0.5),
+                    clock, ["master", "slave1", "slave2"], attempt,
+                    rng=random.Random(seed), retry_on=(Boom,),
+                )
+            return visits
+
+        a, b, c = trajectory(42), trajectory(42), trajectory(43)
+        assert a == b
+        assert [endpoint for endpoint, _ in a] == [
+            "master", "slave1", "slave2", "master", "slave1", "slave2"
+        ]
+        # A different seed keeps the order but shifts the jittered times.
+        assert [e for e, _ in c] == [e for e, _ in a]
+        assert [t for _, t in c] != [t for _, t in a]
+
     def test_metrics_counted(self):
         clock = SimClock()
         metrics = MetricsRegistry()

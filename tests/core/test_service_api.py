@@ -1,4 +1,4 @@
-"""The unified Service lifecycle: attach/detach, hooks, the shim.
+"""The unified Service lifecycle: attach/detach and the hooks.
 
 Every daemon in the realm (KDC, KDBM, kpropd, NFS, mountd, rlogind,
 registration, SMS, Hesiod) now speaks one lifecycle.  These tests pin
@@ -22,11 +22,10 @@ REALM = "ATHENA.MIT.EDU"
 class Echo(Service):
     """A minimal two-port service that records its lifecycle."""
 
-    def __init__(self, host=None, ports=(7, 9)):
+    def __init__(self, ports=(7, 9)):
         super().__init__()
         self._ports = ports
         self.events = []
-        self._maybe_attach(host)
 
     def ports(self):
         return {p: (lambda d: b"ok:%d" % d.dst_port) for p in self._ports}
@@ -61,7 +60,7 @@ class TestLifecycle:
     def test_detach_unbinds_and_unregisters(self):
         net = Network()
         host = net.add_host("h")
-        service = Echo(host)
+        service = Echo().attach(host)
         service.detach()
         assert not service.attached
         assert service not in host.services
@@ -70,7 +69,7 @@ class TestLifecycle:
 
     def test_double_attach_rejected(self):
         net = Network()
-        service = Echo(net.add_host("a"))
+        service = Echo().attach(net.add_host("a"))
         with pytest.raises(ServiceError):
             service.attach(net.add_host("b"))
 
@@ -95,7 +94,7 @@ class TestLifecycle:
     def test_reattach_after_detach(self):
         net = Network()
         a, b = net.add_host("a"), net.add_host("b")
-        service = Echo(a)
+        service = Echo().attach(a)
         service.detach()
         service.attach(b)
         client = net.add_host("c")
@@ -106,7 +105,7 @@ class TestLifecycle:
         constructor still attaches, the pre-Service way."""
         net = Network()
         host = net.add_host("h")
-        service = Echo(host)
+        service = Echo().attach(host)
         assert service.attached and service.events == ["attach"]
 
 
@@ -114,7 +113,7 @@ class TestCrashRestartFanout:
     def test_set_down_and_up_drive_the_hooks(self):
         net = Network()
         host = net.add_host("h")
-        service = Echo(host)
+        service = Echo().attach(host)
         net.set_down("h")
         net.set_up("h")
         assert service.events == ["attach", "crash", "restart"]
@@ -122,7 +121,7 @@ class TestCrashRestartFanout:
     def test_crash_host_with_downtime_restarts_on_schedule(self):
         net = Network()
         host = net.add_host("h")
-        service = Echo(host)
+        service = Echo().attach(host)
         net.crash_host("h", downtime=30.0)
         assert service.events == ["attach", "crash"]
         net.clock.advance(31.0)
@@ -131,7 +130,7 @@ class TestCrashRestartFanout:
     def test_all_services_on_the_host_hear_the_crash(self):
         net = Network()
         host = net.add_host("h")
-        a, b = Echo(host, ports=(7,)), Echo(host, ports=(9,))
+        a, b = Echo(ports=(7,)).attach(host), Echo(ports=(9,)).attach(host)
         net.set_down("h")
         assert a.events[-1] == "crash" and b.events[-1] == "crash"
 
@@ -191,7 +190,7 @@ class TestRealDaemons:
         realm = Realm(net, REALM)
         rcmd, _ = realm.add_service("rcmd", "priam")
         priam = net.add_host("priam")
-        rlogind = RloginServer(rcmd, realm.srvtab_for(rcmd), priam)
+        rlogind = RloginServer(rcmd, realm.srvtab_for(rcmd)).attach(priam)
         assert priam.handler_for(KSHELL_PORT) is not None
         assert priam.handler_for(RSHD_LEGACY_PORT) is not None
         assert rlogind in priam.services

@@ -169,7 +169,7 @@ class TestSqliteStorePersistence:
 
         net = Network()
         kdc_host = net.add_host("kerberos")
-        KerberosServer(db, kdc_host, gen.fork(b"kdc"))
+        KerberosServer(db, gen.fork(b"kdc")).attach(kdc_host)
         ws = net.add_host("ws")
         client = KerberosClient(ws, "ATHENA.MIT.EDU", [kdc_host.address])
         assert client.kinit("jis", "pw") is not None

@@ -40,15 +40,15 @@ def athena():
     realm.propagate()
 
     hesiod_host = net.add_host("hesiod")
-    hesiod = HesiodServer(hesiod_host)
+    hesiod = HesiodServer().attach(hesiod_host)
 
     fs_host = net.add_host("helios")
     nfs_service, _ = realm.add_service("nfs", "helios")
     mount_service, _ = realm.add_service("mountd", "helios")
     fs_srvtab = realm.srvtab_for(nfs_service, mount_service)
-    nfs = NfsServer(fs_host, mode=AuthMode.MAPPED, service=nfs_service,
-                    srvtab=fs_srvtab)
-    MountDaemon(nfs, mount_service, fs_srvtab, fs_host)
+    nfs = NfsServer(mode=AuthMode.MAPPED, service=nfs_service,
+                    srvtab=fs_srvtab).attach(fs_host)
+    MountDaemon(nfs, mount_service, fs_srvtab).attach(fs_host)
     for name, _, uid in USERS:
         nfs.passwd.add(name, uid, [100])
         nfs.fs.install_home(name, uid, 100)
@@ -56,15 +56,15 @@ def athena():
 
     pop_host = net.add_host("po10")
     pop_service, _ = realm.add_service("pop", "po10")
-    pop = PopServer(pop_service, realm.srvtab_for(pop_service), pop_host)
+    pop = PopServer(pop_service, realm.srvtab_for(pop_service)).attach(pop_host)
 
     z_host = net.add_host("zephyrhost")
     z_service, _ = realm.add_service("zephyr", "zephyrhost")
-    zephyr = ZephyrServer(z_service, realm.srvtab_for(z_service), z_host)
+    zephyr = ZephyrServer(z_service, realm.srvtab_for(z_service)).attach(z_host)
 
     priam = net.add_host("priam")
     rcmd_service, _ = realm.add_service("rcmd", "priam")
-    rlogind = RloginServer(rcmd_service, realm.srvtab_for(rcmd_service), priam)
+    rlogind = RloginServer(rcmd_service, realm.srvtab_for(rcmd_service)).attach(priam)
     for name, _, _ in USERS:
         rlogind.add_account(name)
 

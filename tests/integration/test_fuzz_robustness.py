@@ -62,18 +62,18 @@ def world():
     mount_service, _ = realm.add_service("mountd", "fs1")
 
     pop_host = net.add_host("mailhost")
-    PopServer(service, realm.srvtab_for(service), pop_host)
+    PopServer(service, realm.srvtab_for(service)).attach(pop_host)
 
     fs_host = net.add_host("fs1")
     srvtab = realm.srvtab_for(nfs_service, mount_service)
-    nfs = NfsServer(fs_host, mode=AuthMode.MAPPED, service=nfs_service, srvtab=srvtab)
-    MountDaemon(nfs, mount_service, srvtab, fs_host)
+    nfs = NfsServer(mode=AuthMode.MAPPED, service=nfs_service, srvtab=srvtab).attach(fs_host)
+    MountDaemon(nfs, mount_service, srvtab).attach(fs_host)
 
     hesiod_host = net.add_host("hesiod")
-    HesiodServer(hesiod_host)
+    HesiodServer().attach(hesiod_host)
     sms_host = net.add_host("sms")
-    SmsServer(sms_host)
-    RegisterServer(realm.db, realm.master_host, sms_host.address)
+    SmsServer().attach(sms_host)
+    RegisterServer(realm.db, sms_host.address).attach(realm.master_host)
 
     attacker = net.add_host("attacker")
     targets = [

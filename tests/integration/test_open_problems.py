@@ -40,7 +40,7 @@ def world():
     nfs_service, nfs_key = realm.add_service("nfs", "fileserver")
     rcmd_service, _ = realm.add_service("rcmd", "priam")
     priam = net.add_host("priam")
-    rlogind = RloginServer(rcmd_service, realm.srvtab_for(rcmd_service), priam)
+    rlogind = RloginServer(rcmd_service, realm.srvtab_for(rcmd_service)).attach(priam)
     rlogind.add_account("jis")
     return dict(
         net=net, realm=realm, nfs_service=nfs_service, nfs_key=nfs_key,

@@ -53,7 +53,7 @@ class TestColdStart:
 
         net = Network()
         kdc_host = net.add_host("kerberos")
-        KerberosServer(db, kdc_host, gen.fork(b"kdc1"))
+        KerberosServer(db, gen.fork(b"kdc1")).attach(kdc_host)
         ws = net.add_host("ws")
         client = KerberosClient(ws, REALM, [kdc_host.address])
         client.kinit("jis", "jis-pw")
@@ -69,7 +69,7 @@ class TestColdStart:
         acl2 = AccessControlList.load(acl_path)
         srvtab2 = SrvTab.from_bytes(open(srvtab_path, "rb").read())
         net.set_up("kerberos")
-        KerberosServer(db2, kdc_host, gen.fork(b"kdc2"))
+        KerberosServer(db2, gen.fork(b"kdc2")).attach(kdc_host)
 
         assert db2.exists(Principal("jis", "", REALM))
         assert acl2.check(Principal("jis", "admin", REALM))

@@ -39,7 +39,7 @@ def build_world(username, password):
     service = Principal("svc", "host", REALM)
     key = register_service(db, service, gen)
     kdc_host = net.add_host("kdc")
-    KerberosServer(db, kdc_host, gen.fork(b"k"))
+    KerberosServer(db, gen.fork(b"k")).attach(kdc_host)
     ws = net.add_host("ws")
     client = KerberosClient(ws, REALM, [kdc_host.address])
     return net, client, service, key, db
@@ -115,7 +115,7 @@ class TestProtocolInvariants:
         service = Principal("svc", "host", REALM)
         key = register_service(db, service, gen)
         kdc_host = net.add_host("kdc")
-        KerberosServer(db, kdc_host, gen.fork(b"k"))
+        KerberosServer(db, gen.fork(b"k")).attach(kdc_host)
         ws = net.add_host("ws", clock_skew=skew)
         client = KerberosClient(ws, REALM, [kdc_host.address])
 

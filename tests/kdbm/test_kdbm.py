@@ -140,7 +140,7 @@ class TestMasterOnly:
     def test_kdbm_refuses_readonly_database(self, realm):
         slave = realm.slaves[0]
         with pytest.raises(ReadOnlyDatabase):
-            KdbmServer(slave.db, realm.acl, slave.host, port=9999)
+            KdbmServer(slave.db, realm.acl, port=9999).attach(slave.host)
 
     def test_admin_unavailable_when_master_down(self, realm, ws):
         """Figure 11's consequence: "administration requests cannot be

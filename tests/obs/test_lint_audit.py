@@ -62,6 +62,78 @@ def test_the_audit_module_itself_constructs_the_event():
     assert _constructions(SRC / "obs" / "audit.py")
 
 
+def _emitted_kinds(path: Path) -> list:
+    """(kind, lineno) for every literal-kind ``*.emit("...")`` call."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            found.append((first.value, node.lineno))
+    return found
+
+
+def test_every_emitted_kind_is_in_the_vocabulary():
+    """A literal kind at any ``emit()`` call site must be a member of
+    the closed vocabulary — catching typos at lint time instead of at
+    the first runtime hit of that code path."""
+    from repro.obs.audit import AUDIT_KINDS
+
+    bad = {}
+    for path in sorted(SRC.rglob("*.py")):
+        rel = str(path.relative_to(SRC))
+        for kind, line in _emitted_kinds(path):
+            if kind not in AUDIT_KINDS:
+                bad.setdefault(rel, []).append((line, kind))
+    assert not bad, (
+        "emit() called with a kind outside AUDIT_KINDS:\n"
+        + "\n".join(
+            f"  {mod}:{line}: {kind!r}"
+            for mod, pairs in bad.items()
+            for line, kind in pairs
+        )
+    )
+
+
+def test_every_vocabulary_kind_is_emitted_somewhere():
+    """The vocabulary carries no dead entries: each kind has at least
+    one emitting call site in src (OBSERVABILITY.md documents them)."""
+    from repro.obs.audit import AUDIT_KINDS
+
+    emitted = set()
+    for path in sorted(SRC.rglob("*.py")):
+        if path == SRC / "obs" / "audit.py":
+            continue  # defining the vocabulary is not emitting it
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        calls_emit = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            for node in ast.walk(tree)
+        )
+        if not calls_emit:
+            continue
+        # Kinds may reach emit() through a variable (kdc.py picks
+        # between two), so count every string constant in an emitting
+        # module, not just literal first arguments.
+        emitted.update(
+            node.value
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Constant) and isinstance(node.value, str)
+        )
+    missing = set(AUDIT_KINDS) - emitted
+    assert not missing, (
+        f"audit kinds never emitted anywhere in src: {sorted(missing)}"
+    )
+
+
 def test_lint_catches_a_planted_construction(tmp_path):
     planted = tmp_path / "offender.py"
     planted.write_text(

@@ -78,7 +78,7 @@ class TestFigure9SpanTree:
                 return data
 
         app_host = net.add_host("priam")
-        Echo(service, realm.srvtab_for(service), app_host, 5000)
+        Echo(service, realm.srvtab_for(service), 5000).attach(app_host)
         ws = realm.workstation()
         with net.tracer.span("user.session", user="jis"):
             ws.client.kinit("jis", "jis-pw")

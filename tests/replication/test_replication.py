@@ -190,4 +190,4 @@ class TestConstruction:
 
         host = net.add_host("wrong")
         with pytest.raises(ValueError):
-            Kpropd(realm.db, host)
+            Kpropd(realm.db).attach(host)

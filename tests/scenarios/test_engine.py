@@ -1,0 +1,155 @@
+"""Scenario engine mechanics: registry, SLO evaluation, percentiles,
+outcome accounting, and the burst-result failure split they consume."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.realm import Realm
+from repro.scenarios.engine import (
+    CampaignResult,
+    SloSpec,
+    StationRecord,
+    percentile,
+)
+import repro.scenarios as scenarios
+from repro.workload import AthenaWorkload
+
+REALM = "ATHENA.MIT.EDU"
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.95) == 10.0
+        assert percentile(values, 0.99) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == percentile(
+            [1.0, 2.0, 3.0], 0.5
+        )
+
+
+class TestSlo:
+    def test_min_kind(self):
+        spec = SloSpec("success_rate", "min", 0.99)
+        assert spec.check(1.0).passed
+        assert spec.check(0.99).passed
+        assert not spec.check(0.98).passed
+
+    def test_max_kind(self):
+        spec = SloSpec("p95", "max", 5.0)
+        assert spec.check(5.0).passed
+        assert not spec.check(5.01).passed
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SloSpec("x", "between", 1.0).check(0.5)
+
+
+class TestAccounting:
+    def records(self):
+        return [
+            StationRecord("ws1", "u1", "ok", 1.0),
+            StationRecord("ws2", "u2", "ok", 3.0),
+            StationRecord("ws3", "u3", "unavailable", 30.0),
+        ]
+
+    def test_outcomes_and_percentiles(self):
+        result = CampaignResult("t", 1, {})
+        result.account(self.records())
+        assert result.outcomes == {"ok": 2, "unavailable": 1}
+        assert result.success_rate() == pytest.approx(2 / 3)
+        # Percentiles are over successful operations only.
+        assert result.latency_p95 == 3.0
+
+    def test_digest_is_order_sensitive_and_stable(self):
+        a = CampaignResult("t", 1, {})
+        b = CampaignResult("t", 1, {})
+        c = CampaignResult("t", 1, {})
+        a.account(self.records())
+        b.account(self.records())
+        c.account(list(reversed(self.records())))
+        assert a.digest == b.digest
+        assert c.digest != a.digest
+
+    def test_evaluate_missing_observation_counts_as_zero(self):
+        result = CampaignResult("t", 1, {})
+        result.evaluate([SloSpec("absent", "min", 1.0)], {})
+        assert not result.passed
+        assert result.checks[0].observed == 0.0
+
+
+class TestRegistry:
+    def test_library_is_registered(self):
+        assert set(scenarios.names()) >= {
+            "morning_login_storm",
+            "slave_outage_peak",
+            "master_assassination",
+            "rolling_kdc_upgrade",
+            "clock_skew_epidemic",
+            "lossy_wan_degradation",
+        }
+
+    def test_unknown_campaign_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="no campaign"):
+            scenarios.run("nonexistent_drill")
+
+    def test_unknown_override_is_rejected(self):
+        with pytest.raises(KeyError, match="no parameter"):
+            scenarios.run("morning_login_storm", n_typo=3)
+
+    def test_run_stamps_name_seed_params(self):
+        result = scenarios.run(
+            "morning_login_storm", seed=5, n_stations=4, n_users=4,
+            window=2.0,
+        )
+        assert result.name == "morning_login_storm"
+        assert result.seed == 5
+        assert result.params["n_stations"] == 4
+        summary = result.summary()
+        assert summary["passed"] == result.passed
+        assert summary["digest"] == result.digest
+
+
+class TestBurstFailureSplit:
+    """BurstResult.failed is now derived from typed loss buckets."""
+
+    def build(self):
+        net = Network(seed=4)
+        realm = Realm(net, REALM)
+        workload = AthenaWorkload(realm, n_users=6, n_services=1, seed=4)
+        return net, realm, workload
+
+    def test_crashed_kdc_counts_as_host_down(self):
+        net, realm, workload = self.build()
+        stations = workload.workstations(6)
+        net.set_down(realm.master_host.name)
+        result = workload.login_burst(stations, window=0.01)
+        assert result.host_down == 6
+        assert result.timed_out == 0
+        assert result.failed == 6                # derived
+        assert result.completed == 0
+
+    def test_healthy_kdc_has_no_losses(self):
+        net, realm, workload = self.build()
+        stations = workload.workstations(6)
+        result = workload.login_burst(stations, window=0.01)
+        assert result.completed == 6
+        assert result.failed == 0
+        assert result.host_down == 0 and result.timed_out == 0
+
+    def test_lost_requests_count_as_timed_out(self):
+        from repro.netsim import Loss, Match
+        from repro.netsim.ports import KERBEROS_PORT
+
+        net, realm, workload = self.build()
+        stations = workload.workstations(6)
+        net.faults.add(Loss(1.0, Match.build(port=KERBEROS_PORT)))
+        result = workload.login_burst(stations, window=0.01)
+        assert result.timed_out == 6
+        assert result.host_down == 0
+        assert result.failed == 6
