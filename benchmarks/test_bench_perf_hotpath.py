@@ -25,6 +25,8 @@ Methodology and how to read the artifact: ``docs/PERFORMANCE.md``.
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.core import krb_mk_req, krb_rd_req
 from repro.crypto import DesKey, keycache, seal, unseal
 from repro.crypto.reference import reference_kernels
@@ -113,6 +115,7 @@ def _run_e2e(iters=E2E_ITERS):
     return run, realm
 
 
+@pytest.mark.perf
 def test_bench_perf_hotpath_gate():
     key = DesKey.from_bytes(bytes.fromhex("133457799BBCDFF1"))
     payload = bytes(range(256)) * (BULK_BYTES // 256)

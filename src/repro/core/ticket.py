@@ -18,7 +18,17 @@ and the target server a ticket is opaque bytes.
 
 from __future__ import annotations
 
-from repro.crypto import DesKey, IntegrityError, seal, unseal
+from typing import Tuple
+
+from repro.crypto import (
+    DesKey,
+    IntegrityError,
+    keycache,
+    seal,
+    seal_prefix_state,
+    seal_resume,
+    unseal,
+)
 from repro.core.errors import ErrorCode, KerberosError
 from repro.encode import DecodeError, WireStruct, field
 from repro.netsim import IPAddress
@@ -75,6 +85,46 @@ class Ticket(WireStruct):
 def seal_ticket(ticket: Ticket, server_key: DesKey) -> bytes:
     """Encrypt a ticket in the target server's private key ({...}K_s)."""
     return seal(server_key, ticket.to_bytes())
+
+
+# Trailing bytes of Ticket.to_bytes() that change per issuance: the
+# timestamp (f64) and life (f64) fields plus the session_key bytes field
+# (u32 length prefix + 8 key bytes).  Everything before them — server,
+# client, address — repeats for every ticket a hot (client, server) pair
+# is issued, which is what the skeleton cache exploits.
+_TICKET_SUFFIX_LEN = 8 + 8 + 4 + 8
+
+
+def ticket_seal_job(
+    ticket: Ticket, server_key: DesKey
+) -> Tuple[Tuple[bytes, int], bytes]:
+    """Split a ticket seal into a resumable ``(state, suffix)`` pair.
+
+    The PCBC state for the ticket's fixed prefix (seal header + server +
+    client + address) comes from the process-wide skeleton cache when
+    possible — the cache key is the literal (sealing key, total length,
+    prefix plaintext) content, so a rotated service key or renamed
+    principal can never hit a stale entry.  Finishing the job via
+    :func:`repro.crypto.seal_resume` (or the KDC's batched
+    ``seal_resume_many``) is bit-identical to :func:`seal_ticket`.
+    """
+    plain = ticket.to_bytes()
+    cut = max(0, len(plain) - _TICKET_SUFFIX_LEN) & ~0x7
+    prefix, suffix = plain[:cut], plain[cut:]
+    cache_key = (server_key.key_bytes, len(plain), prefix)
+    state = keycache.skeleton_get(cache_key)
+    if state is None:
+        state = seal_prefix_state(server_key, len(plain), prefix)
+        keycache.skeleton_put(cache_key, state)
+    return state, suffix
+
+
+def seal_ticket_cached(ticket: Ticket, server_key: DesKey) -> bytes:
+    """Skeleton-cached :func:`seal_ticket`: re-encrypts only the
+    per-issuance suffix (timestamp, life, session key) when the ticket's
+    fixed prefix was sealed before under the same key."""
+    state, suffix = ticket_seal_job(ticket, server_key)
+    return seal_resume(server_key, state, suffix)
 
 
 def unseal_ticket(blob: bytes, server_key: DesKey) -> Ticket:

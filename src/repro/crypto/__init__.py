@@ -50,9 +50,16 @@ from repro.crypto.modes import (
     ecb_decrypt,
     ecb_encrypt,
     pcbc_decrypt,
+    pcbc_decrypt_many,
     pcbc_encrypt,
+    pcbc_encrypt_many,
     seal,
+    seal_many,
+    seal_prefix_state,
+    seal_resume,
+    seal_resume_many,
     unseal,
+    unseal_many,
 )
 from repro.crypto.string2key import string_to_key
 from repro.crypto.checksum import cbc_mac, quad_cksum, verify_cbc_mac
@@ -76,10 +83,16 @@ __all__ = [
     "is_weak_key",
     "keycache",
     "pcbc_decrypt",
+    "pcbc_decrypt_many",
     "pcbc_encrypt",
+    "pcbc_encrypt_many",
     "quad_cksum",
     "seal",
+    "seal_many",
+    "seal_prefix_state",
+    "seal_resume",
+    "seal_resume_many",
     "string_to_key",
     "unseal",
-    "verify_cbc_mac",
+    "unseal_many",
 ]

@@ -448,6 +448,195 @@ def crypt_int(
     )
 
 
+# --------------------------------------------------------------------------
+# The batch-plane kernel: two messages per pass, 16-bit E probes.
+#
+# ``crypt_int2`` runs the sixteen Feistel rounds over TWO independent
+# (block, key-schedule) lanes in a single Python frame.  Interleaving
+# the lanes amortizes the per-call frame and table-binding overhead,
+# and the wider body makes a further table folding pay for itself:
+# the E expansion here uses 16-bit paired probes (two input bytes per
+# lookup, tables ``_E16_0``/``_E16_1``) instead of ``crypt_int``'s
+# per-byte tables.  The 65536-entry tables were measured *slower* for
+# the single-lane kernel on the original benchmark machine (see the
+# note above ``crypt_int``); for the two-lane batch kernel the
+# request-plane benchmark re-measures the choice on every run — its
+# A/B legs gate the batch plane against the single-request plane, so
+# a machine where this folding loses shows up as a gate failure, not
+# a silent regression.
+#
+# PCBC chains are sequential *within* one message, so the two lanes
+# must come from independent messages — which is exactly what a KDC
+# batch provides (``repro.crypto.modes.seal_many``).  Bit-exactness of
+# each lane against ``crypt_int_ref`` is pinned by the property suite
+# in tests/crypto/test_perf_kernels.py.
+# --------------------------------------------------------------------------
+
+def _pair8(a, b) -> Tuple[int, ...]:
+    """Merge two per-byte permutation tables into one 16-bit-indexed table."""
+    return tuple(a[i >> 8] | b[i & 0xFF] for i in range(65536))
+
+
+_E16_0 = _pair8(_E_B[0], _E_B[1])
+_E16_1 = _pair8(_E_B[2], _E_B[3])
+
+
+def crypt_int2(
+    block_a: int,
+    subkeys_a,
+    block_b: int,
+    subkeys_b,
+    _ip=_IP_B,
+    _fp=_FP_B,
+    _e0=_E16_0,
+    _e1=_E16_1,
+    _sp01=_SP01,
+    _sp23=_SP23,
+    _sp45=_SP45,
+    _sp67=_SP67,
+) -> Tuple[int, int]:
+    """Two independent DES block operations in one pass.
+
+    Equivalent to ``(crypt_int(block_a, subkeys_a), crypt_int(block_b,
+    subkeys_b))`` — same convention: pass ``_enc_subkeys`` to encrypt,
+    ``_dec_subkeys`` to decrypt, per lane.  The trailing parameters
+    bind the lookup tables as locals; never pass them.
+    """
+    ip0, ip1, ip2, ip3, ip4, ip5, ip6, ip7 = _ip
+    ka0, ka1, ka2, ka3, ka4, ka5, ka6, ka7, \
+        ka8, ka9, ka10, ka11, ka12, ka13, ka14, ka15 = subkeys_a
+    kb0, kb1, kb2, kb3, kb4, kb5, kb6, kb7, \
+        kb8, kb9, kb10, kb11, kb12, kb13, kb14, kb15 = subkeys_b
+    b = (
+        ip0[(block_a >> 56) & 255] | ip1[(block_a >> 48) & 255]
+        | ip2[(block_a >> 40) & 255] | ip3[(block_a >> 32) & 255]
+        | ip4[(block_a >> 24) & 255] | ip5[(block_a >> 16) & 255]
+        | ip6[(block_a >> 8) & 255] | ip7[block_a & 255]
+    )
+    xa = (b >> 32) & 0xFFFFFFFF
+    ya = b & 0xFFFFFFFF
+    b = (
+        ip0[(block_b >> 56) & 255] | ip1[(block_b >> 48) & 255]
+        | ip2[(block_b >> 40) & 255] | ip3[(block_b >> 32) & 255]
+        | ip4[(block_b >> 24) & 255] | ip5[(block_b >> 16) & 255]
+        | ip6[(block_b >> 8) & 255] | ip7[block_b & 255]
+    )
+    xb = (b >> 32) & 0xFFFFFFFF
+    yb = b & 0xFFFFFFFF
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka0
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb0
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka1
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb1
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka2
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb2
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka3
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb3
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka4
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb4
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka5
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb5
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka6
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb6
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka7
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb7
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka8
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb8
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka9
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb9
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka10
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb10
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka11
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb11
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka12
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb12
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka13
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb13
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[ya >> 16] | _e1[ya & 65535]) ^ ka14
+    xa ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[yb >> 16] | _e1[yb & 65535]) ^ kb14
+    xb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xa >> 16] | _e1[xa & 65535]) ^ ka15
+    ya ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    t = (_e0[xb >> 16] | _e1[xb & 65535]) ^ kb15
+    yb ^= (_sp01[t >> 36] | _sp23[(t >> 24) & 4095]
+          | _sp45[(t >> 12) & 4095] | _sp67[t & 4095])
+    out = (ya << 32) | xa
+    fp0, fp1, fp2, fp3, fp4, fp5, fp6, fp7 = _fp
+    ra = (
+        fp0[(out >> 56) & 255] | fp1[(out >> 48) & 255]
+        | fp2[(out >> 40) & 255] | fp3[(out >> 32) & 255]
+        | fp4[(out >> 24) & 255] | fp5[(out >> 16) & 255]
+        | fp6[(out >> 8) & 255] | fp7[out & 255]
+    )
+    out = (yb << 32) | xb
+    rb = (
+        fp0[(out >> 56) & 255] | fp1[(out >> 48) & 255]
+        | fp2[(out >> 40) & 255] | fp3[(out >> 32) & 255]
+        | fp4[(out >> 24) & 255] | fp5[(out >> 16) & 255]
+        | fp6[(out >> 8) & 255] | fp7[out & 255]
+    )
+    return ra, rb
+
+
 #: Resolved lazily by DesKey.from_bytes (keycache imports this module).
 _from_bytes_cached = None
 

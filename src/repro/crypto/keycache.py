@@ -40,6 +40,10 @@ from repro.crypto.des import DesKey
 KEY_CACHE_SIZE = 4096
 #: Distinct (password, salt) derivations kept.
 S2K_CACHE_SIZE = 1024
+#: Distinct sealed-ticket skeletons kept: one per hot (service key,
+#: ticket prefix) pair — i.e. per (server, client, address) tuple the
+#: KDC issues for repeatedly.
+SKELETON_CACHE_SIZE = 2048
 
 
 class _LruCache:
@@ -75,9 +79,12 @@ class _LruCache:
 
 _key_cache = _LruCache(KEY_CACHE_SIZE)
 _s2k_cache = _LruCache(S2K_CACHE_SIZE)
+_skeleton_cache = _LruCache(SKELETON_CACHE_SIZE)
 _enabled = True
 _hits = 0
 _misses = 0
+_skeleton_hits = 0
+_skeleton_misses = 0
 
 #: Live metric sinks: (registry weakref, hit counter, miss counter).
 _sinks: List[Tuple[weakref.ref, object, object]] = []
@@ -107,9 +114,10 @@ def caches_disabled():
 
 
 def clear() -> None:
-    """Drop all cached schedules (stats and sinks are kept)."""
+    """Drop all cached schedules and skeletons (stats and sinks kept)."""
     _key_cache.clear()
     _s2k_cache.clear()
+    _skeleton_cache.clear()
 
 
 def stats() -> Dict[str, int]:
@@ -118,9 +126,11 @@ def stats() -> Dict[str, int]:
 
 
 def reset_stats() -> None:
-    global _hits, _misses
+    global _hits, _misses, _skeleton_hits, _skeleton_misses
     _hits = 0
     _misses = 0
+    _skeleton_hits = 0
+    _skeleton_misses = 0
 
 
 def attach_metrics(metrics, labels: Optional[dict] = None) -> None:
@@ -188,3 +198,65 @@ def memoized_string_to_key(
     _s2k_cache.put(cache_key, derived)
     _record(False)
     return derived
+
+
+# --------------------------------------------------------------------------
+# Sealed-ticket skeletons.
+#
+# A skeleton is the resumable PCBC state of a sealed ticket's fixed
+# prefix — the seal header plus the server/client/address fields that
+# repeat for every ticket a hot (client, server) pair is issued (see
+# repro.core.ticket.seal_ticket_cached).  Entries are *content
+# addressed*: the cache key is the sealing key's bytes plus the literal
+# prefix plaintext (and total length), so a rotated service key or a
+# changed principal can never be served a stale prefix — a mutation
+# simply misses.  The journal-driven invalidation hook
+# (:func:`invalidate_skeletons`, wired to database mutation listeners by
+# the KDC) exists to evict now-dead entries promptly, not for
+# correctness.
+#
+# ``caches_disabled()`` covers this layer too: while disabled,
+# ``skeleton_get`` always misses and ``skeleton_put`` drops the entry,
+# so the benchmarks' cache-off legs measure full per-request sealing.
+# --------------------------------------------------------------------------
+
+
+def skeleton_get(key: Tuple):
+    """Cached (cipher prefix, chain) for a sealing-key/prefix pair, or
+    None.  Hits/misses feed ``skeleton_stats``."""
+    global _skeleton_hits, _skeleton_misses
+    if not _enabled:
+        return None
+    state = _skeleton_cache.get(key)
+    if state is None:
+        _skeleton_misses += 1
+    else:
+        _skeleton_hits += 1
+    return state
+
+
+def skeleton_put(key: Tuple, state) -> None:
+    if _enabled:
+        _skeleton_cache.put(key, state)
+
+
+def invalidate_skeletons() -> int:
+    """Evict every cached skeleton; returns how many were dropped.
+
+    Called (via the KDC's database mutation listener) whenever a
+    principal record changes — key rotation, deletion, attribute edits.
+    Correctness never depends on this (entries are content-addressed);
+    it reclaims entries that can no longer hit.
+    """
+    dropped = len(_skeleton_cache)
+    _skeleton_cache.clear()
+    return dropped
+
+
+def skeleton_stats() -> Dict[str, int]:
+    """Skeleton cache traffic: ``{"hit": ..., "miss": ..., "size": ...}``."""
+    return {
+        "hit": _skeleton_hits,
+        "miss": _skeleton_misses,
+        "size": len(_skeleton_cache),
+    }

@@ -61,12 +61,22 @@ class KeyGenerator:
         self._counter += 1
         return self._key.encrypt_block(block)
 
-    def session_key(self) -> DesKey:
-        """Produce a fresh, parity-correct, non-weak DES key."""
+    def session_key_bytes(self) -> bytes:
+        """Produce the raw bytes of a fresh, parity-correct, non-weak key.
+
+        Consumes exactly the same DRBG stream as :func:`session_key` but
+        skips the key-schedule expansion — the KDC's batch plane only
+        embeds the bytes in tickets/replies and never encrypts with the
+        session key itself.
+        """
         while True:
             candidate = fix_parity(self._next_block())
             if candidate not in WEAK_KEYS:
-                return DesKey(candidate)
+                return candidate
+
+    def session_key(self) -> DesKey:
+        """Produce a fresh, parity-correct, non-weak DES key."""
+        return DesKey(self.session_key_bytes())
 
     def random_bytes(self, n: int) -> bytes:
         """Produce ``n`` pseudo-random bytes (nonces, confounders)."""

@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import enum
 import struct
+import weakref
+from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.crypto import des_simd
 from repro.crypto.bits import bytes_to_int
-from repro.crypto.des import BLOCK_SIZE, DesKey, crypt_int
+from repro.crypto.des import BLOCK_SIZE, DesKey, crypt_int, crypt_int2
 
 _MASK64 = (1 << 64) - 1
 
@@ -189,13 +192,17 @@ def seal(
     tickets sealed in the server's key, KDC replies sealed in the client's
     key, authenticators sealed in the session key.
     """
+    return _ENCRYPTORS[mode](key, _frame(data), iv)
+
+
+def _frame(data: bytes) -> bytes:
+    """The seal framing: header, data, zero pad, trailer."""
     if not isinstance(data, (bytes, bytearray)):
         raise TypeError(f"data must be bytes, got {type(data).__name__}")
     header = SEAL_MAGIC.to_bytes(4, "big") + len(data).to_bytes(4, "big")
     body = header + bytes(data)
     pad_len = (-len(body)) % BLOCK_SIZE
-    body += b"\x00" * pad_len + SEAL_TRAILER
-    return _ENCRYPTORS[mode](key, body, iv)
+    return body + b"\x00" * pad_len + SEAL_TRAILER
 
 
 def unseal(
@@ -228,3 +235,375 @@ def unseal(
     if any(pad):
         raise IntegrityError("nonzero padding: message corrupted in transit")
     return plain[8 : 8 + length]
+
+
+# --------------------------------------------------------------------------
+# Multi-message PCBC: the batch plane's cipher entry points.
+#
+# PCBC chains are sequential *within* one message, but two independent
+# messages place no ordering constraint on each other — so a batch of
+# sealed tickets/replies can run two messages per pass of the Feistel
+# network (:func:`repro.crypto.des.crypt_int2`).  The jobs are paired
+# statically (0 with 1, 2 with 3, ...); a pair runs in lockstep over the
+# shorter message, then the longer tail (and an odd final job) falls
+# back to the single-lane kernel.  Outputs are bit-identical to running
+# :func:`seal`/:func:`unseal` per message, which the property suite and
+# the request-plane benchmark's A/B legs both assert.
+# --------------------------------------------------------------------------
+
+#: Process-wide count of blocks pushed through the two-lane kernel.
+_interleaved_blocks = 0
+
+#: Live metric sinks mirroring ``crypto.interleaved_blocks_total``.
+_sinks: List[Tuple[weakref.ref, object]] = []
+
+
+def interleaved_blocks() -> int:
+    """Blocks processed by the interleaved kernel since process start."""
+    return _interleaved_blocks
+
+
+def attach_metrics(metrics, labels: Optional[dict] = None) -> None:
+    """Mirror future interleaved-block counts into ``metrics`` as
+    ``crypto.interleaved_blocks_total``.  Same contract as
+    :func:`repro.crypto.keycache.attach_metrics`: attaching one registry
+    twice is a no-op, dead registries are pruned on the next attach."""
+    _sinks[:] = [s for s in _sinks if s[0]() is not None]
+    for ref, _ in _sinks:
+        if ref() is metrics:
+            return
+    counter = metrics.counter(
+        "crypto.interleaved_blocks_total", dict(labels or {})
+    )
+    _sinks.append((weakref.ref(metrics), counter))
+
+
+def _count_interleaved(blocks: int) -> None:
+    global _interleaved_blocks
+    _interleaved_blocks += blocks
+    for ref, counter in _sinks:
+        if ref() is not None:
+            counter.inc(blocks)
+
+
+def _pcbc_run_pair(job_a, job_b, crypt2=crypt_int2, crypt1=crypt_int):
+    """Advance two PCBC-encrypt jobs in lockstep, then finish tails.
+
+    Each job is a mutable ``[subkeys, chain, blocks, out]`` record; on
+    return its ``out`` holds the cipher blocks and ``chain`` the final
+    chaining value (for callers that resume, e.g. skeleton sealing).
+    """
+    sk_a, chain_a, blocks_a, out_a = job_a
+    sk_b, chain_b, blocks_b, out_b = job_b
+    paired = min(len(blocks_a), len(blocks_b))
+    push_a = out_a.append
+    push_b = out_b.append
+    for i in range(paired):
+        p_a = blocks_a[i]
+        p_b = blocks_b[i]
+        c_a, c_b = crypt2(p_a ^ chain_a, sk_a, p_b ^ chain_b, sk_b)
+        push_a(c_a)
+        chain_a = p_a ^ c_a
+        push_b(c_b)
+        chain_b = p_b ^ c_b
+    if paired:
+        _count_interleaved(2 * paired)
+    for i in range(paired, len(blocks_a)):
+        p = blocks_a[i]
+        c = crypt1(p ^ chain_a, sk_a)
+        push_a(c)
+        chain_a = p ^ c
+    for i in range(paired, len(blocks_b)):
+        p = blocks_b[i]
+        c = crypt1(p ^ chain_b, sk_b)
+        push_b(c)
+        chain_b = p ^ c
+    job_a[1] = chain_a
+    job_b[1] = chain_b
+
+
+def _pcbc_run_single(job, crypt1=crypt_int):
+    """Finish one unpaired PCBC-encrypt job on the single-lane kernel."""
+    sk, chain, blocks, out = job
+    push = out.append
+    for p in blocks:
+        c = crypt1(p ^ chain, sk)
+        push(c)
+        chain = p ^ c
+    job[1] = chain
+
+
+#: Lane count below which the two-lane kernel beats the wide one: a
+#: wide Feistel pass costs a fixed ~200 vector dispatches however many
+#: lanes ride it, and the scalar pair kernel's ~10us/block crosses that
+#: line around 32 lanes.
+WIDE_MIN_LANES = 32
+
+
+def _pcbc_run_wide(jobs) -> None:
+    """Advance every job one block per Feistel pass (numpy lanes).
+
+    Jobs are sorted longest-first so the active set stays a contiguous
+    prefix as short messages finish; once too few lanes remain to
+    amortize the vector dispatch cost, the tails drop back to the
+    two-lane kernel via :func:`_pcbc_run_jobs_paired`.
+    """
+    np = des_simd._np
+    lanes = sorted(jobs, key=lambda job: -len(job[2]))
+    km = des_simd.keymat([job[0] for job in lanes])
+    chains = np.array([job[1] for job in lanes], dtype=np.uint64)
+    lens = [len(job[2]) for job in lanes]
+    active = len(lanes)
+    step = 0
+    while step < lens[0]:
+        while active and lens[active - 1] <= step:
+            active -= 1
+        if active < WIDE_MIN_LANES:
+            break
+        plain = np.array(
+            [lanes[i][2][step] for i in range(active)], dtype=np.uint64
+        )
+        cipher = des_simd.crypt_wide(plain ^ chains[:active], km[:, :active])
+        chains[:active] = plain ^ cipher
+        for i, c in enumerate(cipher.tolist()):
+            lanes[i][3].append(c)
+        _count_interleaved(active)
+        step += 1
+    tails, originals = [], []
+    for i, job in enumerate(lanes):
+        job[1] = int(chains[i])
+        done = len(job[3])
+        if done < len(job[2]):
+            tails.append([job[0], job[1], job[2][done:], job[3]])
+            originals.append(job)
+    _pcbc_run_jobs_paired(tails)
+    for wrapper, job in zip(tails, originals):
+        job[1] = wrapper[1]
+
+
+def _pcbc_run_jobs_paired(jobs) -> None:
+    """Run PCBC-encrypt jobs two at a time (odd final job single-lane)."""
+    i = 0
+    n = len(jobs)
+    while i + 1 < n:
+        _pcbc_run_pair(jobs[i], jobs[i + 1])
+        i += 2
+    if i < n:
+        _pcbc_run_single(jobs[i])
+
+
+def _pcbc_run_jobs(jobs) -> None:
+    """Dispatch PCBC-encrypt jobs to the widest kernel that pays off."""
+    if des_simd.available() and len(jobs) >= WIDE_MIN_LANES:
+        _pcbc_run_wide(jobs)
+    else:
+        _pcbc_run_jobs_paired(jobs)
+
+
+def pcbc_encrypt_many(
+    items: Sequence[Tuple[DesKey, bytes]], iv: bytes = ZERO_IV
+) -> List[bytes]:
+    """PCBC-encrypt many independent messages, two per Feistel pass.
+
+    Bit-identical to ``[pcbc_encrypt(key, data, iv) for key, data in
+    items]``.
+    """
+    chain0 = _require_iv(iv)
+    jobs = [
+        [key._enc_subkeys, chain0, _unpack_blocks(data, "plaintext"), []]
+        for key, data in items
+    ]
+    _pcbc_run_jobs(jobs)
+    return [_pack_blocks(job[3]) for job in jobs]
+
+
+def pcbc_decrypt_many(
+    items: Sequence[Tuple[DesKey, bytes]], iv: bytes = ZERO_IV
+) -> List[bytes]:
+    """PCBC-decrypt many independent messages, two per Feistel pass.
+
+    Bit-identical to ``[pcbc_decrypt(key, data, iv) for key, data in
+    items]``.
+    """
+    chain0 = _require_iv(iv)
+    jobs = [
+        (key._dec_subkeys, _unpack_blocks(data, "ciphertext"), [])
+        for key, data in items
+    ]
+    chains = [chain0] * len(jobs)
+    i = 0
+    n = len(jobs)
+    while i + 1 < n:
+        sk_a, blocks_a, out_a = jobs[i]
+        sk_b, blocks_b, out_b = jobs[i + 1]
+        chain_a = chain_b = chain0
+        paired = min(len(blocks_a), len(blocks_b))
+        for j in range(paired):
+            c_a = blocks_a[j]
+            c_b = blocks_b[j]
+            p_a, p_b = crypt_int2(c_a, sk_a, c_b, sk_b)
+            p_a ^= chain_a
+            p_b ^= chain_b
+            out_a.append(p_a)
+            chain_a = p_a ^ c_a
+            out_b.append(p_b)
+            chain_b = p_b ^ c_b
+        if paired:
+            _count_interleaved(2 * paired)
+        chains[i] = chain_a
+        chains[i + 1] = chain_b
+        i += 2
+    for j, (sk, blocks, out) in enumerate(jobs):
+        chain = chains[j]
+        for c in blocks[len(out):]:
+            p = crypt_int(c, sk) ^ chain
+            out.append(p)
+            chain = p ^ c
+    return [_pack_blocks(out) for _sk, _blocks, out in jobs]
+
+
+def seal_many(items: Sequence[Tuple[DesKey, bytes]]) -> List[bytes]:
+    """Frame and PCBC-encrypt many independent messages (two per pass).
+
+    The batch analogue of :func:`seal`, used by the KDC's seal-all stage
+    for sealed tickets and reply bodies.  Bit-identical to calling
+    :func:`seal` per item.
+    """
+    return pcbc_encrypt_many(
+        [(key, _frame(data)) for key, data in items]
+    )
+
+
+def unseal_many(
+    items: Sequence[Tuple[DesKey, bytes]]
+) -> List[Union[bytes, IntegrityError]]:
+    """Decrypt and validate many sealed messages (two per pass).
+
+    Returns, position-for-position, either the recovered plaintext or
+    the :class:`IntegrityError` that message failed with — one bad item
+    (wrong key, truncation, tampering) never poisons its batchmates.
+    """
+    good: List[Tuple[int, DesKey, bytes]] = []
+    results: List[Union[bytes, IntegrityError]] = []
+    for key, ciphertext in items:
+        if (
+            len(ciphertext) % BLOCK_SIZE != 0
+            or len(ciphertext) < 2 * BLOCK_SIZE
+        ):
+            results.append(IntegrityError(
+                f"sealed message has invalid length {len(ciphertext)}"
+            ))
+            continue
+        good.append((len(results), key, ciphertext))
+        results.append(b"")  # placeholder, patched below
+    plains = pcbc_decrypt_many([(key, ct) for _i, key, ct in good])
+    for (index, _key, _ct), plain in zip(good, plains):
+        results[index] = _validate_frame(plain)
+    return results
+
+
+def _validate_frame(plain: bytes) -> Union[bytes, IntegrityError]:
+    """Check a decrypted seal frame; the value-returning twin of the
+    checks in :func:`unseal`."""
+    if int.from_bytes(plain[:4], "big") != SEAL_MAGIC:
+        return IntegrityError("bad magic: wrong key or corrupted message")
+    length = int.from_bytes(plain[4:8], "big")
+    if 8 + length + BLOCK_SIZE > len(plain):
+        return IntegrityError("declared length exceeds message size")
+    if plain[-BLOCK_SIZE:] != SEAL_TRAILER:
+        return IntegrityError("bad trailer: message corrupted in transit")
+    if any(plain[8 + length : -BLOCK_SIZE]):
+        return IntegrityError("nonzero padding: message corrupted in transit")
+    return plain[8 : 8 + length]
+
+
+# --------------------------------------------------------------------------
+# Split sealing: precomputable prefixes for sealed-ticket skeletons.
+#
+# Under PCBC the ciphertext of a prefix depends only on the key and that
+# prefix's plaintext — so a message whose leading bytes repeat across
+# requests (a hot ticket's server/client/address fields) can resume from
+# a cached (cipher prefix, chaining value) pair and re-encrypt only the
+# per-request suffix.  ``seal_prefix_state`` computes the resumable
+# state; ``seal_resume`` (or the KDC's paired seal-all stage) finishes
+# the frame bit-identically to a full :func:`seal`.
+# --------------------------------------------------------------------------
+
+
+def seal_prefix_state(
+    key: DesKey, data_len: int, prefix: bytes
+) -> Tuple[bytes, int]:
+    """PCBC state after sealing the frame header plus ``prefix``.
+
+    ``data_len`` is the *total* data length of the eventual frame (the
+    header encodes it); ``len(prefix)`` must be a multiple of the block
+    size and at most ``data_len``.  Returns ``(cipher_prefix, chain)``.
+    """
+    if len(prefix) % BLOCK_SIZE != 0:
+        raise ValueError(
+            f"prefix length {len(prefix)} is not a multiple of {BLOCK_SIZE}"
+        )
+    if len(prefix) > data_len:
+        raise ValueError(f"prefix of {len(prefix)} exceeds data_len {data_len}")
+    header = SEAL_MAGIC.to_bytes(4, "big") + data_len.to_bytes(4, "big")
+    job = [
+        key._enc_subkeys,
+        _require_iv(ZERO_IV),
+        _unpack_blocks(header + bytes(prefix), "prefix"),
+        [],
+    ]
+    _pcbc_run_single(job)
+    return _pack_blocks(job[3]), job[1]
+
+
+def seal_suffix_body(cipher_prefix_len: int, suffix: bytes) -> bytes:
+    """The remaining frame bytes after a cached prefix: suffix data, zero
+    pad, trailer.  ``cipher_prefix_len`` is the length of the cached
+    cipher prefix (header block included)."""
+    data_len = cipher_prefix_len - 8 + len(suffix)
+    pad_len = (-(8 + data_len)) % BLOCK_SIZE
+    return bytes(suffix) + b"\x00" * pad_len + SEAL_TRAILER
+
+
+def seal_resume(key: DesKey, state: Tuple[bytes, int], suffix: bytes) -> bytes:
+    """Finish a split seal from ``seal_prefix_state``; bit-identical to
+    ``seal(key, prefix + suffix)``."""
+    cipher_prefix, chain = state
+    job = [
+        key._enc_subkeys,
+        chain,
+        _unpack_blocks(
+            seal_suffix_body(len(cipher_prefix), suffix), "suffix"
+        ),
+        [],
+    ]
+    _pcbc_run_single(job)
+    return cipher_prefix + _pack_blocks(job[3])
+
+
+def seal_resume_many(
+    items: Sequence[Tuple[DesKey, Tuple[bytes, int], bytes]]
+) -> List[bytes]:
+    """Finish many split seals, two per Feistel pass.
+
+    Each item is ``(key, state, suffix)`` with ``state`` from
+    :func:`seal_prefix_state`.  Bit-identical to calling
+    :func:`seal_resume` per item; the KDC's seal-all stage uses this so
+    skeleton-cached tickets still ride the interleaved kernel.
+    """
+    jobs = [
+        [
+            key._enc_subkeys,
+            state[1],
+            _unpack_blocks(
+                seal_suffix_body(len(state[0]), suffix), "suffix"
+            ),
+            [],
+        ]
+        for key, state, suffix in items
+    ]
+    _pcbc_run_jobs(jobs)
+    return [
+        state[0] + _pack_blocks(job[3])
+        for (_key, state, _suffix), job in zip(items, jobs)
+    ]

@@ -88,6 +88,11 @@ class KerberosDatabase:
         self.store = store if store is not None else MemoryStore()
         self.readonly = readonly
         self._record_cache = keycache._LruCache(RECORD_CACHE_SIZE)
+        # Zero-argument callbacks fired after any principal mutation —
+        # journaled writes on a master, delta/dump application on a
+        # slave.  The KDC registers its sealed-ticket skeleton
+        # invalidation here.
+        self.mutation_listeners: List = []
         # Writable (master) databases journal every mutation for delta
         # propagation; read-only copies instead track the journal
         # position they have applied up to (fed by load_dump/apply_entries).
@@ -153,12 +158,19 @@ class KerberosDatabase:
         if self.journal is not None:
             self.journal.append(OP_PUT, key, value, now)
         self.store.put(key, value)
+        self._notify_mutation()
 
     def _journal_delete(self, key: str, now: float) -> bool:
         existed = self.store.delete(key)
         if existed and self.journal is not None:
             self.journal.append(OP_DELETE, key, b"", now)
+        if existed:
+            self._notify_mutation()
         return existed
+
+    def _notify_mutation(self) -> None:
+        for listener in self.mutation_listeners:
+            listener()
 
     # -- guards ----------------------------------------------------------------
 
@@ -384,6 +396,7 @@ class KerberosDatabase:
         self.dump_time = dump_time
         self.loaded_epoch = epoch
         self.loaded_seq = seq
+        self._notify_mutation()
         return count
 
     def apply_entries(self, entries: List[JournalEntry]) -> int:
@@ -406,6 +419,8 @@ class KerberosDatabase:
                 raise DatabaseError(f"unknown journal opcode {entry.op}")
             self.loaded_seq = entry.seq
             applied += 1
+        if applied:
+            self._notify_mutation()
         return applied
 
     def replica(self, store: Optional[RecordStore] = None) -> "KerberosDatabase":
@@ -417,6 +432,7 @@ class KerberosDatabase:
         slave.store = store if store is not None else MemoryStore()
         slave.readonly = True
         slave._record_cache = keycache._LruCache(RECORD_CACHE_SIZE)
+        slave.mutation_listeners = []
         slave.journal = None
         slave.loaded_epoch = None
         slave.loaded_seq = 0

@@ -24,13 +24,17 @@ from repro.encode.buffer import (
     EncodeError,
     Encoder,
 )
+from repro.encode.batch import BatchReader, BatchWriter, pack_frames
 from repro.encode.structfmt import WireStruct, field
 
 __all__ = [
+    "BatchReader",
+    "BatchWriter",
     "Decoder",
     "DecodeError",
     "Encoder",
     "EncodeError",
     "WireStruct",
     "field",
+    "pack_frames",
 ]

@@ -139,12 +139,21 @@ class Encoder:
 
 
 class Decoder:
-    """Strict reader over a byte string produced by :class:`Encoder`."""
+    """Strict reader over a byte string produced by :class:`Encoder`.
+
+    Accepts ``bytes`` or a ``memoryview`` — a view is read in place
+    (scalars via ``unpack_from``, byte fields materialized individually),
+    so the batch plane can slice many datagrams out of one contiguous
+    buffer without a per-message copy.
+    """
 
     def __init__(self, data: bytes) -> None:
-        if not isinstance(data, (bytes, bytearray, memoryview)):
+        if isinstance(data, memoryview):
+            self._data = data
+        elif isinstance(data, (bytes, bytearray)):
+            self._data = bytes(data)
+        else:
             raise DecodeError(f"expected bytes, got {type(data).__name__}")
-        self._data = bytes(data)
         self._pos = 0
 
     # -- integers ---------------------------------------------------------
@@ -228,14 +237,21 @@ class Decoder:
     # -- internals --------------------------------------------------------
 
     def _take(self, n: int) -> bytes:
-        if self._pos + n > len(self._data):
+        pos = self._pos
+        if pos + n > len(self._data):
             raise DecodeError(
                 f"short read: wanted {n} bytes, {self.remaining()} remain"
             )
-        out = self._data[self._pos : self._pos + n]
-        self._pos += n
-        return out
+        out = self._data[pos : pos + n]
+        self._pos = pos + n
+        return out if type(out) is bytes else bytes(out)
 
     def _unpack(self, fmt: _struct.Struct):
-        raw = self._take(fmt.size)
-        return fmt.unpack(raw)[0]
+        pos = self._pos
+        if pos + fmt.size > len(self._data):
+            raise DecodeError(
+                f"short read: wanted {fmt.size} bytes, "
+                f"{self.remaining()} remain"
+            )
+        self._pos = pos + fmt.size
+        return fmt.unpack_from(self._data, pos)[0]

@@ -21,6 +21,7 @@ from repro.core.client import KerberosClient
 from repro.core.crossrealm import link_realms
 from repro.core.kdc import KerberosServer
 from repro.crypto import DesKey, KeyGenerator, keycache
+from repro.crypto import modes
 from repro.database.acl import AccessControlList
 from repro.database.admin_tools import (
     ext_srvtab,
@@ -81,9 +82,11 @@ class Realm:
         self.kdc_queue = kdc_queue
 
         # Mirror key-schedule cache traffic into this world's registry as
-        # crypto.keyschedule_total{result=hit|miss} (idempotent per
-        # registry; the cache itself is process-wide).
+        # crypto.keyschedule_total{result=hit|miss}, and two-lane kernel
+        # traffic as crypto.interleaved_blocks_total (idempotent per
+        # registry; both caches/counters are process-wide).
         keycache.attach_metrics(net.metrics)
+        modes.attach_metrics(net.metrics)
 
         # Initialize the database and essential principals.
         self.db = kdb_init(

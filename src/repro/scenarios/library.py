@@ -429,3 +429,79 @@ def _slos(name: str):
     from repro.scenarios.engine import get
 
     return get(name).slos
+
+
+@campaign(
+    "request_plane_saturation",
+    "open-loop AS storm at 2x KDC capacity; sheds typed, admitted fast",
+    defaults={"n_stations": 64, "n_users": 32, "overload_factor": 2.0,
+              "queue_limit": 16},
+    slos=(
+        SloSpec("shed_total", "min", 1.0, "admission control engaged"),
+        SloSpec("clean_failure_rate", "min", 1.0,
+                "every failure is a typed shed/refusal, never a crash"),
+        SloSpec("success_rate", "min", 0.5,
+                "retries recover at least the admitted half"),
+        SloSpec("latency_p95", "max", 30.0,
+                "admitted logins don't collapse under the storm"),
+    ),
+)
+def request_plane_saturation(seed: int, params: Dict) -> CampaignResult:
+    """ISSUE 8's gate drill: drive the batch request plane *past* its
+    admission capacity, open-loop — arrivals are scheduled by the clock,
+    never by completions, so the storm does not politely slow down when
+    the KDC does.  The realm must degrade the way the WorkQueue design
+    (PR 4) promises: excess arrivals are shed at submit time with a
+    typed ``KDC_OVERLOADED`` error (clients retry and mostly recover),
+    and the requests that *are* admitted keep their latency — overload
+    must never smear into the served population.
+    """
+    from repro.runtime.workqueue import WorkQueueConfig
+
+    queue = WorkQueueConfig(
+        workers=1, batch_size=8,
+        queue_limit=int(params["queue_limit"]),
+    )
+    # Service capacity of the loop, from its own cost model; the window
+    # is chosen so the arrival rate is `overload_factor` times that.
+    capacity = queue.batch_size / queue.batch_cost(queue.batch_size)
+    n_stations = int(params["n_stations"])
+    window = n_stations / (capacity * float(params["overload_factor"]))
+
+    net = Network(seed=seed, latency=0.01)
+    realm = Realm(
+        net, REALM, seed=seed.to_bytes(8, "big"), n_slaves=0,
+        kdc_queue=queue,
+    )
+    workload = AthenaWorkload(
+        realm, n_users=int(params["n_users"]), n_services=2, seed=seed
+    )
+    stations = workload.workstations(n_stations)
+    records: List[StationRecord] = []
+    _paced_logins(net, workload, stations, window, records)
+    net.runtime.run_until_idle()
+
+    result = CampaignResult("", seed, {}, makespan=net.clock.now() - START)
+    result.account(records)
+    sheds = net.metrics.total("kdc.queue.shed_total")
+    failures = [r for r in records if r.outcome != "ok"]
+    clean = [
+        r for r in failures
+        if r.outcome == "unavailable" or r.outcome.startswith("refused:")
+    ]
+    result.notes["shed_total"] = int(sheds)
+    result.notes["failures"] = len(failures)
+    result.notes["arrival_rate_req_s"] = round(n_stations / window, 1)
+    result.notes["capacity_req_s"] = round(capacity, 1)
+    result.evaluate(
+        _slos("request_plane_saturation"),
+        {
+            "shed_total": sheds,
+            "clean_failure_rate": (
+                len(clean) / len(failures) if failures else 1.0
+            ),
+            "success_rate": result.success_rate(),
+            "latency_p95": result.latency_p95,
+        },
+    )
+    return result

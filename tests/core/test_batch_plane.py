@@ -1,0 +1,254 @@
+"""The batch-aware KDC request plane.
+
+The staged pipeline (decode-all → lookup-all → seal-all → encode-all)
+must be *observationally identical* to serving each datagram alone:
+bit-identical replies (keygen state consumed in item order, split and
+interleaved seals bit-exact), typed per-item errors that never poison
+batchmates, and the same metrics/audit/trace surface.  Two same-seed
+realms make the comparison exact — one serves requests one at a time
+through the classic plane, the other serves the same wire bytes as one
+batch through :meth:`KerberosServer.process_request_buffer`.
+"""
+
+import pytest
+
+from repro.core.authenticator import build_authenticator
+from repro.core.errors import ErrorCode
+from repro.core.messages import (
+    AsRequest,
+    ErrorReply,
+    MessageType,
+    TgsRequest,
+    decode_message,
+    encode_message,
+)
+from repro.crypto import keycache
+from repro.encode import pack_frames
+from repro.netsim import Network
+from repro.principal import Principal, tgs_principal
+from repro.realm import Realm
+
+REALM = "ATHENA.MIT.EDU"
+
+
+class _Datagram:
+    """The payload/src/trace triple the request plane consumes."""
+
+    def __init__(self, payload, src):
+        self.payload = payload
+        self.src = src
+        self.trace = None
+
+
+def build_realm():
+    net = Network(seed=11)
+    realm = Realm(net, REALM, seed=b"batch-plane")
+    realm.add_user("jis", "jis-pw")
+    realm.add_user("bcn", "bcn-pw")
+    realm.add_service("rlogin", "priam")
+    return realm
+
+
+def as_wire(client="jis", life=3600.0, timestamp=0.0):
+    return encode_message(MessageType.AS_REQ, AsRequest(
+        client=Principal(client, "", REALM),
+        service=tgs_principal(REALM),
+        requested_life=life,
+        timestamp=timestamp,
+    ))
+
+
+def tgs_wire(realm, ws, service=("rlogin", "priam")):
+    """A valid TGS_REQ, built the way the client library builds one."""
+    tgt = ws.client.cache.tgt(REALM)
+    now = realm.net.clock.now()
+    authenticator = build_authenticator(
+        client=ws.client.cache.owner,
+        address=ws.host.address,
+        now=now,
+        session_key=tgt.session_key,
+    )
+    request = TgsRequest(
+        service=Principal(service[0], service[1], REALM),
+        requested_life=3600.0,
+        timestamp=now,
+        tgt_realm=REALM,
+        tgt=tgt.ticket,
+        authenticator=authenticator,
+    )
+    return encode_message(MessageType.TGS_REQ, request)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    keycache.clear()
+    yield
+    keycache.clear()
+
+
+def _mixed_batch(realm, ws):
+    """AS + TGS + garbage + unknown principal, interleaved."""
+    return [
+        as_wire("jis"),
+        b"\xffnot a kerberos message",
+        tgs_wire(realm, ws),
+        as_wire("nosuch"),
+        as_wire("bcn"),
+    ]
+
+
+class TestBatchMatchesSinglePlane:
+    def test_mixed_batch_is_bit_identical(self):
+        realm_a = build_realm()
+        realm_b = build_realm()
+        ws_a = realm_a.workstation()
+        ws_b = realm_b.workstation()
+        ws_a.client.kinit("jis", "jis-pw")
+        ws_b.client.kinit("jis", "jis-pw")
+
+        wires_a = _mixed_batch(realm_a, ws_a)
+        wires_b = _mixed_batch(realm_b, ws_b)
+        assert wires_a == wires_b  # same-seed realms, same bytes in
+
+        src = ws_a.host.address
+        singles = [
+            realm_a.kdc._serve(_Datagram(w, src)) for w in wires_a
+        ]
+        batch = realm_b.kdc.process_request_buffer(
+            pack_frames(wires_b), ws_b.host.address
+        )
+        assert [bytes(reply) for reply in batch] == singles
+
+    def test_per_item_typed_errors_batch_survives(self):
+        realm = build_realm()
+        ws = realm.workstation()
+        ws.client.kinit("jis", "jis-pw")
+        replies = realm.kdc.process_request_buffer(
+            pack_frames(_mixed_batch(realm, ws)), ws.host.address
+        )
+        kinds = [decode_message(r) for r in replies]
+        assert kinds[0][0] == MessageType.AS_REP
+        assert kinds[2][0] == MessageType.TGS_REP
+        assert kinds[4][0] == MessageType.AS_REP
+        garbage = kinds[1][1]
+        unknown = kinds[3][1]
+        assert isinstance(garbage, ErrorReply)
+        assert garbage.code == int(ErrorCode.KDC_GEN_ERR)
+        assert isinstance(unknown, ErrorReply)
+        assert unknown.code == int(ErrorCode.KDC_PR_UNKNOWN)
+
+    def test_caches_disabled_stays_bit_identical(self):
+        """The skeleton/key caches are a pure optimization: with every
+        cache layer off, the batch plane still answers byte-for-byte."""
+        realm_a = build_realm()
+        realm_b = build_realm()
+        wires = [as_wire("jis", timestamp=float(i)) for i in range(5)]
+        src_a = realm_a.workstation().host.address
+        src_b = realm_b.workstation().host.address
+        with keycache.caches_disabled():
+            singles = [
+                realm_a.kdc._serve(_Datagram(w, src_a)) for w in wires
+            ]
+            batch = realm_b.kdc.process_request_buffer(
+                pack_frames(wires), src_b
+            )
+        assert [bytes(reply) for reply in batch] == singles
+        assert keycache.skeleton_stats()["size"] == 0
+
+
+class TestBatchObservability:
+    def test_batch_size_histogram_and_skeleton_hits(self):
+        realm = build_realm()
+        src = realm.workstation().host.address
+        wires = [as_wire("jis", timestamp=float(i)) for i in range(8)]
+        realm.kdc.process_request_buffer(pack_frames(wires), src)
+        labels = {"server": realm.master_host.name}
+        hist = realm.net.metrics.get("kdc.batch_size", labels)
+        assert hist.count == 1  # one batch ...
+        assert hist.sum == 8.0  # ... of eight requests
+        # Seven of the eight AS tickets reuse the first one's skeleton.
+        assert realm.net.metrics.total(
+            "kdc.skeleton_hits_total", **labels
+        ) >= 7
+
+    def test_per_item_spans_carry_stage_attrs(self):
+        realm = build_realm()
+        src = realm.workstation().host.address
+        wires = [as_wire("jis"), as_wire("bcn")]
+        realm.kdc.process_request_buffer(pack_frames(wires), src)
+        spans = [
+            s for s in realm.net.tracer.spans if s.name == "kdc.as"
+        ]
+        assert len(spans) == 2
+        for span in spans:
+            assert span.attrs["batch_size"] == 2
+            assert span.attrs["stage_decoded"] == 2
+            assert span.attrs["stage_sealed"] == 2
+            assert span.attrs["stage_interleaved_blocks"] > 0
+            assert span.attrs["stage_encoded_bytes"] > 0
+            assert span.attrs["crypto_ops"] > 0
+
+    def test_interleaved_blocks_metric_mirrors(self):
+        realm = build_realm()
+        src = realm.workstation().host.address
+        before = realm.net.metrics.total("crypto.interleaved_blocks_total")
+        wires = [as_wire("jis", timestamp=float(i)) for i in range(4)]
+        realm.kdc.process_request_buffer(pack_frames(wires), src)
+        assert realm.net.metrics.total(
+            "crypto.interleaved_blocks_total"
+        ) > before
+
+
+class TestSkeletonInvalidation:
+    def test_principal_mutation_flushes_skeletons(self):
+        """A kadmin write lands in the journal and — through the
+        database mutation listener — empties the skeleton cache."""
+        realm = build_realm()
+        src = realm.workstation().host.address
+        realm.kdc.process_request_buffer(
+            pack_frames([as_wire("jis")]), src
+        )
+        assert keycache.skeleton_stats()["size"] > 0
+        realm.db.change_key(
+            Principal("rlogin", "priam", REALM), new_password="rotated"
+        )
+        assert keycache.skeleton_stats()["size"] == 0
+
+    def test_slave_dump_application_flushes_skeletons(self):
+        realm = build_realm()
+        replica = realm.db.replica()
+        from repro.core.kdc import KerberosServer
+
+        host = realm.net.add_host("slave-kdc")
+        kdc = KerberosServer(
+            replica, realm.keygen.fork(b"slave")
+        ).attach(host)
+        keycache.skeleton_put(("warm",), (b"x", 0))
+        replica.load_dump(realm.db.dump(now=1.0))
+        assert keycache.skeleton_stats()["size"] == 0
+        kdc.detach() if hasattr(kdc, "detach") else None
+
+    def test_rotated_service_key_cannot_hit_stale_skeleton(self):
+        """Even without the listener, content addressing makes a rotated
+        key miss: the sealed ticket after rotation opens under the new
+        key."""
+        realm = build_realm()
+        ws = realm.workstation()
+        src = ws.host.address
+        realm.kdc.process_request_buffer(
+            pack_frames([as_wire("jis")]), src
+        )
+        realm.db.change_key(
+            Principal("rlogin", "priam", REALM), new_password="rotated"
+        )
+        ws.client.kinit("jis", "jis-pw")
+        cred = ws.client.get_credential(
+            Principal("rlogin", "priam", REALM)
+        )
+        from repro.core.ticket import unseal_ticket
+
+        new_key = realm.db.principal_key(
+            Principal("rlogin", "priam", REALM)
+        )
+        ticket = unseal_ticket(cred.ticket, new_key)
+        assert ticket.client == Principal("jis", "", REALM)

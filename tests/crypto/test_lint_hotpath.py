@@ -97,3 +97,71 @@ def test_lint_catches_a_planted_offender(tmp_path):
     )
     labels = {what for _, what in _violations(planted)}
     assert labels == {"bytes_to_int()", "int_to_bytes()", ".from_bytes()"}
+
+
+# --------------------------------------------------------------------------
+# ISSUE 8 extension: the batch framing path must stay zero-copy.
+#
+# ``repro.encode.batch`` slices every datagram out of the receive buffer
+# as a memoryview and encodes every reply into one preallocated output
+# buffer.  A ``bytes(...)`` call inside any of its loops (or
+# comprehensions) is a per-datagram copy creeping back in — the exact
+# allocation churn the batch plane exists to remove.
+# --------------------------------------------------------------------------
+
+ENCODE_BATCH = (
+    Path(__file__).resolve().parents[2] / "src" / "repro" / "encode"
+    / "batch.py"
+)
+
+_LOOPY = (
+    ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _bytes_copies_in_loops(path: Path) -> list:
+    """(lineno, source) for every ``bytes(...)`` call in a loop body."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, _LOOPY):
+            continue
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id in {"bytes", "bytearray"}
+            ):
+                found.append((inner.lineno, f"{inner.func.id}()"))
+    return sorted(set(found))
+
+
+def test_no_per_datagram_copy_in_batch_framing():
+    assert ENCODE_BATCH.exists(), f"missing {ENCODE_BATCH}"
+    violations = _bytes_copies_in_loops(ENCODE_BATCH)
+    assert not violations, (
+        "per-datagram bytes/bytearray copy inside a batch framing loop "
+        "(frames must stay memoryviews over the one buffer):\n"
+        + "\n".join(
+            f"  batch.py:{line}: {what}" for line, what in violations
+        )
+    )
+
+
+def test_batch_copy_lint_catches_a_planted_offender(tmp_path):
+    planted = tmp_path / "offender.py"
+    planted.write_text(
+        "def frames(buffer):\n"
+        "    out = []\n"
+        "    pos = 0\n"
+        "    while pos < len(buffer):\n"
+        "        out.append(bytes(buffer[pos:pos + 8]))\n"
+        "        pos += 8\n"
+        "    copies = [bytearray(f) for f in out]\n"
+        "    header = bytes(8)  # outside any loop: fine\n"
+        "    return out, copies, header\n"
+    )
+    violations = _bytes_copies_in_loops(planted)
+    assert {what for _, what in violations} == {"bytes()", "bytearray()"}
+    assert all(line != 8 for line, _ in violations)

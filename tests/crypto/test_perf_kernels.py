@@ -205,3 +205,269 @@ class TestKeyScheduleCache:
         DesKey.from_bytes(raw, allow_weak=True)
         assert registry.total("crypto.keyschedule_total", result="miss") == 1
         assert registry.total("crypto.keyschedule_total", result="hit") == 1
+
+
+class TestInterleavedKernel:
+    """The two-lane kernel (``crypt_int2``) is bit-exact against the
+    reference round function, lane by lane."""
+
+    @given(
+        a=blocks64, b=blocks64,
+        ka=st.binary(min_size=8, max_size=8),
+        kb=st.binary(min_size=8, max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_crypt_int2_matches_reference(self, a, b, ka, kb):
+        from repro.crypto.des import crypt_int2
+
+        sk_a = _key_schedule(ka)
+        sk_b = _key_schedule(kb)
+        ra, rb = crypt_int2(a, sk_a, b, sk_b)
+        assert ra == crypt_int_ref(a, sk_a)
+        assert rb == crypt_int_ref(b, sk_b)
+
+    def test_lanes_are_independent(self):
+        """Lane A's output never depends on lane B's block or key."""
+        from repro.crypto.des import crypt_int2
+
+        rng = random.Random(5)
+        sk_a = _key_schedule(rng.randbytes(8))
+        a = rng.getrandbits(64)
+        baseline = crypt_int(a, sk_a)
+        for _ in range(20):
+            sk_b = _key_schedule(rng.randbytes(8))
+            ra, _rb = crypt_int2(a, sk_a, rng.getrandbits(64), sk_b)
+            assert ra == baseline
+
+
+class TestBatchModes:
+    """seal_many/unseal_many and the pcbc_*_many kernels are
+    bit-identical to per-message calls, for every batch shape."""
+
+    # K=1 exercises the single-lane fallback, K=2 the pure pair path,
+    # odd/prime sizes the mixed tail.
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 13])
+    def test_seal_many_matches_singles(self, count):
+        from repro.crypto import seal_many
+
+        rng = random.Random(count)
+        items = [
+            (
+                DesKey(rng.randbytes(8), allow_weak=True),
+                rng.randbytes(rng.randrange(0, 220)),
+            )
+            for _ in range(count)
+        ]
+        assert seal_many(items) == [seal(k, d) for k, d in items]
+
+    @pytest.mark.parametrize("count", [1, 2, 5, 11])
+    def test_unseal_many_roundtrip(self, count):
+        from repro.crypto import seal_many, unseal_many
+
+        rng = random.Random(count * 31)
+        items = [
+            (
+                DesKey(rng.randbytes(8), allow_weak=True),
+                rng.randbytes(rng.randrange(0, 100)),
+            )
+            for _ in range(count)
+        ]
+        sealed = seal_many(items)
+        opened = unseal_many(
+            [(k, blob) for (k, _d), blob in zip(items, sealed)]
+        )
+        assert opened == [d for _k, d in items]
+
+    def test_unseal_many_bad_item_does_not_poison_batch(self):
+        from repro.crypto import IntegrityError, seal_many, unseal_many
+
+        rng = random.Random(8)
+        keys_ = [DesKey(rng.randbytes(8), allow_weak=True) for _ in range(5)]
+        datas = [rng.randbytes(40) for _ in range(5)]
+        sealed = seal_many(list(zip(keys_, datas)))
+        wrong_key = DesKey(rng.randbytes(8), allow_weak=True)
+        items = [
+            (keys_[0], sealed[0]),
+            (wrong_key, sealed[1]),          # wrong key: bad magic
+            (keys_[2], sealed[2][:-8]),      # truncated: frame too short
+            (keys_[3], sealed[3][:-3]),      # misaligned length
+            (keys_[4], sealed[4]),
+        ]
+        out = unseal_many(items)
+        assert out[0] == datas[0] and out[4] == datas[4]
+        for i in (1, 2, 3):
+            assert isinstance(out[i], IntegrityError)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_pcbc_many_matches_singles(self, data):
+        from repro.crypto import pcbc_decrypt_many, pcbc_encrypt_many
+
+        rng = random.Random(data.draw(st.integers(0, 2**32)))
+        count = data.draw(st.integers(min_value=1, max_value=6))
+        items = [
+            (
+                DesKey(rng.randbytes(8), allow_weak=True),
+                rng.randbytes(8 * rng.randrange(0, 12)),
+            )
+            for _ in range(count)
+        ]
+        sealed = pcbc_encrypt_many(items)
+        assert sealed == [pcbc_encrypt(k, d) for k, d in items]
+        opened = pcbc_decrypt_many(
+            [(k, c) for (k, _d), c in zip(items, sealed)]
+        )
+        assert opened == [d for _k, d in items]
+
+    def test_interleaved_blocks_counter_advances(self):
+        from repro.crypto import seal_many
+        from repro.crypto.modes import interleaved_blocks
+
+        rng = random.Random(2)
+        items = [
+            (DesKey(rng.randbytes(8), allow_weak=True), rng.randbytes(64))
+            for _ in range(4)
+        ]
+        before = interleaved_blocks()
+        seal_many(items)
+        assert interleaved_blocks() > before
+
+
+class TestSplitSealing:
+    """Skeleton sealing: prefix state + resume == one-shot seal."""
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_resume_matches_full_seal(self, data):
+        from repro.crypto import seal_prefix_state, seal_resume
+
+        rng = random.Random(data.draw(st.integers(0, 2**32)))
+        key = DesKey(rng.randbytes(8), allow_weak=True)
+        payload = rng.randbytes(data.draw(st.integers(0, 160)))
+        cut = data.draw(st.integers(0, len(payload) // 8)) * 8
+        state = seal_prefix_state(key, len(payload), payload[:cut])
+        assert seal_resume(key, state, payload[cut:]) == seal(key, payload)
+
+    def test_resume_many_matches_singles(self):
+        from repro.crypto import (
+            seal_prefix_state,
+            seal_resume,
+            seal_resume_many,
+        )
+
+        rng = random.Random(77)
+        jobs = []
+        for _ in range(7):
+            key = DesKey(rng.randbytes(8), allow_weak=True)
+            payload = rng.randbytes(rng.randrange(16, 120))
+            cut = rng.randrange(0, len(payload) // 8) * 8
+            state = seal_prefix_state(key, len(payload), payload[:cut])
+            jobs.append((key, state, payload[cut:]))
+        assert seal_resume_many(jobs) == [
+            seal_resume(k, s, suf) for k, s, suf in jobs
+        ]
+
+
+class TestSkeletonCache:
+    """The sealed-ticket skeleton layer rides the keycache switch."""
+
+    def test_put_get_and_stats(self):
+        keycache.clear()
+        keycache.reset_stats()
+        keycache.skeleton_put(("k", 10, b"p"), (b"cp", 3))
+        assert keycache.skeleton_get(("k", 10, b"p")) == (b"cp", 3)
+        assert keycache.skeleton_get(("other",)) is None
+        stats = keycache.skeleton_stats()
+        assert stats["hit"] == 1 and stats["miss"] == 1
+
+    def test_caches_disabled_bypasses_skeletons(self):
+        keycache.skeleton_put(("live",), (b"x", 0))
+        with keycache.caches_disabled():
+            # Disabled: no reads, and writes are dropped.
+            assert keycache.skeleton_get(("live",)) is None
+            keycache.skeleton_put(("while-off",), (b"y", 1))
+        assert keycache.skeleton_get(("while-off",)) is None
+
+    def test_invalidate_drops_everything(self):
+        keycache.skeleton_put(("a",), (b"", 0))
+        keycache.skeleton_put(("b",), (b"", 0))
+        assert keycache.invalidate_skeletons() >= 2
+        assert keycache.skeleton_stats()["size"] == 0
+
+
+class TestWideLanes:
+    """The numpy wide-lane kernel (``des_simd``) behind seal_many.
+
+    Batches of >= ``modes.WIDE_MIN_LANES`` jobs take the vectorized
+    path; these tests pin it bit-exact against the scalar kernels,
+    including ragged lengths (active-lane shrink + scalar tails).
+    """
+
+    def setup_method(self):
+        from repro.crypto import des_simd
+
+        if not des_simd.available():
+            pytest.skip("numpy not available; wide path disabled")
+
+    def test_crypt_wide_matches_scalar_kernel(self):
+        from repro.crypto import des_simd
+
+        rng = random.Random(9)
+        keys = [
+            DesKey(rng.randbytes(8), allow_weak=True) for _ in range(40)
+        ]
+        blocks = [rng.getrandbits(64) for _ in range(40)]
+        km = des_simd.keymat([k._enc_subkeys for k in keys])
+        out = des_simd.crypt_wide(
+            des_simd._np.array(blocks, dtype=des_simd._np.uint64), km
+        )
+        assert out.tolist() == [
+            crypt_int(b, k._enc_subkeys) for b, k in zip(blocks, keys)
+        ]
+
+    def test_seal_many_wide_ragged_lengths(self):
+        from repro.crypto import seal_many
+        from repro.crypto.modes import WIDE_MIN_LANES
+
+        rng = random.Random(10)
+        items = [
+            (
+                DesKey(rng.randbytes(8), allow_weak=True),
+                rng.randbytes(rng.randrange(0, 200)),
+            )
+            for _ in range(WIDE_MIN_LANES + 9)
+        ]
+        assert seal_many(items) == [seal(k, d) for k, d in items]
+
+    def test_seal_many_wide_uniform_lengths(self):
+        from repro.crypto import seal_many
+        from repro.crypto.modes import interleaved_blocks
+
+        rng = random.Random(11)
+        items = [
+            (DesKey(rng.randbytes(8), allow_weak=True), rng.randbytes(96))
+            for _ in range(64)
+        ]
+        before = interleaved_blocks()
+        assert seal_many(items) == [seal(k, d) for k, d in items]
+        assert interleaved_blocks() > before
+
+    def test_seal_resume_many_wide(self):
+        from repro.crypto import (
+            seal_prefix_state,
+            seal_resume,
+            seal_resume_many,
+        )
+        from repro.crypto.modes import WIDE_MIN_LANES
+
+        rng = random.Random(12)
+        jobs = []
+        for _ in range(WIDE_MIN_LANES + 3):
+            key = DesKey(rng.randbytes(8), allow_weak=True)
+            payload = rng.randbytes(rng.randrange(16, 160))
+            cut = rng.randrange(0, len(payload) // 8) * 8
+            state = seal_prefix_state(key, len(payload), payload[:cut])
+            jobs.append((key, state, payload[cut:]))
+        assert seal_resume_many(jobs) == [
+            seal_resume(k, s, suf) for k, s, suf in jobs
+        ]

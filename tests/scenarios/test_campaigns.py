@@ -38,6 +38,20 @@ class TestSmoke:
         assert result.notes["promotions"] == 1
         assert result.notes["new_master"] != result.notes["old_master"]
 
+    def test_request_plane_saturation_smoke(self):
+        """The ISSUE 8 overload drill at smoke scale: the storm really
+        exceeds capacity, sheds are typed, and nobody crashes."""
+        result = scenarios.run(
+            "request_plane_saturation", seed=2026,
+            n_stations=24, n_users=12, queue_limit=4,
+            overload_factor=3.0,
+        )
+        assert result.passed, [c.as_dict() for c in result.checks]
+        assert result.notes["shed_total"] >= 1
+        assert result.notes["arrival_rate_req_s"] > (
+            result.notes["capacity_req_s"]
+        )
+
     def test_same_seed_summary_is_identical(self):
         kwargs = dict(n_stations=6, n_users=6, window=3.0)
         a = scenarios.run("slave_outage_peak", seed=31, **kwargs)
