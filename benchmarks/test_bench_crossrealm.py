@@ -11,6 +11,7 @@ import pytest
 from repro.core import (
     ErrorCode,
     KerberosError,
+    StaticLocator,
     krb_rd_req,
     tgs_principal,
     unseal_ticket,
@@ -30,7 +31,7 @@ def build_two_realms():
     service, key = lcs.add_service("rlogin", "ptt")
     link(athena, lcs)
     ws = athena.workstation()
-    ws.client._directory[LCS] = [lcs.master_host.address]
+    ws.client.set_locator(LCS, StaticLocator([lcs.master_host.address]))
     ws.client.kinit("jis", "jis-pw")
     return net, athena, lcs, ws, service, key
 
@@ -70,7 +71,9 @@ def test_bench_crossrealm_acquisition(benchmark):
     # Chaining to a third realm is refused (the paper's stated limit).
     uw = Realm(net, "CS.WASHINGTON.EDU", seed=b"x1-uw")
     link(lcs, uw)
-    ws.client._directory["CS.WASHINGTON.EDU"] = [uw.master_host.address]
+    ws.client.set_locator(
+        "CS.WASHINGTON.EDU", StaticLocator([uw.master_host.address])
+    )
     remote_tgt = ws.client.cache.remote_tgt(ATHENA, LCS)
     with pytest.raises(KerberosError) as err:
         ws.client._tgs_exchange(

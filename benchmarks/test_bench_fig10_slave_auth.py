@@ -9,7 +9,7 @@ Regenerates the figure's two claims:
   KDCs and clients spread across them, per-KDC load drops ~N-fold.
 """
 
-from repro.core import KerberosClient
+from repro.core import KerberosClient, StaticLocator
 
 from benchmarks.bench_util import REALM, small_realm
 
@@ -41,7 +41,7 @@ def test_bench_fig10_load_spreading(benchmark):
         ws = realm.workstation()
         preferred = addresses[i % len(addresses)]
         others = [a for a in addresses if a != preferred]
-        ws.client._directory[REALM] = [preferred] + others
+        ws.client.set_locator(REALM, StaticLocator([preferred] + others))
         stations.append(ws)
 
     def login_storm():

@@ -9,7 +9,7 @@ service sees exactly which realm vouched for them.
 Run:  python examples/cross_realm.py
 """
 
-from repro.core import KerberosError, krb_rd_req, unseal_ticket
+from repro.core import KerberosError, StaticLocator, krb_rd_req, unseal_ticket
 from repro.netsim import Network
 from repro.realm import Realm, link
 
@@ -27,7 +27,7 @@ def main() -> None:
     link(athena, lcs)
 
     ws = athena.workstation("jis-ws")
-    ws.client._directory["LCS.MIT.EDU"] = [lcs.master_host.address]
+    ws.client.set_locator("LCS.MIT.EDU", StaticLocator([lcs.master_host.address]))
 
     print("\njis logs in at home (ATHENA) ...")
     ws.client.kinit("jis", "jis-password")
@@ -53,7 +53,9 @@ def main() -> None:
     print("\n=== An unlinked realm gets nothing ===")
     uw = Realm(net, "CS.WASHINGTON.EDU", seed=b"uw")
     uw_service, _ = uw.add_service("rlogin", "june")
-    ws.client._directory["CS.WASHINGTON.EDU"] = [uw.master_host.address]
+    ws.client.set_locator(
+        "CS.WASHINGTON.EDU", StaticLocator([uw.master_host.address])
+    )
     try:
         ws.client.get_credential(uw_service)
     except KerberosError as exc:

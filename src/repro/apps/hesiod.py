@@ -17,8 +17,9 @@ the paper is making about separating sensitive from non-sensitive data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.locator import KdcLocator, count_deprecated
 from repro.core.service import Service
 from repro.encode import WireStruct, field
 from repro.netsim import Host, IPAddress
@@ -62,11 +63,36 @@ class HesiodReply(WireStruct):
 #: after promoting a new master.
 KDC_RECORD_PREFIX = "_kerberos."
 
+#: Ring descriptor record for a sharded realm: ``_kerberos-ring.<REALM>``
+#: answers with a :class:`HesiodRingRecord` naming the ring epoch and
+#: hash-space segments, from which a client builds its routing snapshot.
+RING_RECORD_PREFIX = "_kerberos-ring."
+
+#: Per-shard KDC list: ``_kerberos-shard.<N>.<REALM>`` answers with a
+#: :class:`HesiodKdcRecord` for shard N (that shard's master first).
+SHARD_RECORD_PREFIX = "_kerberos-shard."
+
 
 class HesiodKdcRecord(WireStruct):
     """The KDC list for one realm, current master first."""
 
     FIELDS = (field("realm", "string"), field("addresses", "list:string"))
+
+
+class HesiodRingRecord(WireStruct):
+    """A sharded realm's consistent-hash ring, as published through
+    Hesiod.  Segments are ``"<start>:<shard>"`` strings: the shard owns
+    hash points from ``start`` up to the next segment's start (the last
+    wraps around).  Unauthenticated by design, like every Hesiod record
+    — a wrong ring costs the client one :class:`WrongShard` referral
+    round-trip, never a security property."""
+
+    FIELDS = (
+        field("realm", "string"),
+        field("epoch", "u64"),
+        field("n_shards", "u32"),
+        field("segments", "list:string"),
+    )
 
 
 class HesiodServer(Service):
@@ -77,6 +103,10 @@ class HesiodServer(Service):
         self.port = port
         self._entries: Dict[str, HesiodEntry] = {}
         self._kdc_lists: Dict[str, List[str]] = {}
+        #: (realm, shard) -> that shard's KDC list, shard master first.
+        self._shard_lists: Dict[Tuple[str, int], List[str]] = {}
+        #: realm -> published ring record (sharded realms only).
+        self._rings: Dict[str, HesiodRingRecord] = {}
         self.queries = 0
 
     def ports(self):
@@ -110,16 +140,68 @@ class HesiodServer(Service):
     # -- realm KDC records ----------------------------------------------------
 
     def set_kdc_list(self, realm: str, addresses) -> None:
+        """Deprecated shim (one release): publish the flat KDC list for
+        ``realm``.  Publication now flows through the realm's locator
+        plumbing (:meth:`repro.realm.bootstrap.Realm.attach_hesiod`) —
+        direct callers are counted in ``api.deprecated_calls_total``."""
+        count_deprecated(
+            self.host.network.metrics if self.host is not None else None,
+            "HesiodServer.set_kdc_list",
+        )
+        self.store_kdc_list(realm, addresses)
+
+    def store_kdc_list(self, realm: str, addresses) -> None:
         """Publish (or replace) the KDC list served for ``realm``.  The
         order is the clients' failover order: current master first."""
         self._kdc_lists[realm] = [str(IPAddress(a)) for a in addresses]
 
+    def store_shard_kdc_list(
+        self, realm: str, shard: int, addresses
+    ) -> None:
+        """Publish one shard's KDC list (that shard's master first)."""
+        self._shard_lists[(realm, int(shard))] = [
+            str(IPAddress(a)) for a in addresses
+        ]
+
+    def store_ring(self, record: HesiodRingRecord) -> None:
+        """Publish (or replace) a sharded realm's ring descriptor."""
+        self._rings[record.realm] = record
+
     def kdc_list(self, realm: str) -> List[str]:
         return list(self._kdc_lists.get(realm, []))
+
+    def shard_kdc_list(self, realm: str, shard: int) -> List[str]:
+        return list(self._shard_lists.get((realm, int(shard)), []))
+
+    def ring_record(self, realm: str) -> Optional[HesiodRingRecord]:
+        return self._rings.get(realm)
 
     def _handle(self, datagram) -> bytes:
         self.queries += 1
         query = HesiodQuery.from_bytes(datagram.payload)
+        if query.username.startswith(RING_RECORD_PREFIX):
+            record = self._rings.get(query.username[len(RING_RECORD_PREFIX):])
+            if record is None:
+                return HesiodReply(found=False, entry_bytes=b"").to_bytes()
+            return HesiodReply(
+                found=True, entry_bytes=record.to_bytes()
+            ).to_bytes()
+        if query.username.startswith(SHARD_RECORD_PREFIX):
+            # "<shard>.<realm>" after the prefix; bad shapes are simply
+            # not found (Hesiod never errors, it just doesn't know).
+            rest = query.username[len(SHARD_RECORD_PREFIX):]
+            shard_str, _, realm = rest.partition(".")
+            try:
+                shard = int(shard_str)
+            except ValueError:
+                return HesiodReply(found=False, entry_bytes=b"").to_bytes()
+            addresses = self._shard_lists.get((realm, shard))
+            if addresses is None:
+                return HesiodReply(found=False, entry_bytes=b"").to_bytes()
+            record = HesiodKdcRecord(realm=realm, addresses=list(addresses))
+            return HesiodReply(
+                found=True, entry_bytes=record.to_bytes()
+            ).to_bytes()
         if query.username.startswith(KDC_RECORD_PREFIX):
             realm = query.username[len(KDC_RECORD_PREFIX):]
             addresses = self._kdc_lists.get(realm)
@@ -166,3 +248,68 @@ def hesiod_kdcs(
         return None
     record = HesiodKdcRecord.from_bytes(reply.entry_bytes)
     return [IPAddress(a) for a in record.addresses]
+
+
+def hesiod_ring(
+    host: Host, hesiod_address, realm: str, port: int = HESIOD_PORT
+) -> Optional[HesiodRingRecord]:
+    """Fetch a sharded realm's ring descriptor (None if not sharded)."""
+    raw = host.rpc(
+        IPAddress(hesiod_address),
+        port,
+        HesiodQuery(username=RING_RECORD_PREFIX + realm).to_bytes(),
+    )
+    reply = HesiodReply.from_bytes(raw)
+    if not reply.found:
+        return None
+    return HesiodRingRecord.from_bytes(reply.entry_bytes)
+
+
+def hesiod_shard_kdcs(
+    host: Host, hesiod_address, realm: str, shard: int,
+    port: int = HESIOD_PORT,
+) -> Optional[List[IPAddress]]:
+    """Fetch one shard's KDC list (shard master first)."""
+    raw = host.rpc(
+        IPAddress(hesiod_address),
+        port,
+        HesiodQuery(
+            username=f"{SHARD_RECORD_PREFIX}{int(shard)}.{realm}"
+        ).to_bytes(),
+    )
+    reply = HesiodReply.from_bytes(raw)
+    if not reply.found:
+        return None
+    record = HesiodKdcRecord.from_bytes(reply.entry_bytes)
+    return [IPAddress(a) for a in record.addresses]
+
+
+class HesiodLocator(KdcLocator):
+    """KDC discovery through the realm's Hesiod ``_kerberos`` record.
+
+    The list is fetched lazily on first :meth:`locate` and cached —
+    Hesiod is unauthenticated and cheap, but a login should not pay a
+    directory round-trip per exchange.  :meth:`refresh` drops the cache
+    (what a workstation does when its configured KDCs stop answering,
+    or when a referral proves the view stale)."""
+
+    def __init__(
+        self, host: Host, hesiod_address, realm: str,
+        port: int = HESIOD_PORT,
+    ) -> None:
+        self._host = host
+        self._hesiod = IPAddress(hesiod_address)
+        self._realm = realm
+        self._port = port
+        self._cached: Optional[List[IPAddress]] = None
+
+    def locate(self, routing_key: Optional[str] = None) -> List[IPAddress]:
+        if self._cached is None:
+            found = hesiod_kdcs(
+                self._host, self._hesiod, self._realm, port=self._port
+            )
+            self._cached = list(found) if found else []
+        return list(self._cached)
+
+    def refresh(self) -> None:
+        self._cached = None

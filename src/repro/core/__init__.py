@@ -26,7 +26,8 @@ from repro.principal import (
     kdbm_principal,
     tgs_principal,
 )
-from repro.core.errors import ErrorCode, KerberosError
+from repro.core.errors import ErrorCode, KerberosError, WrongShard
+from repro.core.locator import KdcLocator, StaticLocator
 from repro.core.ticket import Ticket, seal_ticket, unseal_ticket
 from repro.core.authenticator import (
     Authenticator,
@@ -82,6 +83,7 @@ __all__ = [
     "ErrorReply",
     "KdcReply",
     "KdcReplyBody",
+    "KdcLocator",
     "KerberosClient",
     "KerberosError",
     "KerberosServer",
@@ -95,8 +97,10 @@ __all__ = [
     "SafeMessage",
     "PrivMessage",
     "SrvTab",
+    "StaticLocator",
     "TgsRequest",
     "Ticket",
+    "WrongShard",
     "build_authenticator",
     "decode_message",
     "encode_message",

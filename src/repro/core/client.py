@@ -15,6 +15,17 @@ Availability (Figure 10): the client knows *several* KDC addresses —
 the master and any slaves — and fails over between them, which is how
 "if the master machine is down, authentication can still be achieved on
 one of the slave machines".
+
+Discovery (PR 9): where those addresses come from is one protocol, the
+:class:`~repro.core.locator.KdcLocator`.  The client holds a locator
+per realm and asks it, per request, for a failover-ordered list — a
+static list, a Hesiod record, or a shard ring routing by principal.  A
+sharded realm may answer with a :class:`~repro.core.errors.WrongShard`
+referral; the client folds it into the locator and re-sends (bounded
+hops), counting follows in ``kdc.referral_follows_total``.  The legacy
+constructor address list and :meth:`KerberosClient.set_kdcs` remain as
+one-release shims that build :class:`StaticLocator`\\ s and count their
+callers in ``api.deprecated_calls_total``.
 """
 
 from __future__ import annotations
@@ -25,7 +36,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.crypto import DesKey, string_to_key
 from repro.core.applib import krb_mk_req, krb_rd_rep
 from repro.core.credcache import Credential, CredentialCache
-from repro.core.errors import ErrorCode, KerberosError, PreauthRequired
+from repro.core.errors import (
+    ErrorCode,
+    KerberosError,
+    PreauthRequired,
+    WrongShard,
+)
+from repro.core.locator import KdcLocator, StaticLocator, count_deprecated
 from repro.core.messages import (
     ApReply,
     ApRequest,
@@ -46,6 +63,11 @@ from repro.netsim.ports import KERBEROS_PORT
 from repro.obs import LATENCY_BUCKETS
 from repro.principal import Principal, tgs_principal
 
+#: Referral follows per exchange before giving up.  One hop corrects a
+#: stale ring snapshot; a second absorbs a ring that changed *again*
+#: mid-exchange; beyond that something is looping.
+MAX_REFERRAL_HOPS = 3
+
 
 class KerberosClient:
     """A user's Kerberos state on one workstation."""
@@ -54,14 +76,15 @@ class KerberosClient:
         self,
         host: Host,
         realm: str,
-        kdc_addresses: Sequence,
+        kdc_addresses: Optional[Sequence] = None,
         kdc_directory: Optional[Dict[str, Sequence]] = None,
         default_life: float = DEFAULT_MAX_LIFE,
         port: int = KERBEROS_PORT,
         retries: int = 3,
         retry_policy: Optional[RetryPolicy] = None,
+        locator: Optional[KdcLocator] = None,
     ) -> None:
-        if not kdc_addresses:
+        if kdc_addresses is None and locator is None:
             raise ValueError("at least one KDC address is required")
         if retries < 1:
             raise ValueError("retries must be at least 1")
@@ -83,13 +106,22 @@ class KerberosClient:
         self.metrics = host.network.metrics
         self.tracer = host.network.tracer
         self.cache = CredentialCache(metrics=self.metrics)
-        # realm -> list of KDC addresses; the local realm's entry is the
-        # master-plus-slaves list for failover.
-        self._directory: Dict[str, List[IPAddress]] = {
-            realm: [IPAddress(a) for a in kdc_addresses]
-        }
+        # realm -> the locator that answers "which KDCs, for this
+        # request?" — the local realm's locator routes every AS/TGS send.
+        self._locators: Dict[str, KdcLocator] = {}
+        if locator is not None:
+            self._locators[realm] = locator
+        elif kdc_addresses is not None:
+            # Legacy constructor shape (one release): an explicit
+            # address list becomes a StaticLocator, and the caller is
+            # counted toward removing this path.
+            if not kdc_addresses:
+                raise ValueError("at least one KDC address is required")
+            count_deprecated(self.metrics, "KerberosClient.kdc_addresses")
+            self._locators[realm] = StaticLocator(kdc_addresses)
         for other_realm, addrs in (kdc_directory or {}).items():
-            self._directory[other_realm] = [IPAddress(a) for a in addrs]
+            count_deprecated(self.metrics, "KerberosClient.kdc_directory")
+            self._locators[other_realm] = StaticLocator(addrs)
         self._last_auth_time = float("-inf")
 
     def _auth_now(self) -> float:
@@ -114,24 +146,105 @@ class KerberosClient:
     def principal(self) -> Optional[Principal]:
         return self.cache.owner
 
+    def set_locator(self, realm: str, locator: KdcLocator) -> None:
+        """Install the discovery mechanism for ``realm`` — static list,
+        Hesiod, or shard ring."""
+        self._locators[realm] = locator
+
+    def locator_for(self, realm: str) -> Optional[KdcLocator]:
+        return self._locators.get(realm)
+
     def set_kdcs(self, realm: str, addresses: Sequence) -> None:
-        """Re-point this client's KDC list for ``realm`` — the discovery
-        update a workstation picks up (from Hesiod or its config) after
-        a slave promotion.  Order matters: the first address is tried
-        first, so put the current master at the head."""
+        """Deprecated shim (one release): re-point the KDC list for
+        ``realm``.  The re-point now flows through locators — an
+        in-place :meth:`StaticLocator.set_addresses` when one is
+        installed, a fresh static locator otherwise.  Callers are
+        counted in ``api.deprecated_calls_total``; migrate to
+        :meth:`set_locator` / ``locator.refresh()``."""
         if not addresses:
             raise ValueError(f"need at least one KDC address for {realm}")
-        self._directory[realm] = [IPAddress(a) for a in addresses]
+        count_deprecated(self.metrics, "KerberosClient.set_kdcs")
+        existing = self._locators.get(realm)
+        if isinstance(existing, StaticLocator):
+            existing.set_addresses(addresses)
+        else:
+            self._locators[realm] = StaticLocator(addresses)
 
     def kdcs(self, realm: str) -> List[IPAddress]:
-        """The client's current KDC list for ``realm`` (copy)."""
-        return list(self._directory.get(realm, []))
+        """The client's current KDC list for ``realm`` (copy; for a
+        sharded locator, the default-routed list)."""
+        locator = self._locators.get(realm)
+        return list(locator.locate(None)) if locator is not None else []
 
     # -- KDC transport with failover (Figure 10) -----------------------------
 
-    def _ask_kdc(self, realm: str, build_payload, op: str = "kdc") -> bytes:
-        """Send a request to one of the realm's KDCs, with UDP-style
-        retransmission and failover (Figure 10).
+    def _ask_kdc(
+        self,
+        realm: str,
+        build_payload,
+        op: str = "kdc",
+        routing_key: Optional[str] = None,
+    ) -> bytes:
+        """Send a request to the realm's KDCs: locate, fail over, and
+        follow shard referrals.
+
+        ``routing_key`` is the principal database key the request is
+        *about* (the AS exchange's client; the TGS exchange's
+        authenticated owner) — a sharded locator hashes it onto the
+        ring to pick the owning shard's replica list; other locators
+        ignore it.
+
+        A :class:`WrongShard` error reply is a *referral*, not a
+        failure: the locator folds it in (adopting the authoritative
+        shard's addresses, refreshing the ring if the referrer's epoch
+        is ahead) and the request is re-sent, up to
+        :data:`MAX_REFERRAL_HOPS` times.  Referrals do not trip the
+        failover counter — the KDC answered; it just is not the owner.
+        """
+        locator = self._locators.get(realm)
+        if locator is None:
+            raise KerberosError(
+                ErrorCode.KDC_NO_CROSS_REALM,
+                f"no known KDC for realm {realm}",
+            )
+        addresses = locator.locate(routing_key)
+        hops = 0
+        while True:
+            raw = self._failover_exchange(realm, addresses, build_payload, op)
+            referral = self._parse_referral(raw)
+            if referral is None:
+                return raw
+            hops += 1
+            self.metrics.counter(
+                "kdc.referral_follows_total", {"realm": realm}
+            ).inc()
+            locator.apply_referral(referral)
+            if hops >= MAX_REFERRAL_HOPS:
+                raise referral
+            # Prefer the referral's explicit address list — it names
+            # the authoritative shard even if our snapshot is stale.
+            referred = [IPAddress(a) for a in referral.kdcs]
+            addresses = referred or locator.locate(routing_key)
+
+    @staticmethod
+    def _parse_referral(raw: bytes) -> Optional[WrongShard]:
+        """The typed WrongShard carried by an error reply, else None."""
+        try:
+            mtype, message = decode_message(raw)
+        except KerberosError:
+            return None  # not even an envelope; let expect_reply complain
+        if (
+            mtype == MessageType.ERROR
+            and message.code == ErrorCode.KDC_WRONG_SHARD
+        ):
+            return WrongShard(ErrorCode.KDC_WRONG_SHARD, message.text)
+        return None
+
+    def _failover_exchange(
+        self, realm: str, addresses: List[IPAddress], build_payload, op: str
+    ) -> bytes:
+        """One pass of UDP-style retransmission and failover over an
+        address list (Figure 10).
 
         ``build_payload`` is a zero-argument callable producing the
         request bytes, called fresh for every attempt: a retransmitted
@@ -144,7 +257,6 @@ class KerberosClient:
         from a different KDC than the primary, that is a failover and is
         counted in ``kdc.failovers_total``.
         """
-        addresses = self._directory.get(realm)
         if not addresses:
             raise KerberosError(
                 ErrorCode.KDC_NO_CROSS_REALM,
@@ -261,7 +373,9 @@ class KerberosClient:
             timestamp=now,
         )
         wire = encode_message(MessageType.AS_REQ, request)
-        raw = self._ask_kdc(self.realm, lambda: wire, op="as")
+        raw = self._ask_kdc(
+            self.realm, lambda: wire, op="as", routing_key=client.db_key()
+        )
         try:
             reply = expect_reply(raw, MessageType.AS_REP)
         except PreauthRequired:
@@ -277,7 +391,12 @@ class KerberosClient:
             preauth_wire = encode_message(
                 MessageType.PREAUTH_AS_REQ, preauth_request
             )
-            raw = self._ask_kdc(self.realm, lambda: preauth_wire, op="as")
+            raw = self._ask_kdc(
+                self.realm,
+                lambda: preauth_wire,
+                op="as",
+                routing_key=client.db_key(),
+            )
             reply = expect_reply(raw, MessageType.AS_REP)
 
         # "The password is converted to a DES key and used to decrypt the
@@ -405,7 +524,16 @@ class KerberosClient:
             )
             return encode_message(MessageType.TGS_REQ, request)
 
-        raw = self._ask_kdc(kdc_realm, build_request, op="tgs")
+        # TGS requests are servable by any shard (krbtgt and service
+        # records replicate realm-wide), so the routing key is pure load
+        # spreading: the authenticated owner's name.
+        owner = self.cache.owner
+        raw = self._ask_kdc(
+            kdc_realm,
+            build_request,
+            op="tgs",
+            routing_key=owner.db_key() if owner is not None else None,
+        )
         reply = expect_reply(raw, MessageType.TGS_REP)
         # "the reply is encrypted in the session key that was part of the
         # ticket-granting ticket" — the password plays no part.

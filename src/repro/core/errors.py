@@ -40,6 +40,7 @@ class ErrorCode(enum.IntEnum):
     KDC_PREAUTH_REQUIRED = 9  # extension: principal requires preauthentication
     KDC_PREAUTH_FAILED = 10   # extension: preauthentication did not verify
     KDC_OVERLOADED = 11       # admission control shed the request (queue full)
+    KDC_WRONG_SHARD = 12      # referral: another shard owns this principal
 
     # Application-request (rd_req) errors.
     RD_AP_MODIFIED = 20       # ticket or authenticator failed to decrypt/verify
@@ -94,6 +95,50 @@ class KdcOverloaded(KdcError, Unreachable):
     it against the next KDC exactly like a lost datagram."""
 
 
+def referral_text(shard: int, ring_epoch: int, addresses) -> str:
+    """Serialize a shard referral into an error reply's text field.
+
+    Riding the existing :class:`ErrorReply` text keeps the v4 wire
+    envelope untouched — a referral is just another error code, so the
+    golden-vector suite stays frozen.
+    """
+    kdcs = ",".join(str(a) for a in addresses)
+    return f"shard={int(shard)} epoch={int(ring_epoch)} kdcs={kdcs}"
+
+
+class WrongShard(KdcError):
+    """Referral from a sharded realm: this KDC's shard does not own the
+    requested principal.  The message text carries the authoritative
+    shard id, the referring KDC's ring epoch, and that shard's KDC
+    addresses (``shard=N epoch=M kdcs=a,b,c``) — enough for the client
+    to re-send without waiting for a full discovery refresh."""
+
+    def _field(self, name: str, default: str = "") -> str:
+        for token in self.message.split():
+            if token.startswith(name + "="):
+                return token[len(name) + 1:]
+        return default
+
+    @property
+    def shard(self) -> int:
+        try:
+            return int(self._field("shard", "-1"))
+        except ValueError:
+            return -1
+
+    @property
+    def ring_epoch(self) -> int:
+        try:
+            return int(self._field("epoch", "0"))
+        except ValueError:
+            return 0
+
+    @property
+    def kdcs(self) -> list:
+        field = self._field("kdcs")
+        return [a for a in field.split(",") if a]
+
+
 class RdApError(KerberosError):
     """A server rejected an application request (the ``RD_AP_*`` family
     — Section 4.3's authenticator checks)."""
@@ -113,10 +158,11 @@ _SPECIFIC: dict = {
     ErrorCode.KDC_PREAUTH_REQUIRED: PreauthRequired,
     ErrorCode.KDC_PREAUTH_FAILED: PreauthFailed,
     ErrorCode.KDC_OVERLOADED: KdcOverloaded,
+    ErrorCode.KDC_WRONG_SHARD: WrongShard,
 }
 
 _FAMILIES = (
-    (ErrorCode.KDC_OK, ErrorCode.KDC_OVERLOADED, KdcError),
+    (ErrorCode.KDC_OK, ErrorCode.KDC_WRONG_SHARD, KdcError),
     (ErrorCode.RD_AP_MODIFIED, ErrorCode.RD_AP_VERSION, RdApError),
     (ErrorCode.INTK_BADPW, ErrorCode.INTK_PROT, IntkError),
     (ErrorCode.KDBM_DENIED, ErrorCode.KDBM_ERROR, KdbmError),

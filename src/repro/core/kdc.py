@@ -136,6 +136,7 @@ class KerberosServer(Service):
         port: int = KERBEROS_PORT,
         workers: Optional[int] = None,
         queue: Optional[WorkQueueConfig] = None,
+        shard=None,
     ) -> None:
         super().__init__()
         if keygen is None:
@@ -145,6 +146,12 @@ class KerberosServer(Service):
         self.keygen = keygen
         self.skew = skew
         self.port = port
+        #: :class:`~repro.realm.sharding.ShardMembership` when this KDC
+        #: serves one shard of a partitioned realm; None for the classic
+        #: whole-realm server.  Checked only on the unknown-client path —
+        #: a record present locally is always served, which is exactly
+        #: the double-serve behaviour a range move relies on.
+        self.shard = shard
         if queue is None and workers is not None:
             queue = WorkQueueConfig(workers=workers)
         elif queue is not None and workers is not None and queue.workers != workers:
@@ -178,6 +185,8 @@ class KerberosServer(Service):
                 {**self._labels, "kind": kind, "code": "OK"},
             )
         self.metrics.counter("kdc.skeleton_hits_total", self._labels)
+        if self.shard is not None:
+            self.metrics.counter("kdc.referrals_total", self._labels)
         # Principal mutations (kadmin writes on a master, dump/delta
         # application on a slave) flush the sealed-ticket skeleton cache
         # — content addressing already guarantees a changed key can't
@@ -576,6 +585,18 @@ class KerberosServer(Service):
         try:
             record = self._get_record(client)
         except NoSuchPrincipal as exc:
+            # In a sharded realm an unknown client is first checked
+            # against the ring: a principal another shard owns gets a
+            # typed referral naming the owner, not PR_UNKNOWN.  Records
+            # present locally never reach this branch — so a range being
+            # double-served during a move answers normally.
+            if self.shard is not None:
+                referral = self.shard.referral_for(client.db_key())
+                if referral is not None:
+                    self.metrics.counter(
+                        "kdc.referrals_total", self._labels
+                    ).inc()
+                    raise referral from exc
             raise KerberosError(ErrorCode.KDC_PR_UNKNOWN, str(exc)) from exc
         if record.expired(now):
             raise KerberosError(

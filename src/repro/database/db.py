@@ -337,6 +337,34 @@ class KerberosDatabase:
         if not self._journal_delete(principal.db_key(), now=now):
             raise NoSuchPrincipal(f"no principal {principal} in {self.realm}")
 
+    # -- record import / removal (shard rebalancing) ---------------------------------
+
+    def import_record(self, key: str, value: bytes, now: float = 0.0) -> None:
+        """Adopt a raw stored record from another shard of the same realm.
+
+        Unlike :meth:`apply_entries`, this is a *master-side* write: it
+        journals, so the importing shard's own slaves replicate the moved
+        record through ordinary delta propagation.  The record bytes are
+        already sealed under the (realm-wide) master key — they transfer
+        verbatim.
+        """
+        self._writable()
+        if key == MASTER_VERIFY_KEY:
+            raise ValueError("K.M is reserved for master key verification")
+        self._journal_put(key, bytes(value), now=now)
+
+    def remove_record(self, key: str, now: float = 0.0) -> bool:
+        """Drop a record this shard no longer owns (post-move cleanup).
+
+        Journaled like :meth:`import_record`, for the same reason; absent
+        keys are not an error (the range may be sparsely populated).
+        Returns whether the record existed.
+        """
+        self._writable()
+        if key == MASTER_VERIFY_KEY:
+            raise ValueError("K.M is reserved for master key verification")
+        return self._journal_delete(key, now=now)
+
     # -- dump / load (Figure 13) -----------------------------------------------------
 
     def dump(self, now: float = 0.0) -> bytes:

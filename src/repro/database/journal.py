@@ -136,6 +136,22 @@ class UpdateJournal:
             return None
         return [e for e in self._entries if e.seq > seq]
 
+    def entries_matching(self, seq, predicate) -> List[JournalEntry]:
+        """Entries after ``seq`` whose key satisfies ``predicate`` —
+        the shard-rebalance catch-up read (replay what was mutated in a
+        hash range while its snapshot streamed).
+
+        Unlike :meth:`entries_since`, a compacted position is an error
+        here: rebalancing marked ``seq`` moments ago, so losing it means
+        the journal is too small for the realm's churn.
+        """
+        if seq > self.last_seq or seq < self.checkpoint_seq:
+            raise ValueError(
+                f"journal position {seq} not retained "
+                f"(checkpoint {self.checkpoint_seq}, last {self.last_seq})"
+            )
+        return [e for e in self._entries if e.seq > seq and predicate(e.key)]
+
     def depth(self) -> int:
         """Entries currently retained (the journal-depth gauge)."""
         return len(self._entries)

@@ -30,6 +30,9 @@ SMS_PORT = 260
 RSHD_PORT = 514
 #: The sign-up service (paper Section 7.1's register program).
 REGISTER_PORT = 261
+#: Shard range-move receiver (rebalancing transfers between shard
+#: masters ride the delta-kprop wire format on their own port).
+SHARD_PORT = 755
 
 #: Service names by port, for human-readable traces.
 PORT_NAMES = {
@@ -46,6 +49,7 @@ PORT_NAMES = {
     SMS_PORT: "sms",
     RSHD_PORT: "rshd",
     REGISTER_PORT: "register",
+    SHARD_PORT: "krb_shard",
 }
 
 

@@ -43,7 +43,10 @@ from typing import List, Optional
 #: ``master_promoted``  — the realm supervisor (or an administrator)
 #:   promoted a slave to master after sustained master death;
 #: ``slave_rejoined``   — a demoted former master came back up and was
-#:   readmitted to the propagation set as a slave.
+#:   readmitted to the propagation set as a slave;
+#: ``shard_rebalanced`` — a hash range of the principal space moved to
+#:   a different shard (ring epoch flipped) — a security event because
+#:   the set of hosts authorized to answer for those principals changed.
 AUDIT_KINDS = (
     "auth_success",
     "auth_failure",
@@ -54,6 +57,7 @@ AUDIT_KINDS = (
     "overload_shed",
     "master_promoted",
     "slave_rejoined",
+    "shard_rebalanced",
 )
 
 #: Recorded-event ceiling; beyond it the log drops (and counts) rather

@@ -7,7 +7,16 @@ up slaves with propagation, extract srvtabs for services, and hand out
 workstations with client libraries.
 """
 
-from repro.realm.bootstrap import Realm, Workstation, link
+from repro.realm.bootstrap import Realm, RealmTopology, Workstation, link
+from repro.realm.sharding import ShardedRealm
 from repro.realm.supervisor import RealmSupervisor, SupervisorConfig
 
-__all__ = ["Realm", "RealmSupervisor", "SupervisorConfig", "Workstation", "link"]
+__all__ = [
+    "Realm",
+    "RealmSupervisor",
+    "RealmTopology",
+    "ShardedRealm",
+    "SupervisorConfig",
+    "Workstation",
+    "link",
+]

@@ -147,42 +147,47 @@ class RealmSupervisor(Service):
         self._schedule_next()
 
     def _round(self) -> None:
+        """Heartbeat every shard's master and slaves.  Failure detection
+        and promotion are shard-scoped: a dead shard-2 master triggers a
+        promotion *within shard 2* and repoints only that shard's
+        discovery records."""
         realm = self.realm
-        master_addr = realm.master_host.address
-        targets = [(master_addr, realm.master_host.name, "master")] + [
-            (s.host.address, s.host.name, "slave") for s in realm.slaves
-        ]
-        for address, name, role in targets:
-            alive = self._probe(address)
-            self.metrics.counter(
-                "supervisor.heartbeats_total",
-                {"target": name, "result": "ok" if alive else "miss"},
-            ).inc()
-            if alive:
-                self.misses[address] = 0
-                self._suspect_since.pop(address, None)
-                if address in self._awaiting_rejoin:
-                    self._awaiting_rejoin.discard(address)
-                    self.audit.emit(
-                        "slave_rejoined",
-                        host=name,
-                        trace=self.tracer.propagation_context(),
-                        detail=(
-                            "demoted former master answered its first "
-                            "heartbeat; catching up as a slave"
-                        ),
+        for site in realm.shards:
+            master_addr = site.master_host.address
+            targets = [(master_addr, site.master_host.name, "master")] + [
+                (s.host.address, s.host.name, "slave") for s in site.slaves
+            ]
+            for address, name, role in targets:
+                alive = self._probe(address)
+                self.metrics.counter(
+                    "supervisor.heartbeats_total",
+                    {"target": name, "result": "ok" if alive else "miss"},
+                ).inc()
+                if alive:
+                    self.misses[address] = 0
+                    self._suspect_since.pop(address, None)
+                    if address in self._awaiting_rejoin:
+                        self._awaiting_rejoin.discard(address)
+                        self.audit.emit(
+                            "slave_rejoined",
+                            host=name,
+                            trace=self.tracer.propagation_context(),
+                            detail=(
+                                "demoted former master answered its first "
+                                "heartbeat; catching up as a slave"
+                            ),
+                        )
+                else:
+                    self.misses[address] = self.misses.get(address, 0) + 1
+                    self._suspect_since.setdefault(
+                        address, self.host.clock.now()
                     )
-            else:
-                self.misses[address] = self.misses.get(address, 0) + 1
-                self._suspect_since.setdefault(
-                    address, self.host.clock.now()
-                )
-        if (
-            self.config.promote
-            and self.misses.get(master_addr, 0)
-            >= self.config.failure_threshold
-        ):
-            self._promote(master_addr)
+            if (
+                self.config.promote
+                and self.misses.get(master_addr, 0)
+                >= self.config.failure_threshold
+            ):
+                self._promote(master_addr, shard=site.id)
 
     def _probe(self, address: IPAddress) -> bool:
         """One front-door heartbeat: any reply — including a typed error
@@ -207,23 +212,24 @@ class RealmSupervisor(Service):
 
     # -- promotion ----------------------------------------------------------
 
-    def _promote(self, master_addr: IPAddress) -> None:
+    def _promote(self, master_addr: IPAddress, shard: int = 0) -> None:
         now = self.host.clock.now()
         realm = self.realm
+        shard_site = realm.shards[shard]
         if now - self._last_promotion_at < self.config.dwell_time:
             self.metrics.counter(
                 "supervisor.promotions_suppressed_total",
                 {"realm": realm.name},
             ).inc()
             return
-        # The freshest *healthy* slave: most recent applied-update time
-        # as reported to the dying master's kprop (the same definition
-        # as repl.slave_lag_seconds), index as a deterministic
-        # tie-break.  A slave currently missing heartbeats is not a
-        # candidate, however fresh its copy.
+        # The freshest *healthy* slave of the failed shard: most recent
+        # applied-update time as reported to the dying master's kprop
+        # (the same definition as repl.slave_lag_seconds), index as a
+        # deterministic tie-break.  A slave currently missing heartbeats
+        # is not a candidate, however fresh its copy.
         candidates = [
             (index, site)
-            for index, site in enumerate(realm.slaves)
+            for index, site in enumerate(shard_site.slaves)
             if self.misses.get(site.host.address, 0) == 0
         ]
         if not candidates:
@@ -232,7 +238,7 @@ class RealmSupervisor(Service):
                 {"realm": realm.name},
             ).inc()
             return
-        applied = realm.kprop.last_applied_time
+        applied = shard_site.kprop.last_applied_time
         index, site = max(
             candidates,
             key=lambda pair: (
@@ -240,7 +246,7 @@ class RealmSupervisor(Service):
                 -pair[0],
             ),
         )
-        old_master_name = realm.master_host.name
+        old_master_name = shard_site.master_host.name
         missed = self.misses.get(master_addr, 0)
         suspect_since = self._suspect_since.get(master_addr, now)
         with self.tracer.span(
@@ -249,8 +255,12 @@ class RealmSupervisor(Service):
             old_master=old_master_name,
             new_master=site.host.name,
         ):
-            realm.promote_slave(index, demote_old=True)
-            realm.repoint_clients()
+            realm.promote_slave(index, demote_old=True, shard=shard)
+            # Shard-scoped repoint: only the failed shard's Hesiod
+            # record is rewritten; other shards' discovery is untouched.
+            realm.repoint_clients(
+                shard=shard if realm.ring is not None else None
+            )
             ttr = self.host.clock.now() - suspect_since
             self.metrics.counter(
                 "realm.promotions_total", {"realm": realm.name}

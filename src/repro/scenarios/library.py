@@ -19,6 +19,11 @@ deployment raises:
   WAN link: retries keep logins succeeding, at a latency cost the SLO
   quantifies.
 
+Later PRs added ``request_plane_saturation`` (the batch plane's
+admission-control gate) and ``shard_rebalance_under_load`` (a live
+``move_range`` mid-storm: the double-serve window plus referral repair
+must keep every login succeeding while a hash range changes shards).
+
 All campaigns build their own :class:`~repro.netsim.network.Network`
 from the run's seed, so results are a pure function of
 ``(campaign, seed, params)``.
@@ -39,7 +44,7 @@ from repro.core.errors import KerberosError
 from repro.core.retry import RetryPolicy
 from repro.netsim import Jitter, Loss, Match, Network
 from repro.netsim.ports import KERBEROS_PORT
-from repro.realm import Realm, RealmSupervisor, SupervisorConfig
+from repro.realm import Realm, RealmSupervisor, ShardedRealm, SupervisorConfig
 from repro.scenarios.engine import (
     CampaignResult,
     SloSpec,
@@ -169,7 +174,7 @@ def master_assassination(seed: int, params: Dict) -> CampaignResult:
     # Discovery: the realm's KDC list lives in Hesiod, and every
     # workstation also gets a direct re-point on promotion.
     hesiod = HesiodServer().attach(net.add_host("hesiod"))
-    realm.publish_kdcs(hesiod)
+    realm.attach_hesiod(hesiod)
 
     supervisor = RealmSupervisor(realm, SupervisorConfig()).attach(
         net.add_host("realm-monitor")
@@ -502,6 +507,95 @@ def request_plane_saturation(seed: int, params: Dict) -> CampaignResult:
             ),
             "success_rate": result.success_rate(),
             "latency_p95": result.latency_p95,
+        },
+    )
+    return result
+
+
+@campaign(
+    "shard_rebalance_under_load",
+    "live move_range mid-storm: zero auth failures, p99 stays bounded",
+    defaults={"n_stations": 40, "n_users": 40, "n_shards": 2,
+              "window": 90.0, "move_at": 30.0},
+    slos=(
+        SloSpec("success_rate", "min", 1.0,
+                "no login fails while the range moves"),
+        SloSpec("latency_p99", "max", 10.0,
+                "p99 bounded through the handoff (referral = one hop)"),
+        SloSpec("ring_epoch", "min", 2.0, "the ring actually flipped"),
+        SloSpec("entries_moved", "min", 1.0, "records really streamed"),
+    ),
+)
+def shard_rebalance_under_load(seed: int, params: Dict) -> CampaignResult:
+    """The sharding acceptance drill: a paced login storm is in flight
+    when the operator moves half of shard 0's largest arc to shard 1.
+    The move double-serves the range while it streams, then flips the
+    ring epoch; stations that cached the old ring are repaired lazily
+    by ``WrongShard`` referrals.  The SLO is absolute: **zero** login
+    failures — a rebalance that bounces even one user is a failed
+    rebalance — and the p99 stays bounded (a referral costs one extra
+    round trip, not a timeout).
+    """
+    net = Network(seed=seed, latency=0.01)
+    realm = ShardedRealm(
+        net, REALM, shards=int(params["n_shards"]),
+        seed=seed.to_bytes(8, "big"),
+    )
+    workload = AthenaWorkload(
+        realm, n_users=int(params["n_users"]), n_services=2, seed=seed
+    )
+    stations = workload.workstations(int(params["n_stations"]))
+    # Warm every station's ring snapshot so the move strands real
+    # cached views — the referral path gets genuine traffic.
+    for ws in stations:
+        ws.client.kdcs(REALM)
+    records: List[StationRecord] = []
+    _paced_logins(net, workload, stations, float(params["window"]), records)
+
+    def rebalance():
+        # Move the range holding (roughly) half of shard 0's users —
+        # chosen from live principal positions, the way an operator
+        # rebalancing a hot shard would, so records really stream.
+        from repro.realm.sharding import hash_point
+
+        points = sorted(
+            hash_point(username)
+            for username, _pw in workload.users
+            if realm.shard_for_key(username) == 0
+        )
+        if not points:
+            return
+        lo = points[0]
+        hi = points[len(points) // 2] + 1
+        realm.move_range(lo, hi, 1)
+
+    net.runtime.at(
+        START + float(params["move_at"]), rebalance,
+        label="scenario.rebalance",
+    )
+    net.runtime.run_until_idle()
+
+    moved = net.metrics.counter(
+        "shard.rebalance_entries_total", {"realm": REALM}
+    ).value
+    epoch = net.metrics.gauge("shard.ring_epoch", {"realm": REALM}).value
+    referrals = net.metrics.counter(
+        "kdc.referral_follows_total", {"realm": REALM}
+    ).value
+    result = CampaignResult("", seed, {}, makespan=net.clock.now() - START)
+    result.account(records)
+    result.notes = {
+        "entries_moved": int(moved),
+        "ring_epoch": int(epoch),
+        "referral_follows": int(referrals),
+    }
+    result.evaluate(
+        _slos("shard_rebalance_under_load"),
+        {
+            "success_rate": result.success_rate(),
+            "latency_p99": result.latency_p99,
+            "ring_epoch": epoch,
+            "entries_moved": moved,
         },
     )
     return result

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.errors import ErrorCode
+from repro.core.locator import StaticLocator
 from repro.core.messages import AsRequest, MessageType, decode_message, encode_message
 from repro.netsim import HostDown
 from repro.netsim.ports import KERBEROS_PORT
@@ -98,11 +99,21 @@ class AthenaWorkload:
         stations = []
         for i in range(count):
             ws = self.realm.workstation()
-            if spread_kdcs and len(addresses) > 1:
+            if (
+                spread_kdcs
+                and self.realm.ring is None
+                and len(addresses) > 1
+            ):
+                # Unsharded: rotate each station's preferred KDC via a
+                # static locator.  A sharded realm already spreads load
+                # by principal hash, so its ShardedLocator stays as-is.
                 preferred = addresses[i % len(addresses)]
-                ws.client._directory[self.realm.name] = [preferred] + [
-                    a for a in addresses if a != preferred
-                ]
+                ws.client.set_locator(
+                    self.realm.name,
+                    StaticLocator(
+                        [preferred] + [a for a in addresses if a != preferred]
+                    ),
+                )
             stations.append(ws)
         return stations
 
@@ -200,8 +211,6 @@ class AthenaWorkload:
         same-seed runs can be compared bit-for-bit.
         """
         net = self.realm.net
-        if address is None:
-            address = self.realm.master_host.address
         start = net.clock.now()
         pendings: List[Tuple[int, object]] = []
         count = len(stations)
@@ -209,8 +218,19 @@ class AthenaWorkload:
             username, _password = self.random_user()
             client_principal = Principal(username, "", self.realm.name)
             offset = (i / count) * window
+            if address is not None:
+                target = address
+            elif self.realm.ring is not None:
+                # Sharded realm: route each login to its owning shard's
+                # master, as a ring-aware client would.
+                sid = self.realm.ring.shard_for(client_principal.db_key())
+                target = self.realm.shards[sid].master_host.address
+            else:
+                target = self.realm.master_host.address
 
-            def post(ws=ws, client_principal=client_principal) -> None:
+            def post(
+                ws=ws, client_principal=client_principal, target=target
+            ) -> None:
                 request = AsRequest(
                     client=client_principal,
                     service=tgs_principal(self.realm.name),
@@ -229,7 +249,7 @@ class AthenaWorkload:
                     pendings.append(
                         (
                             len(pendings),
-                            ws.host.rpc_async(address, KERBEROS_PORT, wire),
+                            ws.host.rpc_async(target, KERBEROS_PORT, wire),
                         )
                     )
 

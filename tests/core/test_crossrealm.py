@@ -8,6 +8,7 @@ from repro.core import (
     KerberosError,
     KerberosServer,
     Principal,
+    StaticLocator,
     link_realms,
     krb_rd_req,
     tgs_principal,
@@ -122,7 +123,7 @@ class TestCrossRealmFailures:
         service = Principal("rlogin", "june", UW)
         register_service(db_u, service, gen)
         KerberosServer(db_u, gen.fork(b"u")).attach(uw_kdc)
-        world["client"]._directory[UW] = [uw_kdc.address]
+        world["client"].set_locator(UW, StaticLocator([uw_kdc.address]))
 
         world["client"].kinit("jis", "jis-pw")
         with pytest.raises(KerberosError) as err:
@@ -142,7 +143,7 @@ class TestCrossRealmFailures:
         service = Principal("rlogin", "x", UW)
         register_service(db_l2, service, gen)
         KerberosServer(db_l2, gen.fork(b"u2")).attach(uw_kdc)
-        world["client"]._directory[UW] = [uw_kdc.address]
+        world["client"].set_locator(UW, StaticLocator([uw_kdc.address]))
 
         world["client"].kinit("jis", "jis-pw")
         with pytest.raises(KerberosError) as err:
@@ -167,7 +168,7 @@ class TestCrossRealmFailures:
         KerberosServer(db_u, gen.fork(b"u3")).attach(uw_kdc)
 
         client = world["client"]
-        client._directory[UW] = [uw_kdc.address]
+        client.set_locator(UW, StaticLocator([uw_kdc.address]))
         client.kinit("jis", "jis-pw")
         # Get a TGT for LCS (one hop — fine)...
         client.get_credential(world["service"])

@@ -1,0 +1,172 @@
+"""The KdcLocator protocol: one discovery path, three implementations,
+counted deprecation shims.
+
+The api_redesign contract: ``KerberosClient`` asks a per-realm locator
+for a failover-ordered address list; the legacy entry points (address
+lists in the constructor, ``set_kdcs``, ``HesiodServer.set_kdc_list``,
+``Realm.publish_kdcs``) survive one release as shims whose callers are
+counted in ``api.deprecated_calls_total{api=...}`` — the removal
+evidence is a counter that stays flat.
+"""
+
+import pytest
+
+from repro.apps.hesiod import HesiodLocator, HesiodServer
+from repro.core import KerberosClient, StaticLocator
+from repro.core.locator import KdcLocator, count_deprecated
+from repro.netsim import IPAddress, Network
+from repro.realm import Realm
+
+REALM = "ATHENA.MIT.EDU"
+
+
+def deprecated_calls(net, api: str) -> float:
+    return net.metrics.counter(
+        "api.deprecated_calls_total", {"api": api}
+    ).value
+
+
+class TestStaticLocator:
+    def test_locate_preserves_failover_order(self):
+        addrs = ["18.72.0.1", "18.72.0.2", "18.72.0.3"]
+        locator = StaticLocator(addrs)
+        assert locator.locate() == [IPAddress(a) for a in addrs]
+        # The routing key is accepted and ignored: static lists serve
+        # every principal from the same replica set.
+        assert locator.locate("jis") == locator.locate(None)
+
+    def test_set_addresses_repoints_in_place(self):
+        locator = StaticLocator(["18.72.0.1"])
+        locator.set_addresses(["18.72.0.9", "18.72.0.1"])
+        assert locator.locate()[0] == IPAddress("18.72.0.9")
+
+    def test_apply_referral_defaults_to_refresh(self):
+        """The base-protocol fallback: any locator that cannot fold a
+        referral in precisely at least drops its stale view."""
+
+        class Spy(StaticLocator):
+            refreshed = 0
+
+            def refresh(self):
+                self.refreshed += 1
+
+        spy = Spy(["18.72.0.1"])
+        KdcLocator.apply_referral(spy, object())
+        assert spy.refreshed == 1
+
+
+class TestHesiodLocator:
+    def _realm_with_hesiod(self, net):
+        realm = Realm(net, REALM, n_slaves=1)
+        hesiod = HesiodServer().attach(net.add_host("hesiod"))
+        realm.attach_hesiod(hesiod)
+        return realm, hesiod
+
+    def test_resolves_and_caches_the_kerberos_record(self):
+        net = Network()
+        realm, hesiod = self._realm_with_hesiod(net)
+        ws_host = net.add_host("ws-hes")
+        locator = HesiodLocator(ws_host, hesiod.host.address, REALM)
+        assert locator.locate() == realm.kdc_addresses()
+        # Cached: a second locate is free (no new Hesiod datagrams).
+        net.reset_stats()
+        locator.locate()
+        assert net.stats["port:251"] == 0
+
+    def test_refresh_sees_a_promotion(self):
+        net = Network()
+        realm, hesiod = self._realm_with_hesiod(net)
+        ws_host = net.add_host("ws-hes")
+        locator = HesiodLocator(ws_host, hesiod.host.address, REALM)
+        old_first = locator.locate()[0]
+        realm.promote_slave(0, demote_old=True)
+        realm.repoint_clients()
+        # Stale until told otherwise — then current.
+        assert locator.locate()[0] == old_first
+        locator.refresh()
+        assert locator.locate()[0] == realm.master_host.address
+
+    def test_login_through_a_hesiod_locator(self):
+        net = Network()
+        realm, hesiod = self._realm_with_hesiod(net)
+        realm.add_user("jis", "jis-pw")
+        ws = realm.workstation()
+        ws.client.set_locator(
+            REALM,
+            HesiodLocator(ws.host, hesiod.host.address, REALM),
+        )
+        ws.client.kinit("jis", "jis-pw")
+        assert ws.client.cache.tgt(REALM) is not None
+
+
+class TestDeprecationShims:
+    def test_modern_paths_count_nothing(self):
+        net = Network()
+        realm = Realm(net, REALM)
+        realm.add_user("jis", "jis-pw")
+        ws = realm.workstation()          # locator-based construction
+        ws.client.kinit("jis", "jis-pw")
+        hesiod = HesiodServer().attach(net.add_host("hesiod"))
+        realm.attach_hesiod(hesiod)
+        snapshot = net.metrics.snapshot()
+        assert not any(
+            "api.deprecated_calls_total" in key
+            for key in snapshot.get("counters", snapshot)
+        )
+
+    def test_constructor_address_list_is_counted(self):
+        net = Network()
+        realm = Realm(net, REALM)
+        host = net.add_host("ws-legacy")
+        KerberosClient(host, REALM, kdc_addresses=realm.kdc_addresses())
+        assert deprecated_calls(net, "KerberosClient.kdc_addresses") == 1.0
+
+    def test_kdc_directory_is_counted_per_realm(self):
+        net = Network()
+        realm = Realm(net, REALM)
+        host = net.add_host("ws-legacy")
+        KerberosClient(
+            host, REALM,
+            kdc_addresses=realm.kdc_addresses(),
+            kdc_directory={
+                "LCS.MIT.EDU": realm.kdc_addresses(),
+                "CS.WASHINGTON.EDU": realm.kdc_addresses(),
+            },
+        )
+        assert deprecated_calls(net, "KerberosClient.kdc_directory") == 2.0
+
+    def test_set_kdcs_counts_and_still_works(self):
+        net = Network()
+        realm = Realm(net, REALM, n_slaves=1)
+        realm.add_user("jis", "jis-pw")
+        realm.propagate()
+        ws = realm.workstation()
+        slave_first = [realm.slaves[0].host.address,
+                       realm.master_host.address]
+        ws.client.set_kdcs(REALM, slave_first)
+        assert deprecated_calls(net, "KerberosClient.set_kdcs") == 1.0
+        assert ws.client.kdcs(REALM)[0] == slave_first[0]
+        ws.client.kinit("jis", "jis-pw")   # the shim still routes
+
+    def test_hesiod_set_kdc_list_is_counted(self):
+        net = Network()
+        realm = Realm(net, REALM)
+        hesiod = HesiodServer().attach(net.add_host("hesiod"))
+        hesiod.set_kdc_list(REALM, realm.kdc_addresses())
+        assert deprecated_calls(net, "HesiodServer.set_kdc_list") == 1.0
+
+    def test_realm_publish_kdcs_is_counted(self):
+        net = Network()
+        realm = Realm(net, REALM)
+        hesiod = HesiodServer().attach(net.add_host("hesiod"))
+        realm.publish_kdcs(hesiod)
+        assert deprecated_calls(net, "Realm.publish_kdcs") == 1.0
+
+    def test_count_deprecated_tolerates_no_registry(self):
+        count_deprecated(None, "anything")   # must not raise
+
+    def test_client_requires_some_discovery(self):
+        net = Network()
+        host = net.add_host("ws-none")
+        with pytest.raises(ValueError):
+            KerberosClient(host, REALM)

@@ -46,7 +46,7 @@ class TestPopulation:
     def test_workstations_spread_kdc_preference(self, workload):
         stations = workload.workstations(4, spread_kdcs=True)
         preferred = [
-            ws.client._directory[REALM][0] for ws in stations
+            ws.client.kdcs(REALM)[0] for ws in stations
         ]
         assert len(set(preferred)) == 2  # master + 1 slave alternate
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core import Principal, kdbm_principal, krb_rd_req, tgs_principal
+from repro.core import (
+    Principal,
+    StaticLocator,
+    kdbm_principal,
+    krb_rd_req,
+    tgs_principal,
+)
 from repro.netsim import Network
 from repro.realm import Realm, link
 
@@ -80,7 +86,9 @@ class TestEndToEnd:
         link(athena, lcs)
 
         ws = athena.workstation()
-        ws.client._directory["LCS.MIT.EDU"] = [lcs.master_host.address]
+        ws.client.set_locator(
+            "LCS.MIT.EDU", StaticLocator([lcs.master_host.address])
+        )
         ws.client.kinit("jis", "pw")
         cred = ws.client.get_credential(service)
         assert cred is not None
@@ -96,6 +104,8 @@ class TestEndToEnd:
 
         net.set_down(athena.master_host.name)  # only the slave remains
         ws = athena.workstation()
-        ws.client._directory["LCS.MIT.EDU"] = [lcs.master_host.address]
+        ws.client.set_locator(
+            "LCS.MIT.EDU", StaticLocator([lcs.master_host.address])
+        )
         ws.client.kinit("jis", "pw")
         assert ws.client.get_credential(service) is not None

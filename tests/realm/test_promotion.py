@@ -8,6 +8,7 @@ promote a slave.  These tests drill that procedure.
 
 import pytest
 
+from repro.core import StaticLocator
 from repro.kdbm import KdbmClient
 from repro.netsim import Network, Unreachable
 from repro.principal import Principal
@@ -45,7 +46,7 @@ class TestPromotion:
         # Point kpasswd at the NEW master.
         kdbm = KdbmClient(ws.client, realm.master_host.address)
         # The client's KDC list must include a live KDC; the new master is.
-        ws.client._directory[REALM] = [realm.master_host.address]
+        ws.client.set_locator(REALM, StaticLocator([realm.master_host.address]))
         result = kdbm.change_password(
             Principal("jis", "", REALM), "jis-pw", "post-pw"
         )

@@ -101,7 +101,7 @@ class TestAutomaticPromotion:
     def test_clients_are_repointed(self):
         net, realm, supervisor = build()
         hesiod = HesiodServer().attach(net.add_host("hesiod-server"))
-        realm.publish_kdcs(hesiod)
+        realm.attach_hesiod(hesiod)
         ws = realm.workstation("ws1")
         net.runtime.run_for(10.0)
         net.crash_host(realm.master_host.name)

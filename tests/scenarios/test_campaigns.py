@@ -52,6 +52,21 @@ class TestSmoke:
             result.notes["capacity_req_s"]
         )
 
+    @pytest.mark.shard
+    def test_shard_rebalance_under_load_smoke(self):
+        """The sharding acceptance drill at smoke scale: a live
+        move_range mid-storm loses zero logins, records really stream,
+        and stale stations are repaired by referrals."""
+        result = scenarios.run(
+            "shard_rebalance_under_load", seed=2026,
+            n_stations=10, n_users=10, window=6.0, move_at=2.0,
+        )
+        assert result.passed, [c.as_dict() for c in result.checks]
+        assert result.outcomes == {"ok": 10}
+        assert result.notes["entries_moved"] >= 1
+        assert result.notes["ring_epoch"] == 2
+        assert result.notes["referral_follows"] >= 1
+
     def test_same_seed_summary_is_identical(self):
         kwargs = dict(n_stations=6, n_users=6, window=3.0)
         a = scenarios.run("slave_outage_peak", seed=31, **kwargs)
