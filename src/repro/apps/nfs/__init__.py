@@ -16,25 +16,44 @@ The appendix describes three worlds, all buildable here:
 
 Modules: :mod:`fs` (the filesystem substrate),
 :mod:`credmap` (the kernel mapping table and its "new system call"),
+:mod:`config` (the declarative export configuration),
+:mod:`passwd` (the username → credential database),
 :mod:`server` (the NFS server under each policy),
 :mod:`mountd` (the modified mount daemon),
 :mod:`client` (the workstation side).
 """
 
+from repro.apps.nfs.config import (
+    AuthMode,
+    ClientRange,
+    ConfigError,
+    ExportSpec,
+    NfsExportConfig,
+    SquashMode,
+)
 from repro.apps.nfs.credmap import CredentialMap, UnmappedPolicy
 from repro.apps.nfs.fs import FileSystem, FsError, NfsCredential
 from repro.apps.nfs.mountd import MountDaemon
-from repro.apps.nfs.client import NfsClient
-from repro.apps.nfs.server import AuthMode, NfsServer
+from repro.apps.nfs.client import NfsClient, NfsClientError
+from repro.apps.nfs.passwd import PasswdMap
+from repro.apps.nfs.server import NfsServer, STALE_MAPPING
 
 __all__ = [
     "AuthMode",
+    "ClientRange",
+    "ConfigError",
     "CredentialMap",
+    "ExportSpec",
     "FileSystem",
     "FsError",
     "MountDaemon",
     "NfsClient",
+    "NfsClientError",
     "NfsCredential",
+    "NfsExportConfig",
     "NfsServer",
+    "PasswdMap",
+    "STALE_MAPPING",
+    "SquashMode",
     "UnmappedPolicy",
 ]

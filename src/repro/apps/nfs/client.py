@@ -56,6 +56,10 @@ class NfsClient:
         # Per-RPC Kerberos mode state (the rejected design).
         self._per_rpc_krb: Optional[KerberosClient] = None
         self._per_rpc_service: Optional[Principal] = None
+        #: Optional recovery hook: when a request is refused in a way
+        #: that smells like a lost/expired kernel mapping, call this
+        #: (it should redo the mount handshake) and retry the op once.
+        self._remount: Optional[Callable[[], object]] = None
 
     def _rpc_with_retries(
         self, port: int, build_payload: Callable[[], bytes], op: str
@@ -136,6 +140,33 @@ class NfsClient:
         )
         return MountReply.from_bytes(raw)
 
+    # -- mapping-loss recovery ------------------------------------------------
+
+    def set_remount(self, remount: Optional[Callable[[], object]]) -> None:
+        """Install a recovery hook.  The kernel map is volatile (ticket
+        expiry purges entries; a server crash loses the whole table), so
+        a long-lived client must be able to re-run the mount handshake
+        mid-I/O.  When a call fails with a mapping-loss signature the
+        hook runs once and the operation is retried."""
+        self._remount = remount
+
+    def enable_auto_remount(
+        self, krb: KerberosClient, mount_service: Principal
+    ) -> None:
+        """The common hook: redo :meth:`kerberos_mount` with the given
+        client — fresh authenticator, fresh mapping."""
+        self.set_remount(lambda: self.kerberos_mount(krb, mount_service))
+
+    #: Refusal texts that mean "your mapping is gone", not "you may not".
+    #: ``stale mapping`` is the server's explicit expiry verdict; the
+    #: access-error/permission texts are what an unmapped request decays
+    #: to under the unfriendly and friendly policies respectively.
+    _REMOUNTABLE = ("stale mapping", "NFS access error", "permission denied")
+
+    @classmethod
+    def _mapping_lost(cls, text: str) -> bool:
+        return any(marker in text for marker in cls._REMOUNTABLE)
+
     # -- per-RPC Kerberos (the rejected design, for exp NFS) ------------------
 
     def enable_per_rpc_kerberos(
@@ -177,6 +208,15 @@ class NfsClient:
         raw = self._rpc_with_retries(self.nfs_port, build, op="nfs")
         reply = NfsReply.from_bytes(raw)
         if not reply.ok:
+            if self._remount is not None and self._mapping_lost(reply.text):
+                # One re-mount, one retry: if the refusal really was a
+                # lost mapping the fresh handshake repairs it; a genuine
+                # permission denial fails again and surfaces as-is.
+                self._remount()
+                raw = self._rpc_with_retries(self.nfs_port, build, op="nfs")
+                reply = NfsReply.from_bytes(raw)
+                if reply.ok:
+                    return reply
             raise NfsClientError(reply.text)
         return reply
 

@@ -1,0 +1,230 @@
+"""Declarative export configuration for a Kerberized-NFS fleet.
+
+The appendix configures its fileservers by editing kernel options and
+``/etc/exports`` by hand; a fleet needs what modern appliances ship —
+one validated, diffable document that fully determines a server's
+behaviour and can be re-applied at runtime (TrueNAS-style config
+restore).  :class:`NfsExportConfig` is that document:
+
+* the **auth design** (:class:`AuthMode` — the appendix's three worlds
+  plus the rejected per-RPC variant);
+* the **unmapped policy** (friendly → ``nobody``, unfriendly → access
+  error), only meaningful under ``MAPPED``;
+* a set of :class:`ExportSpec` entries — path prefix, read-only flag,
+  UID squashing, and the :class:`ClientRange` allowed to mount it.
+
+Configs are immutable values: ``validate()`` rejects nonsense before it
+reaches a kernel, ``diff()`` names exactly what changed between two
+configs (what an operator reviews before an apply), and
+``to_dict``/``from_dict`` round-trip through JSON for snapshot/restore.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.apps.nfs.credmap import UnmappedPolicy
+from repro.netsim import IPAddress
+
+
+class AuthMode(enum.Enum):
+    """The appendix's authentication designs (see :mod:`.server`)."""
+
+    TRUSTED = "trusted"
+    UNTRUSTED = "untrusted"
+    MAPPED = "mapped"
+    KERBEROS_RPC = "kerberos-rpc"
+
+
+class SquashMode(enum.Enum):
+    """UID squashing on an export, as real ``/etc/exports`` offers.
+
+    ``ROOT`` maps a mapped/claimed root credential to ``nobody`` (the
+    classic ``root_squash``); ``ALL`` maps *every* credential to
+    ``nobody`` (``all_squash`` — public scratch space)."""
+
+    NONE = "none"
+    ROOT = "root"
+    ALL = "all"
+
+
+class ConfigError(ValueError):
+    """An export configuration failed validation."""
+
+
+@dataclass(frozen=True)
+class ClientRange:
+    """A CIDR prefix of client addresses allowed to use an export."""
+
+    cidr: str
+
+    def __post_init__(self) -> None:
+        base, slash, bits = self.cidr.partition("/")
+        if not slash:
+            raise ConfigError(f"client range {self.cidr!r} needs a /prefix")
+        try:
+            prefix_len = int(bits)
+            address = IPAddress(base)
+        except (ValueError, TypeError) as exc:
+            raise ConfigError(f"bad client range {self.cidr!r}: {exc}") from exc
+        if not 0 <= prefix_len <= 32:
+            raise ConfigError(f"client range {self.cidr!r}: bad prefix length")
+        mask = 0 if prefix_len == 0 else (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+        if address.as_int & ~mask:
+            raise ConfigError(
+                f"client range {self.cidr!r}: host bits set below the mask"
+            )
+        object.__setattr__(self, "_network", address.as_int)
+        object.__setattr__(self, "_mask", mask)
+
+    def contains(self, client_addr) -> bool:
+        return (IPAddress(client_addr).as_int & self._mask) == self._network
+
+
+#: The open range: every client on the simulated internet.
+ANY_CLIENT = ClientRange("0.0.0.0/0")
+
+
+@dataclass(frozen=True)
+class ExportSpec:
+    """One exported subtree and its options."""
+
+    path: str
+    read_only: bool = False
+    squash: SquashMode = SquashMode.NONE
+    allowed: Tuple[ClientRange, ...] = (ANY_CLIENT,)
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ConfigError(f"export path must be absolute: {self.path!r}")
+        if self.path != "/" and self.path.endswith("/"):
+            raise ConfigError(f"export path must not end in '/': {self.path!r}")
+        if not self.allowed:
+            raise ConfigError(f"export {self.path!r} allows no clients")
+        object.__setattr__(self, "allowed", tuple(self.allowed))
+
+    def covers(self, path: str) -> bool:
+        """Does this export contain ``path``?  Prefix match on path
+        components, so ``/u`` covers ``/u/jis`` but not ``/usr``."""
+        if self.path == "/":
+            return path.startswith("/")
+        return path == self.path or path.startswith(self.path + "/")
+
+    def admits(self, client_addr) -> bool:
+        return any(r.contains(client_addr) for r in self.allowed)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "read_only": self.read_only,
+            "squash": self.squash.value,
+            "allowed": [r.cidr for r in self.allowed],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "ExportSpec":
+        return cls(
+            path=str(doc["path"]),
+            read_only=bool(doc.get("read_only", False)),
+            squash=SquashMode(doc.get("squash", "none")),
+            allowed=tuple(
+                ClientRange(c) for c in doc.get("allowed", ["0.0.0.0/0"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class NfsExportConfig:
+    """The full declarative configuration of one NFS server (or of a
+    whole fleet, when applied uniformly)."""
+
+    auth_mode: AuthMode = AuthMode.MAPPED
+    unmapped_policy: UnmappedPolicy = UnmappedPolicy.FRIENDLY
+    exports: Tuple[ExportSpec, ...] = (ExportSpec("/"),)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "exports", tuple(self.exports))
+        self.validate()
+
+    def validate(self) -> None:
+        if not isinstance(self.auth_mode, AuthMode):
+            raise ConfigError(f"bad auth_mode: {self.auth_mode!r}")
+        if not isinstance(self.unmapped_policy, UnmappedPolicy):
+            raise ConfigError(f"bad unmapped_policy: {self.unmapped_policy!r}")
+        if not self.exports:
+            raise ConfigError("a config must export at least one path")
+        seen = set()
+        for spec in self.exports:
+            if not isinstance(spec, ExportSpec):
+                raise ConfigError(f"bad export entry: {spec!r}")
+            if spec.path in seen:
+                raise ConfigError(f"duplicate export path {spec.path!r}")
+            seen.add(spec.path)
+
+    # -- resolution -----------------------------------------------------------
+
+    def export_for(self, path: str) -> Optional[ExportSpec]:
+        """The most specific (longest-prefix) export covering ``path``,
+        or None when the path is not exported at all."""
+        best: Optional[ExportSpec] = None
+        for spec in self.exports:
+            if spec.covers(path):
+                if best is None or len(spec.path) > len(best.path):
+                    best = spec
+        return best
+
+    # -- the operator surface: diff / snapshot / restore ----------------------
+
+    def diff(self, other: "NfsExportConfig") -> List[str]:
+        """Human-readable change list from ``self`` to ``other`` — what a
+        config apply will do, reviewable before it does it."""
+        changes: List[str] = []
+        if self.auth_mode != other.auth_mode:
+            changes.append(
+                f"auth_mode: {self.auth_mode.value} -> {other.auth_mode.value}"
+            )
+        if self.unmapped_policy != other.unmapped_policy:
+            changes.append(
+                "unmapped_policy: "
+                f"{self.unmapped_policy.value} -> {other.unmapped_policy.value}"
+            )
+        mine = {spec.path: spec for spec in self.exports}
+        theirs = {spec.path: spec for spec in other.exports}
+        for path in sorted(mine.keys() - theirs.keys()):
+            changes.append(f"export removed: {path}")
+        for path in sorted(theirs.keys() - mine.keys()):
+            changes.append(f"export added: {path}")
+        for path in sorted(mine.keys() & theirs.keys()):
+            if mine[path] != theirs[path]:
+                changes.append(f"export changed: {path}")
+        return changes
+
+    def to_dict(self) -> dict:
+        return {
+            "auth_mode": self.auth_mode.value,
+            "unmapped_policy": self.unmapped_policy.value,
+            "exports": [spec.to_dict() for spec in self.exports],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "NfsExportConfig":
+        return cls(
+            auth_mode=AuthMode(doc.get("auth_mode", "mapped")),
+            unmapped_policy=UnmappedPolicy(doc.get("unmapped_policy", "friendly")),
+            exports=tuple(
+                ExportSpec.from_dict(e) for e in doc.get("exports", [])
+            ),
+        )
+
+    # -- builders ------------------------------------------------------------------
+
+    def with_mode(self, mode: AuthMode) -> "NfsExportConfig":
+        return NfsExportConfig(mode, self.unmapped_policy, self.exports)
+
+    def with_policy(self, policy: UnmappedPolicy) -> "NfsExportConfig":
+        return NfsExportConfig(self.auth_mode, policy, self.exports)
+
+    def with_exports(self, *exports: ExportSpec) -> "NfsExportConfig":
+        return NfsExportConfig(self.auth_mode, self.unmapped_policy, exports)

@@ -11,6 +11,12 @@ then looked up in a special file to yield the user's UID and GIDs list.
 ... From this information, an NFS credential is constructed and handed
 to the kernel as the valid mapping of the ⟨CLIENT-IP-ADDRESS,
 CLIENT-UID⟩ tuple for this request."*
+
+Mappings installed here carry the authorising ticket's expiry: the
+kernel map refuses to serve on a dead authentication, so a ticket
+expiring mid-I/O forces the client back through this handshake.  A
+failed ``krb_rd_req`` at mount time is a security event — it lands in
+the audit log as ``auth_failure``, joined to the request's trace.
 """
 
 from __future__ import annotations
@@ -48,6 +54,24 @@ class MountDaemon(Service):
     def ports(self):
         return {self.port: self._handle}
 
+    def on_attach(self) -> None:
+        host = self.host
+        self.metrics = host.network.metrics
+        self.tracer = host.network.tracer
+        self.audit = host.network.audit
+        self.replay_cache.bind_audit(self.audit, host.name)
+        self._mounts = {
+            result: self.metrics.counter(
+                "nfs.mounts_total", {"server": host.name, "result": result}
+            )
+            for result in ("mapped", "denied", "unmapped", "flushed")
+        }
+
+    def on_crash(self) -> None:
+        # The replay cache is volatile; the kernel map it feeds belongs
+        # to the NfsServer, which clears it in its own crash hook.
+        self.replay_cache.purge(float("inf"))
+
     def _handle(self, datagram) -> bytes:
         try:
             request = MountRequest.from_bytes(datagram.payload)
@@ -55,27 +79,40 @@ class MountDaemon(Service):
         except (DecodeError, ValueError):
             return MountReply(ok=False, text="malformed mount request").to_bytes()
 
-        if op == MountOp.MAP:
-            return self._handle_map(request, datagram)
-        if op == MountOp.UNMAP:
-            # "At unmount time a request is sent to the mount daemon to
-            # remove the previously added mapping."  Scoped to the
-            # requesting address: you can only unmap your own machine.
-            removed = self.nfs.credmap.delete(datagram.src, request.uid_on_client)
-            return MountReply(
-                ok=removed, text="unmapped" if removed else "no such mapping"
-            ).to_bytes()
-        if op == MountOp.LOGOUT:
-            # "invalidate all mapping for the current user on the server
-            # in question, thus cleaning up any remaining mappings."
-            mapped = self.nfs.credmap.lookup(datagram.src, request.uid_on_client)
-            count = 0
-            if mapped is not None:
-                count = self.nfs.credmap.flush_uid(mapped.uid)
-            return MountReply(ok=True, text=f"flushed {count} mappings").to_bytes()
-        return MountReply(ok=False, text="unknown op").to_bytes()  # pragma: no cover
+        with self.tracer.span_under(
+            datagram.trace, "nfs.mountd",
+            host=self.host.name, op=op.name,
+        ) as span:
+            if op == MountOp.MAP:
+                return self._handle_map(request, datagram, span)
+            if op == MountOp.UNMAP:
+                # "At unmount time a request is sent to the mount daemon to
+                # remove the previously added mapping."  Scoped to the
+                # requesting address: you can only unmap your own machine.
+                removed = self.nfs.credmap.delete(
+                    datagram.src, request.uid_on_client
+                )
+                self._mounts["unmapped"].inc(1 if removed else 0)
+                return MountReply(
+                    ok=removed, text="unmapped" if removed else "no such mapping"
+                ).to_bytes()
+            if op == MountOp.LOGOUT:
+                # "invalidate all mapping for the current user on the server
+                # in question, thus cleaning up any remaining mappings."
+                mapped = self.nfs.credmap.lookup(
+                    datagram.src, request.uid_on_client,
+                    now=self.host.clock.now(),
+                )
+                count = 0
+                if mapped is not None:
+                    count = self.nfs.credmap.flush_uid(mapped.uid)
+                self._mounts["flushed"].inc(count)
+                return MountReply(
+                    ok=True, text=f"flushed {count} mappings"
+                ).to_bytes()
+            return MountReply(ok=False, text="unknown op").to_bytes()  # pragma: no cover
 
-    def _handle_map(self, request: MountRequest, datagram) -> bytes:
+    def _handle_map(self, request: MountRequest, datagram, span) -> bytes:
         """The Kerberos authentication mapping request."""
         try:
             ap_request = ApRequest.from_bytes(request.ap_request)
@@ -88,6 +125,13 @@ class MountDaemon(Service):
                 replay_cache=self.replay_cache,
             )
         except (KerberosError, DecodeError) as exc:
+            self.audit.emit(
+                "auth_failure",
+                host=self.host.name,
+                trace=span.trace_id,
+                detail=f"mount-time krb_rd_req failed: {exc}",
+            )
+            self._mounts["denied"].inc(1)
             return MountReply(ok=False, text=f"authentication failed: {exc}").to_bytes()
 
         # The UID-ON-CLIENT arrives sealed inside the authenticator (its
@@ -98,13 +142,26 @@ class MountDaemon(Service):
         # (the primary name) and looks it up in the passwd map.
         server_cred = self.nfs.passwd.credential_for(context.client.name)
         if server_cred is None:
+            self.audit.emit(
+                "acl_denial",
+                host=self.host.name,
+                principal=str(context.client),
+                trace=span.trace_id,
+                detail=f"no local account for {context.client.name}",
+            )
+            self._mounts["denied"].inc(1)
             return MountReply(
                 ok=False,
                 text=f"no local account for {context.client.name}",
             ).to_bytes()
 
-        self.nfs.credmap.add(datagram.src, uid_on_client, server_cred)
+        # The mapping lives exactly as long as the ticket that earned it.
+        self.nfs.credmap.add(
+            datagram.src, uid_on_client, server_cred,
+            expires=context.ticket.expires,
+        )
         self.mappings_installed += 1
+        self._mounts["mapped"].inc(1)
         return MountReply(
             ok=True,
             text=(

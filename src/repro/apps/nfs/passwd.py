@@ -1,0 +1,29 @@
+"""The fileserver's username → credential database (the appendix).
+
+*"This username is then looked up in a special file ... a ndbm database
+file with the username as the key"* — yielding the user's UID and GIDs
+list, from which mountd constructs the NFS credential it hands to the
+kernel map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.apps.nfs.fs import NfsCredential
+
+
+class PasswdMap:
+    """username → (uid, gids): the appendix's "special file"."""
+
+    def __init__(self) -> None:
+        self._users: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+
+    def add(self, username: str, uid: int, gids) -> None:
+        self._users[username] = (int(uid), tuple(int(g) for g in gids))
+
+    def credential_for(self, username: str) -> Optional[NfsCredential]:
+        entry = self._users.get(username)
+        if entry is None:
+            return None
+        return NfsCredential(uid=entry[0], gids=entry[1])

@@ -1,6 +1,6 @@
 """The NFS server under each of the appendix's three designs.
 
-:class:`AuthMode` selects the world:
+:class:`~repro.apps.nfs.config.AuthMode` selects the world:
 
 * ``TRUSTED`` — unmodified NFS with this workstation trusted: the
   claimed credential is used as-is.  "It is possible from a trusted
@@ -14,14 +14,23 @@
 * ``KERBEROS_RPC`` — the rejected design: a full Kerberos
   authentication request in *every* NFS transaction ("would have
   delivered unacceptable performance" — benchmarked in exp NFS).
+
+Since the fleet PR the server is driven by a declarative
+:class:`~repro.apps.nfs.config.NfsExportConfig`: auth mode, unmapped
+policy, export paths with read-only/squash/client-range options.
+:meth:`NfsServer.apply_config` swaps the whole document at runtime —
+an auth-mode change flushes the kernel map, since its entries were
+authorised under the old design.  The map is volatile kernel state: a
+host crash (``on_crash``) loses it, and in-flight clients must recover
+through mountd.
 """
 
 from __future__ import annotations
 
-import enum
 from collections import Counter
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
+from repro.apps.nfs.config import AuthMode, ExportSpec, NfsExportConfig, SquashMode
 from repro.apps.nfs.credmap import CredentialMap, UnmappedPolicy
 from repro.apps.nfs.fs import FileSystem, FsError, NfsCredential
 from repro.apps.nfs.protocol import NfsOp, NfsReply, NfsRequest
@@ -30,58 +39,83 @@ from repro.core.errors import KerberosError
 from repro.core.messages import ApRequest
 from repro.core.replay import ReplayCache
 from repro.core.service import Service
+from repro.apps.nfs.passwd import PasswdMap
 from repro.encode import DecodeError
-from repro.netsim import Host
 from repro.netsim.ports import NFS_PORT
 from repro.principal import Principal
 
+#: The error text a client sees when its kernel mapping outlived its
+#: ticket or died with a crashed server — the cue to re-mount.
+STALE_MAPPING = "stale mapping: re-mount required"
 
-class AuthMode(enum.Enum):
-    TRUSTED = "trusted"
-    UNTRUSTED = "untrusted"
-    MAPPED = "mapped"
-    KERBEROS_RPC = "kerberos-rpc"
-
-
-class PasswdMap:
-    """username → (uid, gids): the appendix's "special file ... a ndbm
-    database file with the username as the key"."""
-
-    def __init__(self) -> None:
-        self._users: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
-
-    def add(self, username: str, uid: int, gids) -> None:
-        self._users[username] = (int(uid), tuple(int(g) for g in gids))
-
-    def credential_for(self, username: str) -> Optional[NfsCredential]:
-        entry = self._users.get(username)
-        if entry is None:
-            return None
-        return NfsCredential(uid=entry[0], gids=entry[1])
+#: Operations that modify the tree — what a read-only export refuses.
+WRITE_OPS = frozenset({
+    NfsOp.WRITE, NfsOp.CREATE, NfsOp.MKDIR,
+    NfsOp.REMOVE, NfsOp.CHMOD, NfsOp.RENAME,
+})
 
 
 class NfsServer(Service):
-    """One fileserver, serving its tree under a chosen auth design."""
+    """One fileserver, serving its tree under a declarative config."""
 
     def __init__(
         self,
         fs: Optional[FileSystem] = None,
-        mode: AuthMode = AuthMode.MAPPED,
-        unmapped_policy: UnmappedPolicy = UnmappedPolicy.FRIENDLY,
+        mode: Optional[AuthMode] = None,
+        unmapped_policy: Optional[UnmappedPolicy] = None,
         service: Optional[Principal] = None,
         srvtab: Optional[SrvTab] = None,
         passwd: Optional[PasswdMap] = None,
         port: int = NFS_PORT,
+        config: Optional[NfsExportConfig] = None,
     ) -> None:
         super().__init__()
         self.fs = fs if fs is not None else FileSystem()
-        self.mode = mode
-        self.unmapped_policy = unmapped_policy
+        # The classic keyword signature builds a whole-tree config; an
+        # explicit config document wins over the shorthand keywords.
+        if config is None:
+            config = NfsExportConfig(
+                auth_mode=mode if mode is not None else AuthMode.MAPPED,
+                unmapped_policy=(
+                    unmapped_policy if unmapped_policy is not None
+                    else UnmappedPolicy.FRIENDLY
+                ),
+            )
+        self.config = config
         self.port = port
         self.passwd = passwd if passwd is not None else PasswdMap()
         # KERBEROS_RPC mode needs the service identity and key.
         self.service = service
         self.srvtab = srvtab
+
+    # -- the declarative view ---------------------------------------------------
+
+    @property
+    def mode(self) -> AuthMode:
+        return self.config.auth_mode
+
+    @property
+    def unmapped_policy(self) -> UnmappedPolicy:
+        return self.config.unmapped_policy
+
+    def apply_config(self, config: NfsExportConfig) -> list:
+        """Swap the running configuration for a new document (TrueNAS
+        config-restore style) and return the change list applied.
+
+        Changing the auth mode flushes the kernel map: every entry in
+        it was authorised under the *old* design, and e.g. a
+        TRUSTED-era mapping must not survive into a MAPPED world."""
+        config.validate()
+        changes = self.config.diff(config)
+        mode_changed = config.auth_mode != self.config.auth_mode
+        self.config = config
+        if mode_changed and hasattr(self, "credmap"):
+            self.credmap.clear()
+        if getattr(self, "host", None) is not None:
+            self.metrics.counter(
+                "nfs.config_applies_total", {"server": self.host.name}
+            ).inc(1)
+        return changes
 
     def ports(self):
         return {self.port: self._handle}
@@ -94,7 +128,6 @@ class NfsServer(Service):
         self.metrics = host.network.metrics
         self.tracer = host.network.tracer
         self.audit = host.network.audit
-        self._labels = {"server": host.name, "mode": self.mode.value}
         self.credmap = CredentialMap(
             metrics=self.metrics, labels={"server": host.name}
         )
@@ -106,6 +139,21 @@ class NfsServer(Service):
         )
         self.metrics.counter("nfs.access_errors_total", self._labels)
         self.metrics.counter("nfs.kerberos_verifications_total", self._labels)
+
+    def on_crash(self) -> None:
+        """The kernel map and the replay cache are volatile state: a
+        crash loses both.  In-flight clients' mappings are gone — they
+        recover by re-running the mountd handshake."""
+        lost = self.credmap.clear()
+        self.replay_cache.purge(float("inf"))
+        if lost:
+            self.metrics.counter(
+                "nfs.map_losses_total", {"server": self.host.name}
+            ).inc(lost)
+
+    @property
+    def _labels(self) -> dict:
+        return {"server": self.host.name, "mode": self.mode.value}
 
     # -- registry-backed views of the classic counters --------------------------
 
@@ -134,34 +182,53 @@ class NfsServer(Service):
     # -- credential resolution: the heart of the appendix ----------------------
 
     def _resolve_credential(
-        self, request: NfsRequest, datagram
-    ) -> Optional[NfsCredential]:
-        """Apply the server's trust design to one request.  Returns None
-        for an access error."""
+        self, request: NfsRequest, datagram, span
+    ) -> Tuple[Optional[NfsCredential], str]:
+        """Apply the server's trust design to one request.  Returns the
+        credential, or ``(None, error-text)`` for a refusal."""
         if self.mode == AuthMode.TRUSTED:
             # "Trusted systems are completely trusted."
             return NfsCredential(
                 uid=request.claimed_uid, gids=tuple(request.claimed_gids)
-            )
+            ), ""
 
         if self.mode == AuthMode.UNTRUSTED:
             # "Untrusted systems cannot access any files at all."
-            return None
+            return None, "NFS access error"
 
         if self.mode == AuthMode.MAPPED:
             # "The CLIENT-IP-ADDRESS is extracted from the NFS request
             # packet and the UID-ON-CLIENT is extracted from the
             # credential supplied by the client system."
-            mapped = self.credmap.lookup(datagram.src, request.claimed_uid)
+            mapped, status = self.credmap.resolve(
+                datagram.src, request.claimed_uid,
+                now=self.host.clock.now(),
+            )
             if mapped is not None:
-                return mapped
+                return mapped, ""
+            if status == "expired":
+                # The authorising ticket's lifetime is up.  Never serve
+                # on a dead authentication — not even as nobody.
+                self.metrics.counter(
+                    "nfs.stale_mappings_total", {"server": self.host.name}
+                ).inc(1)
+                return None, STALE_MAPPING
             if self.unmapped_policy == UnmappedPolicy.FRIENDLY:
-                return NfsCredential.nobody()
-            return None
+                return NfsCredential.nobody(), ""
+            self.audit.emit(
+                "acl_denial",
+                host=self.host.name,
+                trace=span.trace_id,
+                detail=(
+                    f"unfriendly refusal: no mapping for "
+                    f"<{datagram.src},{request.claimed_uid}>"
+                ),
+            )
+            return None, "NFS access error"
 
         # KERBEROS_RPC: the rejected design — full verification per op.
         if self.service is None or self.srvtab is None:
-            return None
+            return None, "NFS access error"
         try:
             ap_request = ApRequest.from_bytes(request.ap_request)
             context = krb_rd_req(
@@ -172,14 +239,38 @@ class NfsServer(Service):
                 now=self.host.clock.now(),
                 replay_cache=self.replay_cache,
             )
-        except (KerberosError, DecodeError):
-            return None
+        except (KerberosError, DecodeError) as exc:
+            self.audit.emit(
+                "auth_failure",
+                host=self.host.name,
+                trace=span.trace_id,
+                detail=f"per-RPC kerberos verification failed: {exc}",
+            )
+            return None, "NFS access error"
         self.metrics.counter(
             "nfs.kerberos_verifications_total", self._labels
         ).inc()
-        return self.passwd.credential_for(context.client.name)
+        cred = self.passwd.credential_for(context.client.name)
+        if cred is None:
+            return None, "NFS access error"
+        return cred, ""
 
     # -- request handling ------------------------------------------------------------
+
+    def _deny_export(self, span, reason: str, text: str) -> bytes:
+        """Refuse a request on export-policy grounds (not exported, bad
+        client range, read-only) — counted and audit-logged."""
+        self.metrics.counter(
+            "nfs.exports_denied_total",
+            {"server": self.host.name, "reason": reason},
+        ).inc(1)
+        self.audit.emit(
+            "acl_denial",
+            host=self.host.name,
+            trace=span.trace_id,
+            detail=f"export policy ({reason}): {text}",
+        )
+        return NfsReply(ok=False, data=b"", names=[], text=text).to_bytes()
 
     def _handle(self, datagram) -> bytes:
         try:
@@ -199,15 +290,33 @@ class NfsServer(Service):
             host=self.host.name,
             op=op.name,
             mode=self.mode.value,
-        ):
-            cred = self._resolve_credential(request, datagram)
+        ) as span:
+            export = self.config.export_for(request.path)
+            if export is None:
+                return self._deny_export(
+                    span, "not_exported",
+                    f"{request.path} is not exported",
+                )
+            if not export.admits(datagram.src):
+                return self._deny_export(
+                    span, "client_range",
+                    f"client {datagram.src} not permitted on {export.path}",
+                )
+            if export.read_only and op in WRITE_OPS:
+                return self._deny_export(
+                    span, "read_only",
+                    f"read-only export {export.path}",
+                )
+
+            cred, error = self._resolve_credential(request, datagram, span)
             if cred is None:
                 self.metrics.counter(
                     "nfs.access_errors_total", self._labels
                 ).inc()
                 return NfsReply(
-                    ok=False, data=b"", names=[], text="NFS access error"
+                    ok=False, data=b"", names=[], text=error
                 ).to_bytes()
+            cred = self._squash(export, cred)
 
             try:
                 return self._apply(op, request, cred).to_bytes()
@@ -218,6 +327,14 @@ class NfsServer(Service):
                 return NfsReply(
                     ok=False, data=b"", names=[], text=str(exc)
                 ).to_bytes()
+
+    @staticmethod
+    def _squash(export: ExportSpec, cred: NfsCredential) -> NfsCredential:
+        if export.squash == SquashMode.ALL:
+            return NfsCredential.nobody()
+        if export.squash == SquashMode.ROOT and cred.is_root:
+            return NfsCredential.nobody()
+        return cred
 
     def _apply(self, op: NfsOp, request: NfsRequest, cred: NfsCredential) -> NfsReply:
         fs = self.fs

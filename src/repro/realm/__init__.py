@@ -8,10 +8,14 @@ workstations with client libraries.
 """
 
 from repro.realm.bootstrap import Realm, RealmTopology, Workstation, link
+from repro.realm.nfs_fleet import FleetServer, NfsFleet, NfsUserSpec
 from repro.realm.sharding import ShardedRealm
 from repro.realm.supervisor import RealmSupervisor, SupervisorConfig
 
 __all__ = [
+    "FleetServer",
+    "NfsFleet",
+    "NfsUserSpec",
     "Realm",
     "RealmSupervisor",
     "RealmTopology",

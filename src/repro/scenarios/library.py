@@ -20,9 +20,11 @@ deployment raises:
   quantifies.
 
 Later PRs added ``request_plane_saturation`` (the batch plane's
-admission-control gate) and ``shard_rebalance_under_load`` (a live
+admission-control gate), ``shard_rebalance_under_load`` (a live
 ``move_range`` mid-storm: the double-serve window plus referral repair
-must keep every login succeeding while a hash range changes shards).
+must keep every login succeeding while a hash range changes shards),
+and ``nfs_fleet_mount_storm`` (the appendix's Kerberized NFS at fleet
+scale: a mount wave with a cross-user leak probe on every station).
 
 All campaigns build their own :class:`~repro.netsim.network.Network`
 from the run's seed, so results are a pure function of
@@ -507,6 +509,135 @@ def request_plane_saturation(seed: int, params: Dict) -> CampaignResult:
             ),
             "success_rate": result.success_rate(),
             "latency_p95": result.latency_p95,
+        },
+    )
+    return result
+
+
+@campaign(
+    "nfs_fleet_mount_storm",
+    "paced mount wave across an NFS fleet; no leaks, no residue",
+    defaults={"n_servers": 4, "n_stations": 32, "n_users": 16,
+              "window": 60.0},
+    slos=(
+        SloSpec("success_rate", "min", 0.99,
+                "mount + I/O + unmount completed"),
+        SloSpec("mount_latency_p99", "max", 5.0,
+                "p99 of the Kerberos mount handshake (sim s)"),
+        SloSpec("credential_leaks", "max", 0.0,
+                "cross-user reads served — must be zero, ever"),
+        SloSpec("residual_mappings", "max", 0.0,
+                "kernel-map entries left after every unmount"),
+    ),
+)
+def nfs_fleet_mount_storm(seed: int, params: Dict) -> CampaignResult:
+    """The fleet PR's acceptance drill: a wave of workstations mounts a
+    Kerberized NFS fleet, reads and writes its own 0600 home files,
+    *attempts a cross-user read* (the leak probe — it must be refused),
+    and unmounts.  The SLOs are the appendix's security contract at
+    fleet scale: mount latency stays bounded, not one byte crosses user
+    boundaries, and unmount leaves no mapping behind."""
+    from repro.realm import NfsFleet, NfsUserSpec
+
+    net = Network(seed=seed, latency=0.01)
+    realm = Realm(net, REALM, seed=seed.to_bytes(8, "big"), n_slaves=1)
+    n_users = int(params["n_users"])
+    users = []
+    for i in range(n_users):
+        name, pw, uid = f"user{i:03d}", f"pw-{i:03d}", 1000 + i
+        realm.add_user(name, pw)
+        users.append((name, pw, uid))
+    fleet = NfsFleet(
+        realm,
+        n_servers=int(params["n_servers"]),
+        users=[NfsUserSpec(name, uid) for name, _pw, uid in users],
+    )
+    # Seed each user's private file on every server.
+    from repro.apps.nfs import NfsCredential
+
+    for site in fleet.servers:
+        for name, _pw, uid in users:
+            cred = NfsCredential(uid=uid, gids=(100,))
+            site.server.fs.create(f"/u/{name}/secret.txt", cred, mode=0o600)
+            site.server.fs.write(
+                f"/u/{name}/secret.txt", f"secret-{name}".encode(), cred
+            )
+
+    records: List[StationRecord] = []
+    leaks: List[str] = []
+
+    def station_job(ws, site_index, name, pw, uid, other_name):
+        def job():
+            from repro.apps.nfs import NfsClientError
+
+            site = fleet[site_index]
+            mount_latency = 0.0
+            outcome = "ok"
+            try:
+                ws.client.kinit(name, pw)
+                client = fleet.client(ws, site_index, uid_on_client=uid)
+                t0 = net.clock.now()
+                client.kerberos_mount(ws.client, site.mount_service)
+                mount_latency = net.clock.now() - t0
+                if client.read(f"/u/{name}/secret.txt") != (
+                    f"secret-{name}".encode()
+                ):
+                    outcome = "wrong_bytes"
+                # The leak probe: another user's 0600 file must be
+                # refused at their 0700 home directory.
+                try:
+                    client.read(f"/u/{other_name}/secret.txt")
+                    leaks.append(f"{name} read {other_name} on {site.name}")
+                    outcome = "leak"
+                except NfsClientError:
+                    pass
+                client.create(f"/u/{name}/note-{ws.host.name}.txt")
+                client.write(
+                    f"/u/{name}/note-{ws.host.name}.txt", b"present"
+                )
+                client.unmount()
+            except Exception as exc:
+                outcome = f"error:{type(exc).__name__}"
+            records.append(
+                StationRecord(
+                    station=ws.host.name,
+                    user=name,
+                    outcome=outcome,
+                    latency=mount_latency,
+                )
+            )
+
+        return job
+
+    n_stations = int(params["n_stations"])
+    window = float(params["window"])
+    for i in range(n_stations):
+        name, pw, uid = users[i % n_users]
+        other_name = users[(i + 1) % n_users][0]
+        ws = realm.workstation()
+        net.runtime.at(
+            START + (i / n_stations) * window,
+            station_job(ws, i % len(fleet), name, pw, uid, other_name),
+            label="scenario.mount",
+        )
+    net.runtime.run_until_idle()
+
+    result = CampaignResult("", seed, {}, makespan=net.clock.now() - START)
+    result.account(records)
+    result.notes = {
+        "leaks": leaks,
+        "residual_mappings": fleet.total_mappings(),
+        "mounts_mapped": int(net.metrics.total(
+            "nfs.mounts_total", result="mapped"
+        )),
+    }
+    result.evaluate(
+        _slos("nfs_fleet_mount_storm"),
+        {
+            "success_rate": result.success_rate(),
+            "mount_latency_p99": result.latency_p99,
+            "credential_leaks": float(len(leaks)),
+            "residual_mappings": float(fleet.total_mappings()),
         },
     )
     return result

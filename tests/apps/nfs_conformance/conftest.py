@@ -1,0 +1,74 @@
+"""Shared world-builder for the Kerberized-NFS fleet conformance suite.
+
+Every matrix cell gets a *fresh* two-server fleet (worlds are ~1 ms to
+build on the sim clock) so no state leaks between cells.  Users carry a
+deliberately short ticket life (:data:`TICKET_LIFE`) so the "credential
+expiry mid-I/O" fault is one modest ``clock.advance`` away.
+"""
+
+import pytest
+
+from repro.apps.nfs import NfsCredential
+from repro.netsim import Network
+from repro.realm import NfsFleet, NfsUserSpec, Realm
+
+REALM = "ATHENA.MIT.EDU"
+
+#: Short ticket life: the expiry fault advances past it.
+TICKET_LIFE = 600.0
+
+JIS_UID, BCN_UID = 1001, 1002
+
+#: Fixture file contents — what reads must come back with.
+SECRET = b"top secret"
+MOTD = b"welcome to athena"
+NOTES = b"old-notes"
+NEW_NOTES = b"new-notes"
+SCRATCH_README = b"scratch-readme"
+
+ROOT_CRED = NfsCredential(uid=0)
+JIS_CRED = NfsCredential(uid=JIS_UID, gids=(100,))
+
+
+class FleetWorld:
+    """Realm + N-server NFS fleet + provisioned users + fixture files."""
+
+    def __init__(self, config=None, n_servers=2, seed=11):
+        self.net = Network(seed=seed)
+        self.realm = Realm(self.net, REALM)
+        self.realm.add_user("jis", "jis-pw", max_life=TICKET_LIFE)
+        self.realm.add_user("bcn", "bcn-pw", max_life=TICKET_LIFE)
+        self.fleet = NfsFleet(
+            self.realm,
+            n_servers=n_servers,
+            config=config,
+            users=[
+                NfsUserSpec("jis", JIS_UID, (100,)),
+                NfsUserSpec("bcn", BCN_UID, (100,)),
+            ],
+        )
+        for site in self.fleet.servers:
+            self._install_fixture_files(site.server.fs)
+
+    @staticmethod
+    def _install_fixture_files(fs):
+        fs.create("/motd", ROOT_CRED, mode=0o644)
+        fs.write("/motd", MOTD, ROOT_CRED)
+        fs.create("/u/jis/secret.txt", JIS_CRED, mode=0o600)
+        fs.write("/u/jis/secret.txt", SECRET, JIS_CRED)
+        fs.create("/u/jis/notes.txt", JIS_CRED, mode=0o644)
+        fs.write("/u/jis/notes.txt", NOTES, JIS_CRED)
+        fs.mkdir("/scratch", ROOT_CRED, mode=0o777)
+        fs.create("/scratch/readme.txt", ROOT_CRED, mode=0o644)
+        fs.write("/scratch/readme.txt", SCRATCH_README, ROOT_CRED)
+        fs.create("/scratch/pad.txt", ROOT_CRED, mode=0o666)
+
+    def login(self, username="jis", password="jis-pw"):
+        ws = self.realm.workstation()
+        ws.client.kinit(username, password)
+        return ws
+
+
+@pytest.fixture
+def fleet_world():
+    return FleetWorld()

@@ -1,0 +1,164 @@
+"""The declarative export config itself: validation, longest-prefix
+resolution, client ranges, squashing, diffing, and round-tripping."""
+
+import pytest
+
+from repro.apps.nfs import (
+    AuthMode,
+    ClientRange,
+    ConfigError,
+    ExportSpec,
+    NfsExportConfig,
+    SquashMode,
+    UnmappedPolicy,
+)
+
+pytestmark = pytest.mark.nfs
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        NfsExportConfig().validate()
+
+    def test_relative_export_path_rejected(self):
+        with pytest.raises(ConfigError, match="absolute"):
+            ExportSpec("u/jis")
+
+    def test_trailing_slash_rejected(self):
+        with pytest.raises(ConfigError, match="end in"):
+            ExportSpec("/u/")
+
+    def test_root_export_path_is_allowed(self):
+        assert ExportSpec("/").path == "/"
+
+    def test_empty_client_list_rejected(self):
+        with pytest.raises(ConfigError, match="allows no clients"):
+            ExportSpec("/u", allowed=())
+
+    def test_duplicate_export_paths_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            NfsExportConfig(exports=(ExportSpec("/u"), ExportSpec("/u")))
+
+    def test_no_exports_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            NfsExportConfig(exports=())
+
+    def test_bad_auth_mode_rejected(self):
+        with pytest.raises(ConfigError, match="auth_mode"):
+            NfsExportConfig(auth_mode="mapped")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unmapped_policy"):
+            NfsExportConfig(unmapped_policy="friendly")
+
+
+class TestClientRange:
+    def test_contains_own_network(self):
+        assert ClientRange("18.72.0.0/16").contains("18.72.3.9")
+
+    def test_excludes_other_network(self):
+        assert not ClientRange("18.72.0.0/16").contains("18.73.0.1")
+
+    def test_zero_prefix_matches_everything(self):
+        assert ClientRange("0.0.0.0/0").contains("1.2.3.4")
+
+    def test_full_prefix_is_one_host(self):
+        r = ClientRange("18.72.0.5/32")
+        assert r.contains("18.72.0.5")
+        assert not r.contains("18.72.0.6")
+
+    def test_missing_prefix_rejected(self):
+        with pytest.raises(ConfigError, match="/prefix"):
+            ClientRange("18.72.0.0")
+
+    def test_out_of_range_prefix_rejected(self):
+        with pytest.raises(ConfigError, match="prefix length"):
+            ClientRange("18.72.0.0/33")
+
+    def test_host_bits_below_mask_rejected(self):
+        with pytest.raises(ConfigError, match="host bits"):
+            ClientRange("18.72.0.1/16")
+
+
+class TestResolution:
+    def test_component_prefix_not_string_prefix(self):
+        spec = ExportSpec("/u")
+        assert spec.covers("/u")
+        assert spec.covers("/u/jis")
+        assert not spec.covers("/usr")
+
+    def test_root_export_covers_everything(self):
+        assert ExportSpec("/").covers("/anything/at/all")
+
+    def test_longest_prefix_wins(self):
+        cfg = NfsExportConfig(exports=(
+            ExportSpec("/"),
+            ExportSpec("/scratch", read_only=True),
+        ))
+        assert cfg.export_for("/scratch/pad.txt").read_only
+        assert not cfg.export_for("/u/jis/notes.txt").read_only
+
+    def test_uncovered_path_resolves_to_none(self):
+        cfg = NfsExportConfig(exports=(ExportSpec("/u"),))
+        assert cfg.export_for("/etc/passwd") is None
+
+
+class TestDiff:
+    def test_identical_configs_diff_empty(self):
+        assert NfsExportConfig().diff(NfsExportConfig()) == []
+
+    def test_diff_names_every_change(self):
+        before = NfsExportConfig()
+        after = NfsExportConfig(
+            auth_mode=AuthMode.KERBEROS_RPC,
+            unmapped_policy=UnmappedPolicy.UNFRIENDLY,
+            exports=(
+                ExportSpec("/", read_only=True),
+                ExportSpec("/scratch", squash=SquashMode.ALL),
+            ),
+        )
+        assert before.diff(after) == [
+            "auth_mode: mapped -> kerberos-rpc",
+            "unmapped_policy: friendly -> unfriendly",
+            "export added: /scratch",
+            "export changed: /",
+        ]
+
+    def test_diff_reports_removals(self):
+        before = NfsExportConfig(exports=(ExportSpec("/"), ExportSpec("/u")))
+        after = NfsExportConfig(exports=(ExportSpec("/"),))
+        assert before.diff(after) == ["export removed: /u"]
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        cfg = NfsExportConfig(
+            auth_mode=AuthMode.MAPPED,
+            unmapped_policy=UnmappedPolicy.UNFRIENDLY,
+            exports=(
+                ExportSpec("/", squash=SquashMode.ROOT),
+                ExportSpec(
+                    "/scratch",
+                    read_only=True,
+                    squash=SquashMode.ALL,
+                    allowed=(ClientRange("18.72.0.0/16"),),
+                ),
+            ),
+        )
+        restored = NfsExportConfig.from_dict(cfg.to_dict())
+        assert restored == cfg
+        assert cfg.diff(restored) == []
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        doc = json.loads(json.dumps(NfsExportConfig().to_dict()))
+        assert NfsExportConfig.from_dict(doc) == NfsExportConfig()
+
+    def test_builders_change_exactly_one_axis(self):
+        base = NfsExportConfig()
+        assert base.with_mode(AuthMode.TRUSTED).auth_mode == AuthMode.TRUSTED
+        assert base.with_mode(AuthMode.TRUSTED).exports == base.exports
+        flipped = base.with_policy(UnmappedPolicy.UNFRIENDLY)
+        assert flipped.unmapped_policy == UnmappedPolicy.UNFRIENDLY
+        assert flipped.auth_mode == base.auth_mode

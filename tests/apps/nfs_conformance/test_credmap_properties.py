@@ -1,0 +1,174 @@
+"""Property-based fuzzing of the kernel credential map's flush
+semantics.
+
+Hypothesis drives randomized interleavings of the new system call's
+operations — add, delete, flush-by-server-UID, flush-by-address, clear,
+and timed lookups — against a trivial dict model.  After every step the
+kernel table must agree with the model exactly: same entries, same
+expiries, and the same return value from the operation itself.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.apps.nfs import CredentialMap, NfsCredential
+from repro.netsim import IPAddress
+
+pytestmark = pytest.mark.nfs
+
+#: A deliberately tiny keyspace so interleavings collide constantly.
+ADDRESSES = ["18.72.0.1", "18.72.0.2", "18.72.0.3"]
+CLIENT_UIDS = [100, 200, 300]
+SERVER_UIDS = [1001, 1002]
+
+addresses = st.sampled_from(ADDRESSES)
+client_uids = st.sampled_from(CLIENT_UIDS)
+server_uids = st.sampled_from(SERVER_UIDS)
+expiries = st.one_of(st.none(), st.floats(min_value=1.0, max_value=100.0))
+clocks = st.floats(min_value=0.0, max_value=120.0)
+
+
+class CredMapMachine(RuleBasedStateMachine):
+    """The kernel table vs. a dict model, one operation at a time."""
+
+    def __init__(self):
+        super().__init__()
+        self.kernel = CredentialMap()
+        self.model = {}     # (addr-str, uid) -> NfsCredential
+        self.expiry = {}    # (addr-str, uid) -> float
+
+    @rule(addr=addresses, uid=client_uids, suid=server_uids, expires=expiries)
+    def add(self, addr, uid, suid, expires):
+        cred = NfsCredential(uid=suid, gids=(100,))
+        self.kernel.add(addr, uid, cred, expires=expires)
+        self.model[(addr, uid)] = cred
+        if expires is None:
+            self.expiry.pop((addr, uid), None)
+        else:
+            self.expiry[(addr, uid)] = expires
+
+    @rule(addr=addresses, uid=client_uids)
+    def delete(self, addr, uid):
+        removed = self.kernel.delete(addr, uid)
+        assert removed == ((addr, uid) in self.model)
+        self.model.pop((addr, uid), None)
+        self.expiry.pop((addr, uid), None)
+
+    @rule(suid=server_uids)
+    def flush_uid(self, suid):
+        doomed = [k for k, v in self.model.items() if v.uid == suid]
+        assert self.kernel.flush_uid(suid) == len(doomed)
+        for key in doomed:
+            del self.model[key]
+            self.expiry.pop(key, None)
+
+    @rule(addr=addresses)
+    def flush_address(self, addr):
+        doomed = [k for k in self.model if k[0] == addr]
+        assert self.kernel.flush_address(addr) == len(doomed)
+        for key in doomed:
+            del self.model[key]
+            self.expiry.pop(key, None)
+
+    @rule()
+    def clear(self):
+        assert self.kernel.clear() == len(self.model)
+        self.model.clear()
+        self.expiry.clear()
+
+    @rule(addr=addresses, uid=client_uids, now=clocks)
+    def resolve(self, addr, uid, now):
+        cred, status = self.kernel.resolve(addr, uid, now=now)
+        key = (addr, uid)
+        expires = self.expiry.get(key)
+        if key not in self.model:
+            assert (cred, status) == (None, "miss")
+        elif expires is not None and now >= expires:
+            # Lazy expiry: the lookup purges the dead entry.
+            assert (cred, status) == (None, "expired")
+            del self.model[key]
+            del self.expiry[key]
+        else:
+            assert status == "hit" and cred == self.model[key]
+
+    @rule(addr=addresses, uid=client_uids)
+    def untimed_lookup_never_expires(self, addr, uid):
+        # Without a clock, even a long-dead entry is still served — the
+        # kernel cannot know.  (Callers on a host always pass now.)
+        cred = self.kernel.lookup(addr, uid)
+        assert cred == self.model.get((addr, uid))
+
+    @invariant()
+    def tables_agree(self):
+        assert self.kernel.entries() == dict(self.model)
+        assert len(self.kernel) == len(self.model)
+        for (addr, uid), expires in self.expiry.items():
+            assert self.kernel.expiry_of(addr, uid) == expires
+
+
+TestCredMapFlushSemantics = CredMapMachine.TestCase
+TestCredMapFlushSemantics.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+
+
+@given(
+    st.lists(
+        st.tuples(addresses, client_uids, server_uids),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_flush_uid_is_exhaustive(entries):
+    """flush_uid removes *every* entry mapping to the UID and nothing
+    else, whatever insertion order produced the table."""
+    cm = CredentialMap()
+    final = {}
+    for addr, uid, suid in entries:
+        cm.add(addr, uid, NfsCredential(uid=suid))
+        final[(addr, uid)] = suid
+    target = entries[0][2]
+    removed = cm.flush_uid(target)
+    assert removed == sum(1 for suid in final.values() if suid == target)
+    assert all(cred.uid != target for cred in cm.entries().values())
+    kept = {k: v for k, v in final.items() if v != target}
+    assert {k: c.uid for k, c in cm.entries().items()} == kept
+
+
+@given(
+    st.lists(
+        st.tuples(addresses, client_uids, st.floats(1.0, 50.0)),
+        min_size=1,
+        max_size=12,
+        unique_by=lambda t: (t[0], t[1]),
+    ),
+    clocks,
+)
+@settings(max_examples=50, deadline=None)
+def test_expiry_partition(entries, now):
+    """At any instant, timed lookups partition the table exactly into
+    live entries (served) and dead ones (purged)."""
+    cm = CredentialMap()
+    for addr, uid, expires in entries:
+        cm.add(addr, uid, NfsCredential(uid=999), expires=expires)
+    live = {(a, u) for a, u, e in entries if now < e}
+    for addr, uid, _ in entries:
+        cred, status = cm.resolve(addr, uid, now=now)
+        assert status == ("hit" if (addr, uid) in live else "expired")
+    assert set(cm.entries()) == live
+    assert cm.lookups == len(entries)
+
+
+def test_addresses_normalise_across_types():
+    """The same address as a string or IPAddress is one map key."""
+    cm = CredentialMap()
+    cm.add("18.72.0.1", 100, NfsCredential(uid=1))
+    assert cm.lookup(IPAddress("18.72.0.1"), 100).uid == 1
+    assert cm.delete(IPAddress("18.72.0.1"), 100)
+    assert len(cm) == 0

@@ -67,6 +67,20 @@ class TestSmoke:
         assert result.notes["ring_epoch"] == 2
         assert result.notes["referral_follows"] >= 1
 
+    @pytest.mark.nfs
+    def test_nfs_fleet_mount_storm_smoke(self):
+        """The fleet PR's drill at smoke scale: every station mounts,
+        does its I/O, probes for a leak (refused), and unmounts clean."""
+        result = scenarios.run(
+            "nfs_fleet_mount_storm", seed=2026,
+            n_servers=2, n_stations=8, n_users=4, window=8.0,
+        )
+        assert result.passed, [c.as_dict() for c in result.checks]
+        assert result.outcomes == {"ok": 8}
+        assert result.notes["leaks"] == []
+        assert result.notes["residual_mappings"] == 0
+        assert result.notes["mounts_mapped"] == 8
+
     def test_same_seed_summary_is_identical(self):
         kwargs = dict(n_stations=6, n_users=6, window=3.0)
         a = scenarios.run("slave_outage_peak", seed=31, **kwargs)
